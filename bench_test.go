@@ -1,0 +1,113 @@
+package gadget_test
+
+// One benchmark per table and figure of the paper. Each bench runs the
+// corresponding experiment end to end at CI scale and reports the
+// domain metric (rows produced, shape checks passed) alongside wall
+// time; `go run ./cmd/gadget-experiments` regenerates the full-scale
+// numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"gadget"
+	"gadget/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	scale := experiments.QuickScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+		b.ReportMetric(float64(len(rep.Rows)), "rows")
+		b.ReportMetric(float64(len(rep.Checks)-len(rep.Failed())), "checks_passed")
+	}
+}
+
+func BenchmarkTable1Composition(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2KSTest(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkTable3TTL(b *testing.B)              { benchExperiment(b, "table3") }
+func BenchmarkFigure2WindowConfig(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFigure3Amplification(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFigure4SlideSweep(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFigure5Locality(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFigure6Watermarks(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFigure7YCSBLocality(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFigure10GadgetAccuracy(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11TraceFidelity(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFigure12YCSBCore(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFigure13StoreShootout(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFigure14Concurrent(b *testing.B)     { benchExperiment(b, "fig14") }
+
+// Harness micro-benchmarks: workload generation throughput and online
+// end-to-end runs per engine.
+
+func benchConfig(op gadget.OperatorType, events int) gadget.Config {
+	return gadget.Config{
+		Source: gadget.SourceConfig{
+			Events: events, Keys: 1000, RatePerSec: 500, ValueSize: 64,
+			WatermarkEvery: 100, Seed: 1,
+		},
+		Operator: gadget.OperatorConfig{
+			Operator: op, WindowLengthMs: 5000, WindowSlideMs: 1000,
+		},
+	}
+}
+
+func BenchmarkGenerateTumblingTrace(b *testing.B) {
+	w, err := gadget.NewWorkload(benchConfig(gadget.TumblingIncr, 50000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := w.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(tr)), "accesses")
+	}
+}
+
+func BenchmarkOnlineRun(b *testing.B) {
+	for _, engine := range gadget.Engines() {
+		engine := engine
+		if engine == "remote" {
+			continue // needs a running gadget-server; see internal/remote benches
+		}
+		b.Run(engine, func(b *testing.B) {
+			w, err := gadget.NewWorkload(benchConfig(gadget.TumblingIncr, 20000))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, err := gadget.OpenStore(gadget.StoreConfig{Engine: engine, Dir: b.TempDir()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := w.RunOnline(store, gadget.ReplayOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				store.Close()
+				b.StartTimer()
+				b.ReportMetric(res.Throughput, "store_ops/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Command gadget-experiments regenerates every table and figure of the
+// paper's evaluation at a configurable scale and reports PASS/WARN shape
+// checks against the paper's qualitative claims.
+//
+// Usage:
+//
+//	gadget-experiments                      run everything at the default scale
+//	gadget-experiments -run table1,fig13    run a subset
+//	gadget-experiments -scale quick         CI-sized smoke run
+//	gadget-experiments -out results.txt     also write the reports to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gadget/internal/experiments"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	withAblations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	scaleName := flag.String("scale", "default", "scale preset: default | quick")
+	out := flag.String("out", "", "also write reports to this file")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "default":
+		scale = experiments.DefaultScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want default|quick)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	wanted := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	all := experiments.All()
+	if *withAblations || anyAblation(wanted) {
+		all = append(all, experiments.Ablations()...)
+	}
+	failures := 0
+	warns := 0
+	for _, e := range all {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		start := time.Now()
+		rep, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(w, "== %s: ERROR: %v ==\n\n", e.ID, err)
+			failures++
+			continue
+		}
+		fmt.Fprintf(w, "%s(%v)\n\n", rep.String(), time.Since(start).Round(time.Millisecond))
+		warns += len(rep.Failed())
+	}
+	fmt.Fprintf(w, "done: %d errors, %d shape warnings\n", failures, warns)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// anyAblation reports whether an explicitly requested id is an ablation,
+// so "-run ablate-bloom" works without the -ablations flag.
+func anyAblation(wanted map[string]bool) bool {
+	for id := range wanted {
+		if _, ok := experiments.AblationByID(id); ok {
+			return true
+		}
+	}
+	return false
+}

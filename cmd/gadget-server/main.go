@@ -1,0 +1,60 @@
+// Command gadget-server exposes any KV engine over TCP for external
+// state management experiments (paper §8): run one server, point any
+// number of `gadget run`/`gadget replay` instances at it with
+// `-engine remote -addr HOST:PORT`, and the compute and state tiers are
+// decoupled.
+//
+// Usage:
+//
+//	gadget-server -engine rocksdb -dir /tmp/db -addr 127.0.0.1:7101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gadget"
+	"gadget/internal/remote"
+)
+
+func main() {
+	engine := flag.String("engine", "rocksdb", "backing store engine")
+	dir := flag.String("dir", "", "store directory (temp dir when empty)")
+	addr := flag.String("addr", "127.0.0.1:7101", "listen address")
+	flag.Parse()
+
+	storeDir := *dir
+	if storeDir == "" && *engine != "memstore" {
+		tmp, err := os.MkdirTemp("", "gadget-server-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		storeDir = tmp
+	}
+	store, err := gadget.OpenStore(gadget.StoreConfig{Engine: *engine, Dir: storeDir})
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+
+	srv, err := remote.Serve(store, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gadget-server: serving %s on %s (dir %s)\n", *engine, srv.Addr(), storeDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gadget-server: shutting down")
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gadget-server: %v\n", err)
+	os.Exit(1)
+}

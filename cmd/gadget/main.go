@@ -1,0 +1,244 @@
+// Command gadget is the benchmark harness CLI. It generates streaming
+// state access workloads from a JSON configuration and either issues
+// them to a KV store online (collecting latency and throughput) or
+// writes them to a trace file for later replay.
+//
+// Usage:
+//
+//	gadget run      -config cfg.json           online run (source -> operator -> store)
+//	gadget generate -config cfg.json           offline: write the trace in run.trace_path
+//	gadget replay   -trace t.bin -engine NAME  replay a trace against a store
+//	gadget analyze  -trace t.bin               characterize a trace (paper §3 metrics)
+//	gadget list                                list operators, engines, and datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gadget"
+	"gadget/internal/datasets"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "list":
+		err = cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gadget: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gadget: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gadget <command> [flags]
+
+commands:
+  run       -config cfg.json             run online against the configured store
+  generate  -config cfg.json             write the state access trace (offline mode)
+  replay    -trace t.bin -engine NAME -dir DIR [-addr HOST:PORT] [-rate N] [-concurrency N]
+  analyze   -trace t.bin                 print workload characterization metrics
+  list                                   list operators, engines, datasets`)
+}
+
+func loadConfig(path string) (gadget.Config, error) {
+	if path == "" {
+		return gadget.Config{}, fmt.Errorf("-config is required")
+	}
+	return gadget.LoadConfig(path)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "JSON configuration file")
+	fs.Parse(args)
+	cfg, err := loadConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	w, err := gadget.NewWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.Store.Dir == "" && cfg.Store.Engine != "memstore" {
+		dir, err := os.MkdirTemp("", "gadget-run-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Store.Dir = dir
+	}
+	store, err := gadget.OpenStore(cfg.Store)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	res, err := w.RunOnline(store, gadget.ReplayOptions{
+		ServiceRate: cfg.Run.ServiceRate,
+		SampleEvery: cfg.Run.SampleEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("operator   %s\n", cfg.Operator.Operator)
+	fmt.Printf("engine     %s\n", cfg.Store.Engine)
+	printResult(res)
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "JSON configuration file")
+	out := fs.String("out", "", "trace output path (overrides run.trace_path)")
+	fs.Parse(args)
+	cfg, err := loadConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	path := cfg.Run.TracePath
+	if *out != "" {
+		path = *out
+	}
+	if path == "" {
+		return fmt.Errorf("no trace path: set run.trace_path or -out")
+	}
+	w, err := gadget.NewWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := w.Generate()
+	if err != nil {
+		return err
+	}
+	if err := gadget.WriteTrace(path, tr); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d accesses to %s\n", len(tr), path)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file")
+	engine := fs.String("engine", "memstore", "store engine")
+	addr := fs.String("addr", "", "server address for -engine remote")
+	dir := fs.String("dir", "", "store directory (temp dir when empty)")
+	rate := fs.Float64("rate", 0, "service rate in ops/second (0 = unthrottled)")
+	conc := fs.Int("concurrency", 1, "concurrent replayers sharing the store")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	tr, err := gadget.ReadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	storeDir := *dir
+	if storeDir == "" {
+		tmp, err := os.MkdirTemp("", "gadget-replay-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		storeDir = filepath.Join(tmp, "db")
+	}
+	store, err := gadget.OpenStore(gadget.StoreConfig{Engine: *engine, Dir: storeDir, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	opts := gadget.ReplayOptions{ServiceRate: *rate}
+	if *conc <= 1 {
+		res, err := gadget.Replay(store, tr, opts)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		return nil
+	}
+	traces := make([][]gadget.Access, *conc)
+	for i := range traces {
+		traces[i] = tr
+	}
+	results, err := gadget.ReplayConcurrent(store, traces, opts)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		fmt.Printf("replayer %d:\n", i)
+		printResult(res)
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	tr, err := gadget.ReadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	a := gadget.Analyze(tr)
+	fmt.Printf("accesses            %d\n", len(tr))
+	fmt.Printf("composition         get=%.3f put=%.3f merge=%.3f delete=%.3f\n",
+		a.GetShare, a.PutShare, a.MergeShare, a.DeleteShare)
+	fmt.Printf("distinct state keys %d\n", a.DistinctKeys)
+	fmt.Printf("mean stack distance %.2f\n", a.MeanStackDistance)
+	fmt.Printf("unique 10-sequences %d\n", a.UniqueSeq10)
+	fmt.Printf("max working set     %d\n", a.MaxWorkingSet)
+	fmt.Printf("TTL (steps)         p50=%.0f p90=%.0f p99.9=%.0f max=%.0f\n",
+		a.TTL.P50, a.TTL.P90, a.TTL.P999, a.TTL.Max)
+	fmt.Printf("cache for 10%% miss  %d entries (Mattson LRU curve)\n",
+		gadget.RecommendCacheSize(tr, 0.10))
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("operators:")
+	for _, op := range gadget.OperatorTypes() {
+		fmt.Printf("  %s\n", op)
+	}
+	fmt.Println("engines:")
+	for _, e := range gadget.Engines() {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println("datasets:")
+	for _, d := range datasets.Names() {
+		fmt.Printf("  %s\n", d)
+	}
+	return nil
+}
+
+func printResult(res gadget.Result) {
+	fmt.Printf("operations %d (misses %d, errors %d)\n", res.Ops, res.Misses, res.Errors)
+	fmt.Printf("duration   %v\n", res.Duration.Round(1e6))
+	fmt.Printf("throughput %.0f ops/s\n", res.Throughput)
+	fmt.Printf("latency    mean=%.2fus p99=%.2fus p99.9=%.2fus\n",
+		res.MeanMicros(), res.P99Micros(), res.P999Micros())
+}

@@ -1,0 +1,7 @@
+package main
+
+import "os"
+
+func tempDir() (string, error) {
+	return os.MkdirTemp("", "gadget-custom-*")
+}

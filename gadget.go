@@ -1,0 +1,318 @@
+// Package gadget is the public API of Gadget-Go, a benchmark harness for
+// systematic and robust evaluation of streaming state stores — a Go
+// reproduction of "A New Benchmark Harness for Systematic and Robust
+// Evaluation of Streaming State Stores" (EuroSys '22).
+//
+// A benchmark run has three parts: an input event source (a synthetic
+// generator or one of the built-in dataset shapes), a streaming operator
+// whose state access logic is simulated by per-state-key finite state
+// machines, and a KV store that receives the resulting state access
+// stream. The harness runs online (issuing requests while generating,
+// collecting latency and throughput) or offline (writing a trace file
+// replayed later):
+//
+//	cfg, _ := gadget.ParseConfig(doc)
+//	w, _ := gadget.NewWorkload(cfg)
+//	store, _ := gadget.OpenStore(cfg.Store)
+//	defer store.Close()
+//	res, _ := w.RunOnline(store, gadget.ReplayOptions{})
+//	fmt.Println(res)
+//
+// Four KV engines ship with the harness, each a from-scratch Go
+// implementation of the architecture the paper evaluates: "rocksdb" (an
+// LSM tree with a lazy merge operator), "lethe" (delete-aware LSM
+// compaction), "faster" (hash index over a hybrid log with in-place
+// updates), and "berkeleydb" (a disk-backed B+Tree with a buffer pool),
+// plus "memstore" (a map, used as oracle and zero-IO baseline).
+package gadget
+
+import (
+	"fmt"
+	"sync"
+
+	"gadget/internal/analysis"
+	"gadget/internal/config"
+	"gadget/internal/core"
+	"gadget/internal/datasets"
+	"gadget/internal/eventgen"
+	"gadget/internal/flinksim"
+	"gadget/internal/kv"
+	"gadget/internal/replay"
+	"gadget/internal/stats"
+	"gadget/internal/stores"
+	"gadget/internal/trace"
+)
+
+// Core vocabulary re-exported from the internal packages.
+type (
+	// Access is one state store operation: (op, key, value size, time).
+	Access = kv.Access
+	// StateKey is the composite state key (event key group, namespace).
+	StateKey = kv.StateKey
+	// Op is a state operation type (get, put, merge, delete, fget).
+	Op = kv.Op
+	// Store is the uniform KV store interface.
+	Store = kv.Store
+	// StoreConfig selects and sizes a KV engine.
+	StoreConfig = stores.Config
+	// Config is the full benchmark configuration document.
+	Config = config.Config
+	// SourceConfig describes the input event stream.
+	SourceConfig = config.SourceConfig
+	// RunConfig describes run mode and replay options.
+	RunConfig = config.RunConfig
+	// OperatorConfig parameterizes a streaming operator.
+	OperatorConfig = core.Config
+	// OperatorType names one of the eleven predefined workloads.
+	OperatorType = core.OperatorType
+	// OperatorStats reports operator-level counters.
+	OperatorStats = core.Stats
+	// ReplayOptions tunes the performance evaluator.
+	ReplayOptions = replay.Options
+	// Result carries throughput and latency measurements.
+	Result = replay.Result
+	// Event is one input stream element.
+	Event = eventgen.Event
+	// EventSource produces a stream of events and watermarks.
+	EventSource = eventgen.Source
+	// Datasets bundles a dataset's streams.
+	Datasets = datasets.Streams
+)
+
+// The eleven predefined workloads.
+const (
+	TumblingIncr = core.TumblingIncr
+	TumblingHol  = core.TumblingHol
+	SlidingIncr  = core.SlidingIncr
+	SlidingHol   = core.SlidingHol
+	SessionIncr  = core.SessionIncr
+	SessionHol   = core.SessionHol
+	TumblingJoin = core.TumblingJoin
+	SlidingJoin  = core.SlidingJoin
+	IntervalJoin = core.IntervalJoin
+	ContinJoin   = core.ContinJoin
+	Aggregation  = core.Aggregation
+)
+
+// Operation types.
+const (
+	OpGet    = kv.OpGet
+	OpPut    = kv.OpPut
+	OpMerge  = kv.OpMerge
+	OpDelete = kv.OpDelete
+	OpFGet   = kv.OpFGet
+)
+
+// ErrNotFound is returned by Store.Get for missing keys.
+var ErrNotFound = kv.ErrNotFound
+
+// OperatorTypes lists the predefined workloads.
+func OperatorTypes() []OperatorType { return core.OperatorTypes() }
+
+// Engines lists the available KV engine names.
+func Engines() []string { return stores.Engines() }
+
+// OpenStore constructs a KV store from its configuration.
+func OpenStore(cfg StoreConfig) (Store, error) { return stores.Open(cfg) }
+
+// LoadConfig reads a JSON configuration file.
+func LoadConfig(path string) (Config, error) { return config.Load(path) }
+
+// ParseConfig decodes a JSON configuration document.
+func ParseConfig(data []byte) (Config, error) { return config.Parse(data) }
+
+// Dataset returns a built-in dataset shape ("borg", "taxi", "azure") at
+// the given scale (1.0 reproduces the paper's event counts).
+func Dataset(name string, scale float64, seed int64) (Datasets, error) {
+	ds, ok := datasets.ByName(name, scale, seed)
+	if !ok {
+		return Datasets{}, fmt.Errorf("gadget: unknown dataset %q (want one of %v)", name, datasets.Names())
+	}
+	return ds, nil
+}
+
+// Workload binds a configuration's source and operator, ready to
+// generate state access streams.
+type Workload struct {
+	cfg Config
+}
+
+// NewWorkload validates cfg and returns a Workload.
+func NewWorkload(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg}, nil
+}
+
+// Config returns the validated configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Generate produces the workload's state access stream (offline mode).
+func (w *Workload) Generate() ([]Access, error) {
+	src, err := w.cfg.BuildSource()
+	if err != nil {
+		return nil, err
+	}
+	op, err := w.cfg.BuildOperator()
+	if err != nil {
+		return nil, err
+	}
+	return core.Generate(src, op), nil
+}
+
+// RunOnline generates the workload and issues every state access to the
+// store as it is produced, measuring latency and throughput.
+func (w *Workload) RunOnline(store Store, opts ReplayOptions) (Result, error) {
+	src, err := w.cfg.BuildSource()
+	if err != nil {
+		return Result{}, err
+	}
+	op, err := w.cfg.BuildOperator()
+	if err != nil {
+		return Result{}, err
+	}
+	c := replay.NewCollector(store, opts)
+	var applyErr error
+	core.Drive(src, op, func(a Access) {
+		if applyErr == nil {
+			applyErr = c.Do(a)
+		}
+	})
+	return c.Finish(), applyErr
+}
+
+// CollectReferenceTrace executes the workload on the reference engine
+// (a real mini stream processor materializing state in memory) and
+// returns the ground-truth state access trace — what the paper collects
+// from instrumented Flink.
+func (w *Workload) CollectReferenceTrace() ([]Access, error) {
+	src, err := w.cfg.BuildSource()
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := flinksim.CollectTrace(w.cfg.Operator, src)
+	return tr, err
+}
+
+// Replay replays a materialized trace against a store.
+func Replay(store Store, accesses []Access, opts ReplayOptions) (Result, error) {
+	return replay.Run(store, accesses, opts)
+}
+
+// ReplayConcurrent replays several traces concurrently against one
+// shared store (the paper's concurrent-operators scenario).
+func ReplayConcurrent(store Store, traces [][]Access, opts ReplayOptions) ([]Result, error) {
+	return replay.RunConcurrent(store, traces, opts)
+}
+
+// WriteTrace persists a state access stream to a binary trace file.
+func WriteTrace(path string, accesses []Access) error {
+	return trace.WriteFile(path, accesses)
+}
+
+// ReadTrace loads a binary trace file.
+func ReadTrace(path string) ([]Access, error) { return trace.ReadFile(path) }
+
+// TraceAnalysis summarizes the characterization metrics of a state
+// access trace (the paper's §3 toolbox).
+type TraceAnalysis struct {
+	// Composition is the operation mix (gets include trigger-time FGets).
+	GetShare, PutShare, MergeShare, DeleteShare float64
+	// DistinctKeys is the number of distinct state keys.
+	DistinctKeys int
+	// MeanStackDistance measures temporal locality (lower = hotter).
+	MeanStackDistance float64
+	// UniqueSeq10 is the number of unique key 10-grams (spatial locality).
+	UniqueSeq10 int
+	// MaxWorkingSet is the peak number of simultaneously live keys.
+	MaxWorkingSet int
+	// TTL summarizes key lifetimes in trace steps.
+	TTL stats.Summary
+}
+
+// MissRatioPoint pairs an LRU cache size (entries) with its miss ratio.
+type MissRatioPoint = analysis.MissRatioPoint
+
+// MissRatioCurve computes the exact LRU miss-ratio curve of a trace's
+// key sequence (Mattson), the basis for the automatic cache sizing the
+// paper's §8 proposes.
+func MissRatioCurve(accesses []Access, cacheSizes []int) []MissRatioPoint {
+	return analysis.MissRatioCurve(analysis.KeyIDs(accesses), cacheSizes)
+}
+
+// RecommendCacheSize returns the smallest LRU cache size (in entries)
+// that achieves the target miss ratio on the trace.
+func RecommendCacheSize(accesses []Access, targetMissRatio float64) int {
+	return analysis.RecommendCacheSize(analysis.KeyIDs(accesses), targetMissRatio)
+}
+
+// Analyze computes a TraceAnalysis.
+func Analyze(accesses []Access) TraceAnalysis {
+	comp := analysis.Compose(accesses)
+	ids := analysis.KeyIDs(accesses)
+	dists, _ := analysis.StackDistances(ids)
+	seqs := analysis.UniqueSequences(ids, 10)
+	ttl := analysis.SampleTTLs(ids, 1000, 1)
+	distinct := 0
+	seen := map[uint64]struct{}{}
+	for _, id := range ids {
+		seen[id] = struct{}{}
+	}
+	distinct = len(seen)
+	return TraceAnalysis{
+		GetShare:          comp.Get,
+		PutShare:          comp.Put,
+		MergeShare:        comp.Merge,
+		DeleteShare:       comp.Delete,
+		DistinctKeys:      distinct,
+		MeanStackDistance: stats.Mean(dists),
+		UniqueSeq10:       seqs[9],
+		MaxWorkingSet:     analysis.MaxWorkingSet(ids, 100),
+		TTL:               ttl,
+	}
+}
+
+// RunPartitioned executes the workload as n data-parallel operator
+// instances over key-disjoint partitions of the input, one instance per
+// store in stores (instances run concurrently, as tasks of one operator
+// do). Stores may all differ, or alias one shared instance to study
+// co-location (§6.4).
+func (w *Workload) RunPartitioned(stores []Store, opts ReplayOptions) ([]Result, error) {
+	src, err := w.cfg.BuildSource()
+	if err != nil {
+		return nil, err
+	}
+	op := w.cfg.Operator
+	parts := eventgen.Partition(src, len(stores))
+	results := make([]Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst, err := core.New(op)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c := replay.NewCollector(stores[i], opts)
+			var applyErr error
+			core.Drive(parts[i], inst, func(a Access) {
+				if applyErr == nil {
+					applyErr = c.Do(a)
+				}
+			})
+			results[i] = c.Finish()
+			errs[i] = applyErr
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

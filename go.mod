@@ -1,0 +1,3 @@
+module gadget
+
+go 1.22

@@ -1,0 +1,420 @@
+// Package analysis implements the workload characterization metrics of
+// the paper's §3: operation composition, event and keyspace
+// amplification, temporal locality (LRU stack distances, computed in
+// O(n log n) with a Fenwick tree), spatial locality (unique key
+// sequences), working set evolution, key Time-to-Live, and distribution
+// comparisons (Kolmogorov-Smirnov, Wasserstein) between input and state
+// key streams.
+package analysis
+
+import (
+	"math/rand"
+
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+	"gadget/internal/stats"
+)
+
+// Composition is the share of each operation type in a trace.
+type Composition struct {
+	Get, Put, Merge, Delete float64
+	Total                   int
+}
+
+// Compose computes a trace's operation mix. FGet (trigger-time reads)
+// counts as Get, matching the paper's Table 1 categories.
+func Compose(trace []kv.Access) Composition {
+	var c Composition
+	c.Total = len(trace)
+	if c.Total == 0 {
+		return c
+	}
+	for _, a := range trace {
+		switch a.Op {
+		case kv.OpGet, kv.OpFGet:
+			c.Get++
+		case kv.OpPut:
+			c.Put++
+		case kv.OpMerge:
+			c.Merge++
+		case kv.OpDelete:
+			c.Delete++
+		}
+	}
+	n := float64(c.Total)
+	c.Get /= n
+	c.Put /= n
+	c.Merge /= n
+	c.Delete /= n
+	return c
+}
+
+// Amplification quantifies how an operator inflates its input (paper
+// §3.2.2).
+type Amplification struct {
+	// Event is state accesses per input event.
+	Event float64
+	// Key is distinct state keys per distinct input key.
+	Key float64
+}
+
+// Amplify computes amplification of a state trace relative to its input
+// events.
+func Amplify(events []eventgen.Event, trace []kv.Access) Amplification {
+	if len(events) == 0 {
+		return Amplification{}
+	}
+	inKeys := make(map[uint64]struct{})
+	for _, e := range events {
+		inKeys[e.Key] = struct{}{}
+	}
+	stKeys := make(map[kv.StateKey]struct{})
+	for _, a := range trace {
+		stKeys[a.Key] = struct{}{}
+	}
+	amp := Amplification{Event: float64(len(trace)) / float64(len(events))}
+	if len(inKeys) > 0 {
+		amp.Key = float64(len(stKeys)) / float64(len(inKeys))
+	}
+	return amp
+}
+
+// KeyIDs converts a state access trace to dense key identifiers in order
+// of first appearance — the canonical form every locality metric uses.
+func KeyIDs(trace []kv.Access) []uint64 {
+	ids := make(map[kv.StateKey]uint64, 1024)
+	out := make([]uint64, len(trace))
+	for i, a := range trace {
+		id, ok := ids[a.Key]
+		if !ok {
+			id = uint64(len(ids))
+			ids[a.Key] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// EventKeyIDs does the same for an input event stream.
+func EventKeyIDs(events []eventgen.Event) []uint64 {
+	ids := make(map[uint64]uint64, 1024)
+	out := make([]uint64, len(events))
+	for i, e := range events {
+		id, ok := ids[e.Key]
+		if !ok {
+			id = uint64(len(ids))
+			ids[e.Key] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Shuffle returns a random permutation of keys (the shuffled baselines
+// of the paper's Figure 5: key popularity preserved, sequence destroyed).
+func Shuffle(keys []uint64, seed int64) []uint64 {
+	out := append([]uint64(nil), keys...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// fenwick is a binary indexed tree over trace positions.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// StackDistances computes the LRU stack distance of every reuse in the
+// key sequence: the number of distinct keys accessed between consecutive
+// accesses to the same key (paper §3.2.3). First accesses (cold misses)
+// are not included in the returned distances; their count is returned
+// separately.
+func StackDistances(keys []uint64) (distances []float64, coldMisses int) {
+	n := len(keys)
+	lastPos := make(map[uint64]int, 1024)
+	bit := newFenwick(n)
+	distances = make([]float64, 0, n)
+	for i, k := range keys {
+		if p, ok := lastPos[k]; ok {
+			// Distinct keys whose most recent access lies in (p, i).
+			d := bit.sum(i-1) - bit.sum(p)
+			distances = append(distances, float64(d))
+			bit.add(p, -1)
+		} else {
+			coldMisses++
+		}
+		bit.add(i, 1)
+		lastPos[k] = i
+	}
+	return distances, coldMisses
+}
+
+// UniqueSequences counts the number of distinct key n-grams for each
+// length 1..maxLen (paper §3.2.3's spatial locality metric: fewer unique
+// sequences than a shuffled trace means repeated access patterns).
+func UniqueSequences(keys []uint64, maxLen int) []int {
+	if maxLen <= 0 {
+		maxLen = 10
+	}
+	out := make([]int, maxLen)
+	for l := 1; l <= maxLen; l++ {
+		if l > len(keys) {
+			out[l-1] = 0
+			continue
+		}
+		seen := make(map[uint64]struct{}, len(keys))
+		// Polynomial rolling hash over windows of length l.
+		const base = 1099511628211
+		var pow uint64 = 1
+		for i := 0; i < l-1; i++ {
+			pow *= base
+		}
+		var h uint64
+		for i, k := range keys {
+			h = h*base + (k + 1)
+			if i >= l {
+				h -= (keys[i-l] + 1) * pow * base
+			}
+			if i >= l-1 {
+				seen[h] = struct{}{}
+			}
+		}
+		out[l-1] = len(seen)
+	}
+	return out
+}
+
+// WorkingSetPoint is one sample of the working set evolution.
+type WorkingSetPoint struct {
+	Step int // trace position
+	Size int // keys first-accessed by Step whose last access is later
+}
+
+// WorkingSet samples the active key set every step accesses (paper
+// §3.2.3: "the set of keys that can be accessed in the future with
+// probability greater than zero", approximated over the realized trace).
+func WorkingSet(keys []uint64, step int) []WorkingSetPoint {
+	if step <= 0 {
+		step = 100
+	}
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	first := make(map[uint64]int, 1024)
+	last := make(map[uint64]int, 1024)
+	for i, k := range keys {
+		if _, ok := first[k]; !ok {
+			first[k] = i
+		}
+		last[k] = i
+	}
+	// delta[i] accumulates +1 when a key becomes active, -1 right after
+	// its final access.
+	delta := make([]int, n+1)
+	for k, f := range first {
+		delta[f]++
+		delta[last[k]+1]--
+	}
+	var out []WorkingSetPoint
+	active := 0
+	for i := 0; i < n; i++ {
+		active += delta[i]
+		if i%step == 0 {
+			out = append(out, WorkingSetPoint{Step: i, Size: active})
+		}
+	}
+	return out
+}
+
+// MaxWorkingSet returns the peak working set size.
+func MaxWorkingSet(keys []uint64, step int) int {
+	max := 0
+	for _, p := range WorkingSet(keys, step) {
+		if p.Size > max {
+			max = p.Size
+		}
+	}
+	return max
+}
+
+// TTLs returns each key's Time-to-Live: the number of trace steps
+// between its first and last access (paper §3.2.3). Keys accessed once
+// have TTL 0; AccessedOnce reports their share.
+func TTLs(keys []uint64) (ttls []float64, accessedOnce float64) {
+	first := make(map[uint64]int, 1024)
+	last := make(map[uint64]int, 1024)
+	for i, k := range keys {
+		if _, ok := first[k]; !ok {
+			first[k] = i
+		}
+		last[k] = i
+	}
+	once := 0
+	ttls = make([]float64, 0, len(first))
+	for k, f := range first {
+		ttl := last[k] - f
+		ttls = append(ttls, float64(ttl))
+		if ttl == 0 {
+			once++
+		}
+	}
+	if len(first) > 0 {
+		accessedOnce = float64(once) / float64(len(first))
+	}
+	return ttls, accessedOnce
+}
+
+// SampleTTLs returns TTL percentiles over up to sampleN randomly chosen
+// keys (the paper's Table 3 uses 1K random keys).
+func SampleTTLs(keys []uint64, sampleN int, seed int64) stats.Summary {
+	ttls, _ := TTLs(keys)
+	if sampleN > 0 && len(ttls) > sampleN {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(ttls), func(i, j int) { ttls[i], ttls[j] = ttls[j], ttls[i] })
+		ttls = ttls[:sampleN]
+	}
+	return stats.Summarize(ttls)
+}
+
+// hotnessSample converts a key id sequence into per-occurrence hotness
+// samples: each occurrence is mapped to the access share of its key
+// (frequency divided by trace length). This projects key distributions
+// over different key spaces onto a common domain, as the paper does
+// before running the KS test (§4): two streams are distributed alike
+// when their occurrences fall on equally hot keys.
+func hotnessSample(ids []uint64) []float64 {
+	freq := make(map[uint64]int, 1024)
+	for _, id := range ids {
+		freq[id]++
+	}
+	n := float64(len(ids))
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = float64(freq[id]) / n
+	}
+	return out
+}
+
+// DistributionDistance compares two key id sequences (e.g. the input
+// stream's keys vs the state stream's keys) after projecting both onto
+// the common hotness domain. It returns the KS test result and the
+// Wasserstein distance scaled to key-count units.
+func DistributionDistance(a, b []uint64) (stats.KSResult, float64) {
+	sa, sb := hotnessSample(a), hotnessSample(b)
+	ks := stats.KSTest(sa, sb)
+	// Scale the hotness-domain Wasserstein distance by the larger key
+	// count to express it in "keys", like the paper's magnitudes.
+	nKeys := distinct(a)
+	if d := distinct(b); d > nKeys {
+		nKeys = d
+	}
+	w := stats.Wasserstein(sa, sb) * float64(nKeys)
+	return ks, w
+}
+
+func distinct(ids []uint64) int {
+	seen := make(map[uint64]struct{}, 1024)
+	for _, id := range ids {
+		seen[id] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MissRatioPoint pairs an LRU cache size (in distinct entries) with the
+// miss ratio an LRU cache of that size would achieve on the trace.
+type MissRatioPoint struct {
+	CacheSize int
+	MissRatio float64
+}
+
+// MissRatioCurve computes the exact LRU miss-ratio curve of a key
+// sequence from its stack distances (Mattson et al., 1970) — the
+// paper's §8 suggestion that "temporal locality analysis could be used
+// to provide automatic cache size tuning". cacheSizes must be positive;
+// the returned points follow its order. Cold misses count as misses at
+// every cache size.
+func MissRatioCurve(keys []uint64, cacheSizes []int) []MissRatioPoint {
+	dists, cold := StackDistances(keys)
+	total := len(dists) + cold
+	out := make([]MissRatioPoint, 0, len(cacheSizes))
+	if total == 0 {
+		for _, cs := range cacheSizes {
+			out = append(out, MissRatioPoint{CacheSize: cs, MissRatio: 0})
+		}
+		return out
+	}
+	// Histogram the distances once; a reuse at stack distance d hits in
+	// any LRU cache with capacity > d.
+	maxSize := 0
+	for _, cs := range cacheSizes {
+		if cs > maxSize {
+			maxSize = cs
+		}
+	}
+	hist := make([]int, maxSize+1)
+	beyond := 0
+	for _, d := range dists {
+		if int(d) < len(hist) {
+			hist[int(d)]++
+		} else {
+			beyond++
+		}
+	}
+	_ = beyond
+	cum := make([]int, maxSize+1) // cum[c] = hits with distance < c
+	for c := 1; c <= maxSize; c++ {
+		cum[c] = cum[c-1] + hist[c-1]
+	}
+	for _, cs := range cacheSizes {
+		if cs <= 0 {
+			out = append(out, MissRatioPoint{CacheSize: cs, MissRatio: 1})
+			continue
+		}
+		hits := cum[cs]
+		out = append(out, MissRatioPoint{
+			CacheSize: cs,
+			MissRatio: 1 - float64(hits)/float64(total),
+		})
+	}
+	return out
+}
+
+// RecommendCacheSize returns the smallest cache size (in entries) whose
+// LRU miss ratio does not exceed targetMissRatio, searching powers of
+// two up to the trace's distinct key count. It returns the distinct key
+// count when no smaller size reaches the target.
+func RecommendCacheSize(keys []uint64, targetMissRatio float64) int {
+	d := distinct(keys)
+	if d == 0 {
+		return 0
+	}
+	var sizes []int
+	for c := 1; c < d; c *= 2 {
+		sizes = append(sizes, c)
+	}
+	sizes = append(sizes, d)
+	for _, p := range MissRatioCurve(keys, sizes) {
+		if p.MissRatio <= targetMissRatio {
+			return p.CacheSize
+		}
+	}
+	return d
+}

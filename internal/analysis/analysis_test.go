@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+)
+
+func TestCompose(t *testing.T) {
+	trace := []kv.Access{
+		{Op: kv.OpGet}, {Op: kv.OpFGet}, {Op: kv.OpPut}, {Op: kv.OpMerge},
+		{Op: kv.OpDelete}, {Op: kv.OpGet},
+	}
+	c := Compose(trace)
+	if c.Total != 6 {
+		t.Fatalf("total = %d", c.Total)
+	}
+	if c.Get != 0.5 || c.Put != 1.0/6 || c.Merge != 1.0/6 || c.Delete != 1.0/6 {
+		t.Fatalf("composition = %+v", c)
+	}
+	if Compose(nil).Total != 0 {
+		t.Fatal("empty compose")
+	}
+}
+
+func TestAmplify(t *testing.T) {
+	events := []eventgen.Event{{Key: 1}, {Key: 2}, {Key: 1}}
+	trace := []kv.Access{
+		{Key: kv.StateKey{Group: 1, Sub: 0}},
+		{Key: kv.StateKey{Group: 1, Sub: 5}},
+		{Key: kv.StateKey{Group: 2, Sub: 0}},
+		{Key: kv.StateKey{Group: 2, Sub: 5}},
+		{Key: kv.StateKey{Group: 1, Sub: 0}},
+		{Key: kv.StateKey{Group: 1, Sub: 0}},
+	}
+	a := Amplify(events, trace)
+	if a.Event != 2.0 {
+		t.Fatalf("event amp = %v", a.Event)
+	}
+	if a.Key != 2.0 { // 4 distinct state keys / 2 distinct input keys
+		t.Fatalf("key amp = %v", a.Key)
+	}
+	if (Amplify(nil, trace) != Amplification{}) {
+		t.Fatal("empty events should zero out")
+	}
+}
+
+func TestKeyIDs(t *testing.T) {
+	trace := []kv.Access{
+		{Key: kv.StateKey{Group: 9}},
+		{Key: kv.StateKey{Group: 5}},
+		{Key: kv.StateKey{Group: 9}},
+		{Key: kv.StateKey{Group: 9, Sub: 1}},
+	}
+	ids := KeyIDs(trace)
+	want := []uint64{0, 1, 0, 2}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+	evIDs := EventKeyIDs([]eventgen.Event{{Key: 7}, {Key: 3}, {Key: 7}})
+	if evIDs[0] != 0 || evIDs[1] != 1 || evIDs[2] != 0 {
+		t.Fatalf("event ids = %v", evIDs)
+	}
+}
+
+// naiveStackDistance is the O(n^2) reference implementation.
+func naiveStackDistance(keys []uint64) ([]float64, int) {
+	var out []float64
+	cold := 0
+	lastPos := map[uint64]int{}
+	for i, k := range keys {
+		if p, ok := lastPos[k]; ok {
+			distinctSet := map[uint64]struct{}{}
+			for j := p + 1; j < i; j++ {
+				distinctSet[keys[j]] = struct{}{}
+			}
+			out = append(out, float64(len(distinctSet)))
+		} else {
+			cold++
+		}
+		lastPos[k] = i
+	}
+	return out, cold
+}
+
+func TestStackDistancesSmall(t *testing.T) {
+	// a b a c b a -> a:1 (b between), b:2 (a,c), a:2 (c,b)
+	keys := []uint64{0, 1, 0, 2, 1, 0}
+	d, cold := StackDistances(keys)
+	want := []float64{1, 2, 2}
+	if cold != 3 || len(d) != 3 {
+		t.Fatalf("d=%v cold=%d", d, cold)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("d = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestStackDistancesMatchNaive(t *testing.T) {
+	f := func(raw []uint8) bool {
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r % 16)
+		}
+		fast, fc := StackDistances(keys)
+		slow, sc := naiveStackDistance(keys)
+		if fc != sc || len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackDistanceLocalityOrdering(t *testing.T) {
+	// A sequential repeating scan has max temporal distance; a hot-key
+	// trace has minimal distances; shuffled falls in between.
+	rng := rand.New(rand.NewSource(1))
+	hot := make([]uint64, 5000)
+	for i := range hot {
+		if rng.Float64() < 0.9 {
+			hot[i] = 0
+		} else {
+			hot[i] = uint64(rng.Intn(100))
+		}
+	}
+	hd, _ := StackDistances(hot)
+	shuffled := Shuffle(hot, 2)
+	sd, _ := StackDistances(shuffled)
+	if mean(hd) >= mean(sd)+0.5 {
+		t.Fatalf("hot trace mean distance %v should be <= shuffled %v", mean(hd), mean(sd))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}
+
+func TestUniqueSequences(t *testing.T) {
+	// Repeating pattern a b c a b c ... : 3 unique 1-grams, 3 unique
+	// 2-grams, 3 unique 3-grams.
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = uint64(i % 3)
+	}
+	seqs := UniqueSequences(keys, 3)
+	if seqs[0] != 3 || seqs[1] != 3 || seqs[2] != 3 {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	// Shuffling destroys the pattern: many more unique sequences.
+	shuffledSeqs := UniqueSequences(Shuffle(keys, 7), 3)
+	if shuffledSeqs[2] <= seqs[2] {
+		t.Fatalf("shuffled 3-grams %d should exceed %d", shuffledSeqs[2], seqs[2])
+	}
+	// Length beyond the trace yields zero.
+	short := UniqueSequences([]uint64{1, 2}, 5)
+	if short[4] != 0 {
+		t.Fatalf("overlong ngram count = %d", short[4])
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	// Keys 0..9 each alive for 10 steps, sequentially.
+	var keys []uint64
+	for k := 0; k < 10; k++ {
+		for i := 0; i < 10; i++ {
+			keys = append(keys, uint64(k))
+		}
+	}
+	points := WorkingSet(keys, 10)
+	if len(points) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Size != 1 {
+			t.Fatalf("sequential keys should have working set 1, got %d at %d", p.Size, p.Step)
+		}
+	}
+	// Interleaved keys keep everything alive.
+	var inter []uint64
+	for i := 0; i < 100; i++ {
+		inter = append(inter, uint64(i%10))
+	}
+	if MaxWorkingSet(inter, 10) != 10 {
+		t.Fatalf("interleaved max = %d", MaxWorkingSet(inter, 10))
+	}
+	if WorkingSet(nil, 10) != nil {
+		t.Fatal("empty working set")
+	}
+}
+
+func TestTTLs(t *testing.T) {
+	keys := []uint64{0, 1, 0, 2} // 0: ttl 2; 1: ttl 0; 2: ttl 0
+	ttls, once := TTLs(keys)
+	if len(ttls) != 3 {
+		t.Fatalf("ttls = %v", ttls)
+	}
+	if once != 2.0/3 {
+		t.Fatalf("accessed once = %v", once)
+	}
+	sum := 0.0
+	for _, v := range ttls {
+		sum += v
+	}
+	if sum != 2 {
+		t.Fatalf("ttl sum = %v", sum)
+	}
+}
+
+func TestSampleTTLs(t *testing.T) {
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = uint64(i % 2000)
+	}
+	s := SampleTTLs(keys, 100, 1)
+	if s.Count != 100 {
+		t.Fatalf("sampled = %d", s.Count)
+	}
+	all := SampleTTLs(keys, 0, 1)
+	if all.Count != 2000 {
+		t.Fatalf("unsampled = %d", all.Count)
+	}
+}
+
+func TestDistributionDistanceIdentical(t *testing.T) {
+	ids := make([]uint64, 5000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range ids {
+		ids[i] = uint64(rng.Intn(100))
+	}
+	ks, w := DistributionDistance(ids, ids)
+	if ks.D != 0 || w != 0 {
+		t.Fatalf("identical distance: D=%v W=%v", ks.D, w)
+	}
+}
+
+func TestDistributionDistanceDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Skewed: 90% of accesses to key 0.
+	skew := make([]uint64, 5000)
+	for i := range skew {
+		if rng.Float64() < 0.9 {
+			skew[i] = 0
+		} else {
+			skew[i] = uint64(rng.Intn(100))
+		}
+	}
+	// Uniform over 100 keys.
+	uni := make([]uint64, 5000)
+	for i := range uni {
+		uni[i] = uint64(rng.Intn(100))
+	}
+	ks, w := DistributionDistance(skew, uni)
+	if !ks.Reject(0.001) {
+		t.Fatalf("skew vs uniform should reject: %+v", ks)
+	}
+	if w <= 0 {
+		t.Fatalf("wasserstein = %v", w)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := Shuffle(keys, 42)
+	b := Shuffle(keys, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	// Original untouched.
+	for i, k := range keys {
+		if k != uint64(i+1) {
+			t.Fatal("shuffle mutated input")
+		}
+	}
+}
+
+func BenchmarkStackDistances(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(5000))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StackDistances(keys)
+	}
+}
+
+func TestMissRatioCurve(t *testing.T) {
+	// Round-robin over 4 keys: stack distance is always 3, so any cache
+	// of size <= 3 always misses and size >= 4 only cold-misses.
+	var keys []uint64
+	for i := 0; i < 400; i++ {
+		keys = append(keys, uint64(i%4))
+	}
+	pts := MissRatioCurve(keys, []int{1, 3, 4, 8})
+	if pts[0].MissRatio != 1 || pts[1].MissRatio != 1 {
+		t.Fatalf("small caches should always miss: %+v", pts)
+	}
+	want := 4.0 / 400 // only the cold misses
+	if math.Abs(pts[2].MissRatio-want) > 1e-9 || math.Abs(pts[3].MissRatio-want) > 1e-9 {
+		t.Fatalf("large caches = %+v, want %v", pts, want)
+	}
+	// Monotone non-increasing in cache size.
+	rng := rand.New(rand.NewSource(6))
+	var zipfy []uint64
+	z := rand.NewZipf(rng, 1.2, 1, 999)
+	for i := 0; i < 20000; i++ {
+		zipfy = append(zipfy, z.Uint64())
+	}
+	curve := MissRatioCurve(zipfy, []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1000})
+	for i := 1; i < len(curve); i++ {
+		if curve[i].MissRatio > curve[i-1].MissRatio+1e-12 {
+			t.Fatalf("curve not monotone at %d: %+v", i, curve)
+		}
+	}
+	if empty := MissRatioCurve(nil, []int{4}); empty[0].MissRatio != 0 {
+		t.Fatalf("empty trace curve = %+v", empty)
+	}
+	if zero := MissRatioCurve(keys, []int{0}); zero[0].MissRatio != 1 {
+		t.Fatalf("zero cache = %+v", zero)
+	}
+}
+
+func TestRecommendCacheSize(t *testing.T) {
+	// 90% of accesses to 10 hot keys, the rest over 1000 keys.
+	rng := rand.New(rand.NewSource(7))
+	var keys []uint64
+	for i := 0; i < 30000; i++ {
+		if rng.Float64() < 0.9 {
+			keys = append(keys, uint64(rng.Intn(10)))
+		} else {
+			keys = append(keys, uint64(10+rng.Intn(1000)))
+		}
+	}
+	size := RecommendCacheSize(keys, 0.15)
+	if size < 8 || size > 64 {
+		t.Fatalf("recommended %d, expected a few dozen entries", size)
+	}
+	// Impossible target: falls back to full keyspace.
+	if s := RecommendCacheSize(keys, 0); s < 900 {
+		t.Fatalf("impossible target recommended %d", s)
+	}
+	if RecommendCacheSize(nil, 0.5) != 0 {
+		t.Fatal("empty trace should recommend 0")
+	}
+}

@@ -1,0 +1,101 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	b := NewBuilder()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		b.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	f := b.Build(10)
+	for i := 0; i < n; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	b := NewBuilder()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		b.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := b.Build(10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate %v too high", rate)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 100; i++ {
+		b.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	f := b.Build(10)
+	f2 := FromBytes(f.Bytes())
+	for i := 0; i < 100; i++ {
+		if !f2.MayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("false negative after round trip: k%d", i)
+		}
+	}
+	if f2.k != f.k {
+		t.Fatalf("k mismatch: %d vs %d", f2.k, f.k)
+	}
+}
+
+func TestMalformedBytesAdmitsAll(t *testing.T) {
+	f := FromBytes([]byte{1, 2})
+	if !f.MayContain([]byte("anything")) {
+		t.Fatal("malformed filter must admit everything (safe fallback)")
+	}
+	var empty Filter
+	if !empty.MayContain([]byte("x")) {
+		t.Fatal("zero filter must admit everything")
+	}
+}
+
+func TestEmptyBuilder(t *testing.T) {
+	f := NewBuilder().Build(10)
+	// An empty filter should reject most keys (all bits zero).
+	if f.MayContain([]byte("x")) {
+		t.Fatal("empty built filter should reject")
+	}
+}
+
+func TestLowBitsPerKeyClamped(t *testing.T) {
+	b := NewBuilder()
+	b.Add([]byte("a"))
+	f := b.Build(0) // clamped to 1
+	if !f.MayContain([]byte("a")) {
+		t.Fatal("false negative with minimal bits")
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	bl := NewBuilder()
+	for i := 0; i < 100000; i++ {
+		bl.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := bl.Build(10)
+	key := []byte("key-54321")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key)
+	}
+}

@@ -1,0 +1,546 @@
+// Package btree implements a disk-backed B+Tree key-value store in the
+// role BerkeleyDB (B+Tree access method) plays in the paper: fixed-size
+// pages managed by an LRU buffer pool, in-place updates, overflow chains
+// for large values, and leaf chaining for ordered scans.
+//
+// Merge is implemented eagerly as read-modify-write — the paper's point
+// about BerkeleyDB lacking lazy updates (holistic windows must read and
+// rewrite a growing vector) is preserved by construction.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gadget/internal/kv"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the store directory; required.
+	Dir string
+	// CacheSize is the buffer pool capacity in bytes (default 256 MiB,
+	// the paper's BerkeleyDB configuration).
+	CacheSize int64
+}
+
+// Store is a B+Tree key-value store implementing kv.Store.
+type Store struct {
+	mu     sync.RWMutex
+	p      *pager
+	closed bool
+	count  int64
+}
+
+var _ kv.Store = (*Store)(nil)
+
+// Open opens (or creates) a store in opts.Dir.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("btree: Options.Dir is required")
+	}
+	cache := opts.CacheSize
+	if cache <= 0 {
+		cache = 256 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	p, err := openPager(filepath.Join(opts.Dir, "btree.db"), cache)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{p: p}, nil
+}
+
+// Caps advertises in-place updates without a lazy merge operator.
+func (s *Store) Caps() kv.Capabilities {
+	return kv.Capabilities{NativeMerge: false, InPlaceUpdate: true}
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.Lock() // buffer pool mutates LRU state even on reads
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	return s.getLocked(key)
+}
+
+func (s *Store) getLocked(key []byte) ([]byte, error) {
+	fr, err := s.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	inline, _, overflow, vlen, found := leafFind(fr.data, key)
+	if !found {
+		s.p.unpin(fr, false)
+		return nil, kv.ErrNotFound
+	}
+	if overflow == 0 {
+		out := append([]byte(nil), inline...)
+		s.p.unpin(fr, false)
+		return out, nil
+	}
+	s.p.unpin(fr, false)
+	return s.readValue(&cell{overflow: overflow, vlen: vlen})
+}
+
+// descend walks internal pages to the leaf covering key, returning the
+// pinned leaf frame.
+func (s *Store) descend(key []byte) (*frame, error) {
+	id := s.p.root
+	for {
+		fr, err := s.p.get(id)
+		if err != nil {
+			return nil, err
+		}
+		switch fr.data[0] {
+		case pageInternal:
+			id = internalChild(fr.data, key)
+			s.p.unpin(fr, false)
+		case pageLeaf:
+			return fr, nil
+		default:
+			s.p.unpin(fr, false)
+			return nil, fmt.Errorf("btree: unexpected page type %d on lookup path", fr.data[0])
+		}
+	}
+}
+
+// childIndex returns the child subtree for key: the number of separator
+// keys <= key.
+func childIndex(in *internalNode, key []byte) int {
+	return sort.Search(len(in.keys), func(i int) bool {
+		return bytes.Compare(in.keys[i], key) > 0
+	})
+}
+
+// findCell locates key within a leaf.
+func findCell(l *leafNode, key []byte) (int, bool) {
+	i := sort.Search(len(l.cells), func(i int) bool {
+		return bytes.Compare(l.cells[i].key, key) >= 0
+	})
+	if i < len(l.cells) && bytes.Equal(l.cells[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// readValue materializes a cell's value, following overflow chains.
+func (s *Store) readValue(c *cell) ([]byte, error) {
+	if c.overflow == 0 {
+		return append([]byte(nil), c.val...), nil
+	}
+	out := make([]byte, 0, c.vlen)
+	id := c.overflow
+	for id != 0 {
+		fr, err := s.p.get(id)
+		if err != nil {
+			return nil, err
+		}
+		if fr.data[0] != pageOverflow {
+			s.p.unpin(fr, false)
+			return nil, fmt.Errorf("btree: bad overflow page %d", id)
+		}
+		next := leUint32(fr.data[1:])
+		n := leUint32(fr.data[5:])
+		out = append(out, fr.data[overflowHeader:overflowHeader+int(n)]...)
+		s.p.unpin(fr, false)
+		id = next
+	}
+	if uint32(len(out)) != c.vlen {
+		return nil, fmt.Errorf("btree: overflow chain length %d != %d", len(out), c.vlen)
+	}
+	return out, nil
+}
+
+// writeOverflow stores value in a chain of overflow pages, returning the
+// head page id.
+func (s *Store) writeOverflow(value []byte) (uint32, error) {
+	const chunk = PageSize - overflowHeader
+	var head, prev uint32
+	var prevFrame *frame
+	for off := 0; off < len(value) || off == 0; off += chunk {
+		end := off + chunk
+		if end > len(value) {
+			end = len(value)
+		}
+		fr, err := s.p.alloc(pageOverflow)
+		if err != nil {
+			return 0, err
+		}
+		putUint32(fr.data[1:], 0)
+		putUint32(fr.data[5:], uint32(end-off))
+		copy(fr.data[overflowHeader:], value[off:end])
+		if head == 0 {
+			head = fr.id
+		}
+		if prevFrame != nil {
+			putUint32(prevFrame.data[1:], fr.id)
+			s.p.unpin(prevFrame, true)
+		}
+		prev = fr.id
+		prevFrame = fr
+		if end == len(value) {
+			break
+		}
+	}
+	_ = prev
+	if prevFrame != nil {
+		s.p.unpin(prevFrame, true)
+	}
+	return head, nil
+}
+
+// freeOverflow releases an overflow chain.
+func (s *Store) freeOverflow(id uint32) error {
+	for id != 0 {
+		fr, err := s.p.get(id)
+		if err != nil {
+			return err
+		}
+		next := leUint32(fr.data[1:])
+		s.p.unpin(fr, false)
+		if err := s.p.free(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// makeCell builds a cell for (key, value), spilling large values.
+func (s *Store) makeCell(key, value []byte) (cell, error) {
+	c := cell{key: append([]byte(nil), key...), vlen: uint32(len(value))}
+	if len(value) > maxInlineValue {
+		ov, err := s.writeOverflow(value)
+		if err != nil {
+			return cell{}, err
+		}
+		c.overflow = ov
+	} else {
+		c.val = append([]byte(nil), value...)
+	}
+	return c, nil
+}
+
+// Put stores value under key, replacing any existing value in place.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	return s.putLocked(key, value)
+}
+
+func (s *Store) putLocked(key, value []byte) error {
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("btree: key length %d exceeds %d", len(key), MaxKeyLen)
+	}
+	// Fast paths: inline inserts, replacements, and resizes that fit the
+	// page mutate it directly with a memmove, as real pagers do.
+	if len(value) <= maxInlineValue {
+		fr, err := s.descend(key)
+		if err != nil {
+			return err
+		}
+		loc := locateLeaf(fr.data, key)
+		switch {
+		case loc.found && loc.overflow == 0 && loc.used-int(loc.vlen)+len(value) <= PageSize:
+			leafReplaceInline(fr.data, loc, value)
+			s.p.unpin(fr, true)
+			return nil
+		case !loc.found && loc.used+cellHeader+len(key)+len(value) <= PageSize:
+			leafInsertInline(fr.data, loc, key, value)
+			s.p.unpin(fr, true)
+			s.count++
+			return nil
+		}
+		s.p.unpin(fr, false)
+	}
+	promoted, newChild, inserted, err := s.insert(s.p.root, key, value)
+	if err != nil {
+		return err
+	}
+	if inserted {
+		s.count++
+	}
+	if promoted != nil {
+		// Root split: create a new root.
+		fr, err := s.p.alloc(pageInternal)
+		if err != nil {
+			return err
+		}
+		in := &internalNode{keys: [][]byte{promoted}, children: []uint32{s.p.root, newChild}}
+		in.encode(fr.data)
+		s.p.root = fr.id
+		s.p.unpin(fr, true)
+	}
+	return nil
+}
+
+// insert descends to the leaf for key, inserting or replacing. It
+// returns a promoted separator and new right-sibling page when the child
+// splits, plus whether a brand-new key was inserted.
+func (s *Store) insert(id uint32, key, value []byte) (promoted []byte, newPage uint32, inserted bool, err error) {
+	fr, err := s.p.get(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	switch fr.data[0] {
+	case pageLeaf:
+		l, err := decodeLeaf(fr.data)
+		if err != nil {
+			s.p.unpin(fr, false)
+			return nil, 0, false, err
+		}
+		i, found := findCell(l, key)
+		if found {
+			if l.cells[i].overflow != 0 {
+				if err := s.freeOverflow(l.cells[i].overflow); err != nil {
+					s.p.unpin(fr, false)
+					return nil, 0, false, err
+				}
+			}
+			c, err := s.makeCell(key, value)
+			if err != nil {
+				s.p.unpin(fr, false)
+				return nil, 0, false, err
+			}
+			l.cells[i] = c
+		} else {
+			c, err := s.makeCell(key, value)
+			if err != nil {
+				s.p.unpin(fr, false)
+				return nil, 0, false, err
+			}
+			l.cells = append(l.cells, cell{})
+			copy(l.cells[i+1:], l.cells[i:])
+			l.cells[i] = c
+			inserted = true
+		}
+		if l.encodedSize() <= PageSize {
+			l.encode(fr.data)
+			s.p.unpin(fr, true)
+			return nil, 0, inserted, nil
+		}
+		// Split the leaf: right half moves to a new page.
+		mid := len(l.cells) / 2
+		right := &leafNode{cells: append([]cell(nil), l.cells[mid:]...), next: l.next}
+		l.cells = l.cells[:mid]
+		rfr, err := s.p.alloc(pageLeaf)
+		if err != nil {
+			s.p.unpin(fr, false)
+			return nil, 0, false, err
+		}
+		l.next = rfr.id
+		right.encode(rfr.data)
+		l.encode(fr.data)
+		sep := append([]byte(nil), right.cells[0].key...)
+		s.p.unpin(rfr, true)
+		s.p.unpin(fr, true)
+		return sep, rfr.id, inserted, nil
+
+	case pageInternal:
+		in, err := decodeInternal(fr.data)
+		if err != nil {
+			s.p.unpin(fr, false)
+			return nil, 0, false, err
+		}
+		ci := childIndex(in, key)
+		childPromoted, childNew, ins, err := s.insert(in.children[ci], key, value)
+		if err != nil {
+			s.p.unpin(fr, false)
+			return nil, 0, false, err
+		}
+		if childPromoted == nil {
+			s.p.unpin(fr, false)
+			return nil, 0, ins, nil
+		}
+		// Insert the separator after position ci.
+		in.keys = append(in.keys, nil)
+		copy(in.keys[ci+1:], in.keys[ci:])
+		in.keys[ci] = childPromoted
+		in.children = append(in.children, 0)
+		copy(in.children[ci+2:], in.children[ci+1:])
+		in.children[ci+1] = childNew
+		if in.encodedSize() <= PageSize {
+			in.encode(fr.data)
+			s.p.unpin(fr, true)
+			return nil, 0, ins, nil
+		}
+		// Split the internal node; the middle key moves up.
+		mid := len(in.keys) / 2
+		sep := in.keys[mid]
+		right := &internalNode{
+			keys:     append([][]byte(nil), in.keys[mid+1:]...),
+			children: append([]uint32(nil), in.children[mid+1:]...),
+		}
+		in.keys = in.keys[:mid]
+		in.children = in.children[:mid+1]
+		rfr, err := s.p.alloc(pageInternal)
+		if err != nil {
+			s.p.unpin(fr, false)
+			return nil, 0, false, err
+		}
+		right.encode(rfr.data)
+		in.encode(fr.data)
+		s.p.unpin(rfr, true)
+		s.p.unpin(fr, true)
+		return sep, rfr.id, ins, nil
+
+	default:
+		s.p.unpin(fr, false)
+		return nil, 0, false, fmt.Errorf("btree: unexpected page type %d on insert path", fr.data[0])
+	}
+}
+
+// Merge performs read-modify-write: the value becomes old ++ operand.
+func (s *Store) Merge(key, operand []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	old, err := s.getLocked(key)
+	if err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	combined := make([]byte, 0, len(old)+len(operand))
+	combined = append(combined, old...)
+	combined = append(combined, operand...)
+	return s.putLocked(key, combined)
+}
+
+// Delete removes key from its leaf. Leaves are not rebalanced (lazy
+// deletion, as in many production B-trees); space within pages is reused
+// by later inserts and overflow pages return to the free list.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	fr, err := s.descend(key)
+	if err != nil {
+		return err
+	}
+	loc := locateLeaf(fr.data, key)
+	if !loc.found {
+		s.p.unpin(fr, false)
+		return nil
+	}
+	if loc.overflow != 0 {
+		if err := s.freeOverflow(loc.overflow); err != nil {
+			s.p.unpin(fr, false)
+			return err
+		}
+		// freeOverflow touched the pool; the frame's bytes are still
+		// valid (it is pinned), but re-locate in case of future changes.
+		loc = locateLeaf(fr.data, key)
+	}
+	leafRemove(fr.data, loc)
+	s.p.unpin(fr, true)
+	s.count--
+	return nil
+}
+
+// Scan calls fn for every key-value pair in ascending key order until fn
+// returns false. Values passed to fn are freshly allocated.
+func (s *Store) Scan(fn func(key, value []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	// Descend to the leftmost leaf.
+	id := s.p.root
+	for {
+		fr, err := s.p.get(id)
+		if err != nil {
+			return err
+		}
+		if fr.data[0] == pageLeaf {
+			s.p.unpin(fr, false)
+			break
+		}
+		in, err := decodeInternal(fr.data)
+		s.p.unpin(fr, false)
+		if err != nil {
+			return err
+		}
+		id = in.children[0]
+	}
+	for id != 0 {
+		fr, err := s.p.get(id)
+		if err != nil {
+			return err
+		}
+		l, err := decodeLeaf(fr.data)
+		s.p.unpin(fr, false)
+		if err != nil {
+			return err
+		}
+		for i := range l.cells {
+			v, err := s.readValue(&l.cells[i])
+			if err != nil {
+				return err
+			}
+			if !fn(l.cells[i].key, v) {
+				return nil
+			}
+		}
+		id = l.next
+	}
+	return nil
+}
+
+// Count returns the number of live keys.
+func (s *Store) Count() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// ApproximateSize returns the database file size in bytes.
+func (s *Store) ApproximateSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(s.p.pageCount) * PageSize
+}
+
+// CacheStats reports buffer pool page reads and writes.
+func (s *Store) CacheStats() (reads, writes uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.p.reads, s.p.writes
+}
+
+// Close flushes the buffer pool and closes the database file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.p.close()
+}
+
+func leUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

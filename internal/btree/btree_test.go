@@ -1,0 +1,425 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gadget/internal/kv"
+)
+
+func testStore(t testing.TB, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 1 << 20 // small pool: exercise eviction
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := testStore(t, Options{})
+	if _, err := s.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("miss = %v", err)
+	}
+	s.Put([]byte("a"), []byte("1"))
+	if v, err := s.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	s.Put([]byte("a"), []byte("2"))
+	if v, _ := s.Get([]byte("a")); string(v) != "2" {
+		t.Fatalf("overwrite = %q", v)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Delete([]byte("a"))
+	if _, err := s.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("delete failed")
+	}
+	if err := s.Delete([]byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRMW(t *testing.T) {
+	s := testStore(t, Options{})
+	k := []byte("bucket")
+	s.Merge(k, []byte("a"))
+	s.Merge(k, []byte("b"))
+	if v, err := s.Get(k); err != nil || string(v) != "ab" {
+		t.Fatalf("merged = %q, %v", v, err)
+	}
+	s.Put(k, []byte("X"))
+	s.Merge(k, []byte("y"))
+	if v, _ := s.Get(k); string(v) != "Xy" {
+		t.Fatalf("put+merge = %q", v)
+	}
+	s.Delete(k)
+	s.Merge(k, []byte("z"))
+	if v, _ := s.Get(k); string(v) != "z" {
+		t.Fatalf("delete+merge = %q", v)
+	}
+}
+
+func TestManyKeysSplits(t *testing.T) {
+	s := testStore(t, Options{})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		if err := s.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.p.pageCount < 10 {
+		t.Fatalf("expected many pages, got %d", s.p.pageCount)
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		v, err := s.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	if s.Count() != n {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestRandomInsertOrder(t *testing.T) {
+	s := testStore(t, Options{})
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(10000)
+	for _, i := range perm {
+		s.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < 10000; i += 53 {
+		v, err := s.Get([]byte(fmt.Sprintf("key-%08d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	s := testStore(t, Options{})
+	rng := rand.New(rand.NewSource(8))
+	for _, i := range rng.Perm(5000) {
+		s.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("v"))
+	}
+	var prev []byte
+	count := 0
+	err := s.Scan(func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5000 {
+		t.Fatalf("scanned %d", count)
+	}
+	// Early termination.
+	count = 0
+	s.Scan(func(k, v []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-stop scanned %d", count)
+	}
+}
+
+func TestLargeValuesOverflow(t *testing.T) {
+	s := testStore(t, Options{})
+	big := bytes.Repeat([]byte("x"), 100_000)
+	s.Put([]byte("big"), big)
+	v, err := s.Get([]byte("big"))
+	if err != nil || !bytes.Equal(v, big) {
+		t.Fatalf("big Get len=%d err=%v", len(v), err)
+	}
+	// Replace with another big value; overflow pages are recycled.
+	pagesAfterFirst := s.p.pageCount
+	big2 := bytes.Repeat([]byte("y"), 100_000)
+	s.Put([]byte("big"), big2)
+	if s.p.pageCount > pagesAfterFirst+2 {
+		t.Fatalf("overflow pages not recycled: %d -> %d", pagesAfterFirst, s.p.pageCount)
+	}
+	if v, _ := s.Get([]byte("big")); !bytes.Equal(v, big2) {
+		t.Fatal("replacement corrupted")
+	}
+	s.Delete([]byte("big"))
+	if _, err := s.Get([]byte("big")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("big delete failed")
+	}
+}
+
+func TestGrowingMergeValue(t *testing.T) {
+	// Models a holistic window bucket: repeated merges grow one value
+	// across the inline/overflow boundary.
+	s := testStore(t, Options{})
+	k := []byte("window-bucket")
+	var want []byte
+	for i := 0; i < 200; i++ {
+		op := bytes.Repeat([]byte{byte(i)}, 37)
+		s.Merge(k, op)
+		want = append(want, op...)
+	}
+	v, err := s.Get(k)
+	if err != nil || !bytes.Equal(v, want) {
+		t.Fatalf("merged len=%d want=%d err=%v", len(v), len(want), err)
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	s := testStore(t, Options{})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30000; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(2000))
+		switch rng.Intn(10) {
+		case 0:
+			s.Delete([]byte(k))
+			delete(model, k)
+		case 1, 2:
+			op := fmt.Sprintf("+%d", i%9)
+			s.Merge([]byte(k), []byte(op))
+			model[k] += op
+		default:
+			v := fmt.Sprintf("v%d", i)
+			s.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		v, err := s.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v; want %q", k, v, err, want)
+		}
+	}
+	if int(s.Count()) != len(model) {
+		t.Fatalf("count = %d want %d", s.Count(), len(model))
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, CacheSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete([]byte("key-000042"))
+	big := bytes.Repeat([]byte("z"), 50000)
+	s.Put([]byte("big"), big)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir, CacheSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, i := range []int{0, 1, 4999} {
+		k := fmt.Sprintf("key-%06d", i)
+		v, err := s2.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopened Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	if _, err := s2.Get([]byte("key-000042")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("delete lost on reopen")
+	}
+	if v, _ := s2.Get([]byte("big")); !bytes.Equal(v, big) {
+		t.Fatal("overflow value lost on reopen")
+	}
+}
+
+func TestOpenRejectsGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Corrupt the magic.
+	path := dir + "/btree.db"
+	data := make([]byte, PageSize)
+	if err := writeFileAt(path, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("corrupt meta should fail to open")
+	}
+}
+
+func writeFileAt(path string, data []byte, off int64) error {
+	f, err := openRW(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(data, off)
+	return err
+}
+
+func TestKeyTooLong(t *testing.T) {
+	s := testStore(t, Options{})
+	if err := s.Put(make([]byte, MaxKeyLen+1), nil); err == nil {
+		t.Fatal("oversized key should fail")
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	s := testStore(t, Options{})
+	s.Close()
+	if err := s.Put([]byte("k"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Put = %v", err)
+	}
+	if _, err := s.Get([]byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Get = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestCaps(t *testing.T) {
+	s := testStore(t, Options{})
+	caps := kv.CapsOf(s)
+	if caps.NativeMerge || !caps.InPlaceUpdate {
+		t.Fatalf("caps = %+v", caps)
+	}
+}
+
+// Property test: arbitrary op sequences match a map model.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []struct {
+		K   uint16
+		V   uint16
+		Del bool
+	}) bool {
+		s := testStore(t, Options{Dir: t.TempDir()})
+		defer s.Close()
+		model := map[string]string{}
+		for _, op := range ops {
+			k := fmt.Sprintf("k%05d", op.K%300)
+			if op.Del {
+				s.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprint(op.V)
+				s.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v, err := s.Get([]byte(k))
+			if err != nil || string(v) != model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	l := &leafNode{
+		next: 77,
+		cells: []cell{
+			{key: []byte("a"), val: []byte("1"), vlen: 1},
+			{key: []byte("b"), overflow: 9, vlen: 5000},
+		},
+	}
+	page := make([]byte, PageSize)
+	l.encode(page)
+	got, err := decodeLeaf(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.next != 77 || len(got.cells) != 2 || string(got.cells[0].key) != "a" ||
+		got.cells[1].overflow != 9 || got.cells[1].vlen != 5000 {
+		t.Fatalf("leaf round trip: %+v", got)
+	}
+
+	in := &internalNode{keys: [][]byte{[]byte("m")}, children: []uint32{1, 2}}
+	in.encode(page)
+	gin, err := decodeInternal(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gin.keys) != 1 || string(gin.keys[0]) != "m" || gin.children[0] != 1 || gin.children[1] != 2 {
+		t.Fatalf("internal round trip: %+v", gin)
+	}
+	if _, err := decodeLeaf(page); err == nil {
+		t.Fatal("decodeLeaf of internal page should fail")
+	}
+	if _, err := decodeInternal(make([]byte, PageSize)); err == nil {
+		t.Fatal("decodeInternal of zero page should fail")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := testStore(b, Options{Dir: b.TempDir(), CacheSize: 256 << 20})
+	val := bytes.Repeat([]byte("v"), 256)
+	var key [16]byte
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(key[:], fmt.Sprintf("%016d", i%100000))
+		s.Put(key[:], val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := testStore(b, Options{Dir: b.TempDir(), CacheSize: 256 << 20})
+	val := bytes.Repeat([]byte("v"), 256)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Put([]byte(fmt.Sprintf("%016d", i)), val)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Get([]byte(fmt.Sprintf("%016d", i%n)))
+	}
+}
+
+func openRW(path string) (interface {
+	WriteAt([]byte, int64) (int, error)
+	Close() error
+}, error) {
+	return osOpenFile(path)
+}

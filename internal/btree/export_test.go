@@ -1,0 +1,7 @@
+package btree
+
+import "os"
+
+func osOpenFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644)
+}

@@ -1,0 +1,111 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// In-place leaf mutation: the common cases (insert without split,
+// replace, delete) are performed directly on the encoded page with a
+// memmove, as real pagers do, avoiding a full decode/encode round trip.
+
+// leafLoc describes where a key lives (or would live) in an encoded leaf.
+type leafLoc struct {
+	n         int    // number of cells
+	used      int    // total used bytes
+	insertOff int    // offset of the key's cell, or the insertion point
+	cellLen   int    // existing cell's total length (0 when !found)
+	valOff    int    // offset of the inline value (found && inline only)
+	vlen      uint32 // existing value length
+	overflow  uint32 // existing overflow head (0 = inline)
+	found     bool
+}
+
+// locateLeaf walks an encoded leaf once, returning the key's location
+// and the page's usage.
+func locateLeaf(page []byte, key []byte) leafLoc {
+	loc := leafLoc{n: int(binary.LittleEndian.Uint16(page[1:]))}
+	off := leafHeader
+	pos := -1
+	for i := 0; i < loc.n; i++ {
+		cellStart := off
+		klen := int(binary.LittleEndian.Uint16(page[off:]))
+		flags := page[off+2]
+		vl := binary.LittleEndian.Uint32(page[off+3:])
+		off += cellHeader
+		k := page[off : off+klen]
+		off += klen
+		valOff := off
+		if flags&1 != 0 {
+			off += 4
+		} else {
+			off += int(vl)
+		}
+		if pos < 0 {
+			switch bytes.Compare(k, key) {
+			case 0:
+				pos = cellStart
+				loc.found = true
+				loc.insertOff = cellStart
+				loc.cellLen = off - cellStart
+				loc.vlen = vl
+				loc.valOff = valOff
+				if flags&1 != 0 {
+					loc.overflow = binary.LittleEndian.Uint32(page[valOff:])
+				}
+			case 1:
+				pos = cellStart
+				loc.insertOff = cellStart
+			}
+		}
+	}
+	loc.used = off
+	if pos < 0 {
+		loc.insertOff = loc.used
+	}
+	return loc
+}
+
+// leafReplaceInline resizes an existing inline value in place. The
+// caller must have checked that the new size fits the page.
+func leafReplaceInline(page []byte, loc leafLoc, value []byte) {
+	delta := len(value) - int(loc.vlen)
+	if delta != 0 {
+		tail := loc.valOff + int(loc.vlen)
+		copy(page[tail+delta:loc.used+delta], page[tail:loc.used])
+	}
+	binary.LittleEndian.PutUint32(page[loc.insertOff+3:], uint32(len(value)))
+	page[loc.insertOff+2] = 0 // inline
+	copy(page[loc.valOff:], value)
+	if delta < 0 {
+		// Zero the vacated bytes so pages stay deterministic on disk.
+		for i := loc.used + delta; i < loc.used; i++ {
+			page[i] = 0
+		}
+	}
+}
+
+// leafInsertInline inserts a new inline cell at loc.insertOff. The
+// caller must have checked that it fits the page.
+func leafInsertInline(page []byte, loc leafLoc, key, value []byte) {
+	cellLen := cellHeader + len(key) + len(value)
+	copy(page[loc.insertOff+cellLen:loc.used+cellLen], page[loc.insertOff:loc.used])
+	off := loc.insertOff
+	binary.LittleEndian.PutUint16(page[off:], uint16(len(key)))
+	page[off+2] = 0
+	binary.LittleEndian.PutUint32(page[off+3:], uint32(len(value)))
+	off += cellHeader
+	copy(page[off:], key)
+	off += len(key)
+	copy(page[off:], value)
+	binary.LittleEndian.PutUint16(page[1:], uint16(loc.n+1))
+}
+
+// leafRemove deletes the located cell in place.
+func leafRemove(page []byte, loc leafLoc) {
+	copy(page[loc.insertOff:], page[loc.insertOff+loc.cellLen:loc.used])
+	for i := loc.used - loc.cellLen; i < loc.used; i++ {
+		page[i] = 0
+	}
+	binary.LittleEndian.PutUint16(page[1:], uint16(loc.n-1))
+}

@@ -1,0 +1,216 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Node layouts (within a 4 KiB page):
+//
+//	leaf:     [type u8][nCells u16][next u32] cells...
+//	cell:     [keyLen u16][flags u8][valLen u32] key (inlineValue | overflowID u32)
+//	internal: [type u8][nKeys u16][child0 u32] (keyLen u16, key, child u32)...
+//	overflow: [type u8][next u32][len u32] data
+//
+// flags bit 0: value stored in an overflow chain.
+
+const (
+	leafHeader     = 1 + 2 + 4
+	internalHeader = 1 + 2 + 4
+	overflowHeader = 1 + 4 + 4
+	cellHeader     = 2 + 1 + 4
+
+	// maxInlineValue forces large values into overflow chains so any
+	// reasonable cell fits a page.
+	maxInlineValue = 1024
+	// MaxKeyLen bounds keys so two cells always fit a page.
+	MaxKeyLen = 512
+)
+
+type cell struct {
+	key      []byte
+	val      []byte // inline value (nil when overflow != 0)
+	overflow uint32 // first overflow page (0 = inline)
+	vlen     uint32 // total value length (inline or overflow)
+}
+
+type leafNode struct {
+	cells []cell
+	next  uint32
+}
+
+type internalNode struct {
+	keys     [][]byte // keys[i] separates children[i] and children[i+1]
+	children []uint32
+}
+
+func (l *leafNode) encodedSize() int {
+	sz := leafHeader
+	for _, c := range l.cells {
+		sz += cellHeader + len(c.key)
+		if c.overflow != 0 {
+			sz += 4
+		} else {
+			sz += len(c.val)
+		}
+	}
+	return sz
+}
+
+func (l *leafNode) encode(page []byte) {
+	for i := range page {
+		page[i] = 0
+	}
+	page[0] = pageLeaf
+	binary.LittleEndian.PutUint16(page[1:], uint16(len(l.cells)))
+	binary.LittleEndian.PutUint32(page[3:], l.next)
+	off := leafHeader
+	for _, c := range l.cells {
+		binary.LittleEndian.PutUint16(page[off:], uint16(len(c.key)))
+		var flags byte
+		if c.overflow != 0 {
+			flags = 1
+		}
+		page[off+2] = flags
+		binary.LittleEndian.PutUint32(page[off+3:], c.vlen)
+		off += cellHeader
+		copy(page[off:], c.key)
+		off += len(c.key)
+		if c.overflow != 0 {
+			binary.LittleEndian.PutUint32(page[off:], c.overflow)
+			off += 4
+		} else {
+			copy(page[off:], c.val)
+			off += len(c.val)
+		}
+	}
+}
+
+func decodeLeaf(page []byte) (*leafNode, error) {
+	if page[0] != pageLeaf {
+		return nil, fmt.Errorf("btree: page is not a leaf (type %d)", page[0])
+	}
+	n := int(binary.LittleEndian.Uint16(page[1:]))
+	l := &leafNode{next: binary.LittleEndian.Uint32(page[3:]), cells: make([]cell, 0, n)}
+	off := leafHeader
+	for i := 0; i < n; i++ {
+		if off+cellHeader > len(page) {
+			return nil, fmt.Errorf("btree: truncated leaf cell")
+		}
+		klen := int(binary.LittleEndian.Uint16(page[off:]))
+		flags := page[off+2]
+		vlen := binary.LittleEndian.Uint32(page[off+3:])
+		off += cellHeader
+		c := cell{key: append([]byte(nil), page[off:off+klen]...), vlen: vlen}
+		off += klen
+		if flags&1 != 0 {
+			c.overflow = binary.LittleEndian.Uint32(page[off:])
+			off += 4
+		} else {
+			c.val = append([]byte(nil), page[off:off+int(vlen)]...)
+			off += int(vlen)
+		}
+		l.cells = append(l.cells, c)
+	}
+	return l, nil
+}
+
+func (in *internalNode) encodedSize() int {
+	sz := internalHeader
+	for _, k := range in.keys {
+		sz += 2 + len(k) + 4
+	}
+	return sz
+}
+
+func (in *internalNode) encode(page []byte) {
+	for i := range page {
+		page[i] = 0
+	}
+	page[0] = pageInternal
+	binary.LittleEndian.PutUint16(page[1:], uint16(len(in.keys)))
+	binary.LittleEndian.PutUint32(page[3:], in.children[0])
+	off := internalHeader
+	for i, k := range in.keys {
+		binary.LittleEndian.PutUint16(page[off:], uint16(len(k)))
+		off += 2
+		copy(page[off:], k)
+		off += len(k)
+		binary.LittleEndian.PutUint32(page[off:], in.children[i+1])
+		off += 4
+	}
+}
+
+// leafFind searches an encoded leaf page without decoding it. It returns
+// the cell's value location: for inline values a sub-slice of page (valid
+// only while the frame is pinned), for overflow values the chain head.
+func leafFind(page []byte, key []byte) (inline []byte, inlineOff int, overflow uint32, vlen uint32, found bool) {
+	n := int(binary.LittleEndian.Uint16(page[1:]))
+	off := leafHeader
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(page[off:]))
+		flags := page[off+2]
+		vl := binary.LittleEndian.Uint32(page[off+3:])
+		off += cellHeader
+		k := page[off : off+klen]
+		off += klen
+		switch bytes.Compare(k, key) {
+		case 0:
+			if flags&1 != 0 {
+				return nil, 0, binary.LittleEndian.Uint32(page[off:]), vl, true
+			}
+			return page[off : off+int(vl)], off, 0, vl, true
+		case 1:
+			return nil, 0, 0, 0, false // cells are sorted: key absent
+		}
+		if flags&1 != 0 {
+			off += 4
+		} else {
+			off += int(vl)
+		}
+	}
+	return nil, 0, 0, 0, false
+}
+
+// internalChild walks an encoded internal page, returning the child that
+// covers key (the child after the last separator <= key).
+func internalChild(page []byte, key []byte) uint32 {
+	n := int(binary.LittleEndian.Uint16(page[1:]))
+	child := binary.LittleEndian.Uint32(page[3:])
+	off := internalHeader
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(page[off:]))
+		off += 2
+		k := page[off : off+klen]
+		off += klen
+		if bytes.Compare(k, key) > 0 {
+			return child
+		}
+		child = binary.LittleEndian.Uint32(page[off:])
+		off += 4
+	}
+	return child
+}
+
+func decodeInternal(page []byte) (*internalNode, error) {
+	if page[0] != pageInternal {
+		return nil, fmt.Errorf("btree: page is not internal (type %d)", page[0])
+	}
+	n := int(binary.LittleEndian.Uint16(page[1:]))
+	in := &internalNode{
+		keys:     make([][]byte, 0, n),
+		children: make([]uint32, 1, n+1),
+	}
+	in.children[0] = binary.LittleEndian.Uint32(page[3:])
+	off := internalHeader
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(page[off:]))
+		off += 2
+		in.keys = append(in.keys, append([]byte(nil), page[off:off+klen]...))
+		off += klen
+		in.children = append(in.children, binary.LittleEndian.Uint32(page[off:]))
+		off += 4
+	}
+	return in, nil
+}

@@ -1,0 +1,231 @@
+package btree
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// PageSize is the fixed on-disk page size.
+const PageSize = 4096
+
+const (
+	pageMeta     byte = 0 // page 0 only
+	pageInternal byte = 1
+	pageLeaf     byte = 2
+	pageOverflow byte = 3
+)
+
+// frame is a buffer-pool resident page.
+type frame struct {
+	id    uint32
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// pager provides fixed-size pages backed by a file with an LRU buffer
+// pool. Dirty pages are written back on eviction and on flush. Pinned
+// pages are never evicted.
+type pager struct {
+	f             *os.File
+	pool          map[uint32]*frame
+	lru           *list.List // front = most recently used
+	capacity      int        // max frames resident
+	pageCount     uint32
+	freeHead      uint32 // head of the free-page list (0 = none)
+	root          uint32
+	reads, writes uint64
+}
+
+func openPager(path string, cacheBytes int64) (*pager, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cap := int(cacheBytes / PageSize)
+	if cap < 16 {
+		cap = 16
+	}
+	p := &pager{
+		f:        f,
+		pool:     make(map[uint32]*frame),
+		lru:      list.New(),
+		capacity: cap,
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh database: write the meta page and an empty leaf root.
+		p.pageCount = 1
+		rootFrame, err := p.alloc(pageLeaf)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.root = rootFrame.id
+		p.unpin(rootFrame, true)
+		if err := p.flushMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		var meta [PageSize]byte
+		if _, err := f.ReadAt(meta[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if binary.LittleEndian.Uint64(meta[1:]) != pagerMagic {
+			f.Close()
+			return nil, fmt.Errorf("btree: not a btree database file")
+		}
+		p.root = binary.LittleEndian.Uint32(meta[9:])
+		p.pageCount = binary.LittleEndian.Uint32(meta[13:])
+		p.freeHead = binary.LittleEndian.Uint32(meta[17:])
+	}
+	return p, nil
+}
+
+const pagerMagic = 0x4741444745544254 // "GADGETBT"
+
+func (p *pager) flushMeta() error {
+	var meta [PageSize]byte
+	meta[0] = pageMeta
+	binary.LittleEndian.PutUint64(meta[1:], pagerMagic)
+	binary.LittleEndian.PutUint32(meta[9:], p.root)
+	binary.LittleEndian.PutUint32(meta[13:], p.pageCount)
+	binary.LittleEndian.PutUint32(meta[17:], p.freeHead)
+	_, err := p.f.WriteAt(meta[:], 0)
+	return err
+}
+
+// get pins and returns the frame for page id, reading it if not resident.
+func (p *pager) get(id uint32) (*frame, error) {
+	if fr, ok := p.pool[id]; ok {
+		fr.pins++
+		p.lru.MoveToFront(fr.elem)
+		return fr, nil
+	}
+	data := make([]byte, PageSize)
+	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("btree: reading page %d: %w", id, err)
+	}
+	p.reads++
+	fr := &frame{id: id, data: data, pins: 1}
+	fr.elem = p.lru.PushFront(fr)
+	p.pool[id] = fr
+	if err := p.evict(); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// unpin releases a frame, marking it dirty if modified.
+func (p *pager) unpin(fr *frame, dirty bool) {
+	if dirty {
+		fr.dirty = true
+	}
+	if fr.pins > 0 {
+		fr.pins--
+	}
+}
+
+// alloc pins a fresh zeroed page of the given type, reusing freed pages.
+func (p *pager) alloc(typ byte) (*frame, error) {
+	var id uint32
+	if p.freeHead != 0 {
+		id = p.freeHead
+		fr, err := p.get(id)
+		if err != nil {
+			return nil, err
+		}
+		p.freeHead = binary.LittleEndian.Uint32(fr.data[1:])
+		for i := range fr.data {
+			fr.data[i] = 0
+		}
+		fr.data[0] = typ
+		fr.dirty = true
+		return fr, nil
+	}
+	id = p.pageCount
+	p.pageCount++
+	data := make([]byte, PageSize)
+	data[0] = typ
+	fr := &frame{id: id, data: data, pins: 1, dirty: true}
+	fr.elem = p.lru.PushFront(fr)
+	p.pool[id] = fr
+	if err := p.evict(); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// free returns a page to the free list. The caller must hold no pin.
+func (p *pager) free(id uint32) error {
+	fr, err := p.get(id)
+	if err != nil {
+		return err
+	}
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	fr.data[0] = pageOverflow // freed pages masquerade as overflow
+	binary.LittleEndian.PutUint32(fr.data[1:], p.freeHead)
+	p.freeHead = id
+	p.unpin(fr, true)
+	return nil
+}
+
+// evict writes back and drops least-recently-used unpinned frames until
+// the pool fits its capacity.
+func (p *pager) evict() error {
+	for len(p.pool) > p.capacity {
+		var victim *frame
+		for el := p.lru.Back(); el != nil; el = el.Prev() {
+			fr := el.Value.(*frame)
+			if fr.pins == 0 {
+				victim = fr
+				break
+			}
+		}
+		if victim == nil {
+			return nil // everything pinned; allow temporary overshoot
+		}
+		if victim.dirty {
+			if _, err := p.f.WriteAt(victim.data, int64(victim.id)*PageSize); err != nil {
+				return err
+			}
+			p.writes++
+		}
+		p.lru.Remove(victim.elem)
+		delete(p.pool, victim.id)
+	}
+	return nil
+}
+
+// flush writes all dirty frames and the meta page.
+func (p *pager) flush() error {
+	for _, fr := range p.pool {
+		if fr.dirty {
+			if _, err := p.f.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
+				return err
+			}
+			fr.dirty = false
+			p.writes++
+		}
+	}
+	return p.flushMeta()
+}
+
+func (p *pager) close() error {
+	if err := p.flush(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

@@ -1,0 +1,146 @@
+// Package cache provides the sharded, byte-capacity-bounded LRU block
+// cache shared by SSTable readers in the LSM engine, and reused by the
+// B+Tree buffer pool. It is safe for concurrent use.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies a cached block: the owning file and the block offset.
+type Key struct {
+	File uint64
+	Off  uint64
+}
+
+// Cache is a sharded LRU cache of byte blocks with a total capacity in
+// bytes. Entries are charged their value length plus a fixed overhead.
+type Cache struct {
+	shards [numShards]*shard
+}
+
+const (
+	numShards     = 16
+	entryOverhead = 64
+)
+
+type shard struct {
+	mu           sync.Mutex
+	cap          int64
+	used         int64
+	ll           *list.List // front = most recent
+	items        map[Key]*list.Element
+	hits, misses uint64
+}
+
+type entry struct {
+	key   Key
+	value []byte
+}
+
+// New returns a Cache with the given total capacity in bytes. A
+// non-positive capacity yields a cache that stores nothing.
+func New(capacity int64) *Cache {
+	c := &Cache{}
+	per := capacity / numShards
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			cap:   per,
+			ll:    list.New(),
+			items: make(map[Key]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.File*0x9E3779B97F4A7C15 + k.Off
+	return c.shards[(h>>59)&(numShards-1)]
+}
+
+// Get returns the cached block for k, or nil if absent. The returned
+// slice must not be modified.
+func (c *Cache) Get(k Key) []byte {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry).value
+	}
+	s.misses++
+	return nil
+}
+
+// Put inserts (or replaces) the block for k, evicting least-recently-used
+// entries as needed. Blocks larger than the shard capacity are not cached.
+func (c *Cache) Put(k Key, v []byte) {
+	s := c.shardFor(k)
+	charge := int64(len(v) + entryOverhead)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if charge > s.cap {
+		return
+	}
+	if el, ok := s.items[k]; ok {
+		old := el.Value.(*entry)
+		s.used += int64(len(v)) - int64(len(old.value))
+		old.value = v
+		s.ll.MoveToFront(el)
+	} else {
+		el := s.ll.PushFront(&entry{key: k, value: v})
+		s.items[k] = el
+		s.used += charge
+	}
+	for s.used > s.cap {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.used -= int64(len(e.value) + entryOverhead)
+	}
+}
+
+// InvalidateFile drops every cached block belonging to the given file
+// (used when compaction deletes an SSTable).
+func (c *Cache) InvalidateFile(file uint64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k, el := range s.items {
+			if k.File == file {
+				e := el.Value.(*entry)
+				s.ll.Remove(el)
+				delete(s.items, k)
+				s.used -= int64(len(e.value) + entryOverhead)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats reports cumulative hits and misses across shards.
+func (c *Cache) Stats() (hits, misses uint64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return
+}
+
+// Used returns the total bytes currently charged to the cache.
+func (c *Cache) Used() int64 {
+	var u int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		u += s.used
+		s.mu.Unlock()
+	}
+	return u
+}

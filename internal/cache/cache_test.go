@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{File: 1, Off: 0}
+	if c.Get(k) != nil {
+		t.Fatal("empty cache should miss")
+	}
+	v := []byte("hello")
+	c.Put(k, v)
+	if got := c.Get(k); !bytes.Equal(got, v) {
+		t.Fatalf("Get = %q", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{File: 1, Off: 8}
+	c.Put(k, []byte("one"))
+	c.Put(k, []byte("twotwo"))
+	if got := c.Get(k); string(got) != "twotwo" {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	// Per-shard cap = 64KiB/16 = 4KiB. Fill one shard far beyond that.
+	c := New(64 << 10)
+	val := make([]byte, 1000)
+	var keys []Key
+	for i := uint64(0); i < 200; i++ {
+		k := Key{File: 7, Off: i} // may hash to various shards
+		keys = append(keys, k)
+		c.Put(k, val)
+	}
+	if c.Used() > 64<<10 {
+		t.Fatalf("Used = %d beyond capacity", c.Used())
+	}
+	// At least the most recent key in its shard survives.
+	last := keys[len(keys)-1]
+	if c.Get(last) == nil {
+		t.Fatal("most recent entry should survive eviction")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// Force all keys into one shard by picking keys that hash alike is
+	// fragile; instead use a tiny cache and verify a touched key survives
+	// while an untouched same-shard victim can be evicted.
+	c := New(numShards * (3 * (100 + entryOverhead))) // 3 entries per shard
+	var same []Key
+	s0 := c.shardFor(Key{File: 1, Off: 0})
+	for off := uint64(0); len(same) < 4; off++ {
+		k := Key{File: 1, Off: off}
+		if c.shardFor(k) == s0 {
+			same = append(same, k)
+		}
+	}
+	val := make([]byte, 100)
+	c.Put(same[0], val)
+	c.Put(same[1], val)
+	c.Put(same[2], val)
+	c.Get(same[0]) // touch 0 -> most recent
+	c.Put(same[3], val)
+	if c.Get(same[0]) == nil {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Get(same[1]) != nil {
+		t.Fatal("LRU victim should have been evicted")
+	}
+}
+
+func TestOversizedBlockNotCached(t *testing.T) {
+	c := New(1024) // shard cap 64 bytes
+	k := Key{File: 2, Off: 2}
+	c.Put(k, make([]byte, 4096))
+	if c.Get(k) != nil {
+		t.Fatal("oversized block should not be cached")
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c := New(1 << 20)
+	for i := uint64(0); i < 50; i++ {
+		c.Put(Key{File: 1, Off: i}, []byte("a"))
+		c.Put(Key{File: 2, Off: i}, []byte("b"))
+	}
+	c.InvalidateFile(1)
+	for i := uint64(0); i < 50; i++ {
+		if c.Get(Key{File: 1, Off: i}) != nil {
+			t.Fatal("file 1 block survived invalidation")
+		}
+		if c.Get(Key{File: 2, Off: i}) == nil {
+			t.Fatal("file 2 block lost")
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := New(0)
+	c.Put(Key{1, 1}, []byte("x"))
+	if c.Get(Key{1, 1}) != nil {
+		t.Fatal("zero-capacity cache should store nothing")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{File: uint64(g), Off: uint64(i % 100)}
+				c.Put(k, []byte(fmt.Sprintf("%d-%d", g, i)))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() < 0 {
+		t.Fatal("negative usage")
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(1 << 24)
+	k := Key{File: 1, Off: 42}
+	c.Put(k, make([]byte, 4096))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get(k)
+	}
+}

@@ -1,0 +1,206 @@
+// Package config parses the JSON configuration files that drive the
+// gadget CLI, covering the three concerns of a run: the input source
+// (synthetic generator or dataset), the operator, and the store plus
+// replay options (paper Figure 8's configuration file).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gadget/internal/core"
+	"gadget/internal/datasets"
+	"gadget/internal/dist"
+	"gadget/internal/eventgen"
+	"gadget/internal/stores"
+)
+
+// Config is the top-level configuration document.
+type Config struct {
+	Source   SourceConfig  `json:"source"`
+	Operator core.Config   `json:"operator"`
+	Store    stores.Config `json:"store"`
+	Run      RunConfig     `json:"run"`
+}
+
+// SourceConfig describes the input stream.
+type SourceConfig struct {
+	// Type is "synthetic" (default) or "dataset".
+	Type string `json:"type"`
+	// Dataset names a built-in dataset ("borg", "taxi", "azure").
+	Dataset string `json:"dataset"`
+	// Scale multiplies dataset sizes (1.0 = paper scale).
+	Scale float64 `json:"scale"`
+	// Synthetic generator parameters.
+	Events        int       `json:"events"`
+	Keys          uint64    `json:"keys"`
+	KeyDist       dist.Kind `json:"key_dist"`
+	RatePerSec    float64   `json:"rate_per_sec"`
+	Poisson       bool      `json:"poisson"`
+	ValueSize     uint32    `json:"value_size"`
+	LateFraction  float64   `json:"late_fraction"`
+	MaxLatenessMs int64     `json:"max_lateness_ms"`
+	Seed          int64     `json:"seed"`
+	// ECDFKeys/ECDFWeights supply a user empirical key distribution
+	// overriding key_dist.
+	ECDFKeys    []uint64  `json:"ecdf_keys"`
+	ECDFWeights []float64 `json:"ecdf_weights"`
+	// Watermarking.
+	WatermarkEvery   int   `json:"watermark_every"`
+	WatermarkSlackMs int64 `json:"watermark_slack_ms"`
+}
+
+// RunConfig describes what to do with the generated workload.
+type RunConfig struct {
+	// Mode is "online" (drive the store while generating) or "offline"
+	// (write a trace file for later replay).
+	Mode string `json:"mode"`
+	// TracePath is the trace file for offline mode and replays.
+	TracePath string `json:"trace_path"`
+	// ServiceRate throttles replay (ops/second, 0 = unthrottled).
+	ServiceRate float64 `json:"service_rate"`
+	// SampleEvery records latency for every Nth op (default 1).
+	SampleEvery int `json:"sample_every"`
+}
+
+// Load reads and validates a configuration file.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a configuration document.
+func Parse(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Validate checks cross-field consistency.
+func (c *Config) Validate() error {
+	switch c.Source.Type {
+	case "", "synthetic":
+		c.Source.Type = "synthetic"
+		if c.Source.Events <= 0 {
+			c.Source.Events = 100000
+		}
+	case "dataset":
+		if _, ok := datasets.ByName(c.Source.Dataset, 0.0001, 0); !ok {
+			return fmt.Errorf("config: unknown dataset %q (want one of %v)", c.Source.Dataset, datasets.Names())
+		}
+		if c.Source.Scale <= 0 {
+			c.Source.Scale = 0.01
+		}
+	default:
+		return fmt.Errorf("config: unknown source type %q", c.Source.Type)
+	}
+	if c.Source.WatermarkEvery <= 0 {
+		c.Source.WatermarkEvery = 100
+	}
+	if c.Operator.Operator == "" {
+		c.Operator.Operator = core.TumblingIncr
+	}
+	found := false
+	for _, typ := range core.OperatorTypes() {
+		if typ == c.Operator.Operator {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("config: unknown operator %q", c.Operator.Operator)
+	}
+	if c.Store.Engine == "" {
+		c.Store.Engine = "memstore"
+	}
+	switch c.Run.Mode {
+	case "", "online":
+		c.Run.Mode = "online"
+	case "offline":
+		if c.Run.TracePath == "" {
+			return fmt.Errorf("config: offline mode requires run.trace_path")
+		}
+	default:
+		return fmt.Errorf("config: unknown run mode %q", c.Run.Mode)
+	}
+	return nil
+}
+
+// BuildSource constructs the configured event source. Join operators get
+// a two-stream source; dataset-backed joins use the dataset's secondary
+// stream, synthetic joins use a second generator with start/end pairs.
+func (c *Config) BuildSource() (eventgen.Source, error) {
+	return BuildEventSource(c.Source, c.Operator.Operator.IsJoin())
+}
+
+// BuildEventSource constructs an event source from a source config
+// alone, for callers driving custom operators (join selects a
+// two-stream source).
+func BuildEventSource(sc SourceConfig, join bool) (eventgen.Source, error) {
+	c := &Config{Source: sc}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c.buildSource(join)
+}
+
+func (c *Config) buildSource(join bool) (eventgen.Source, error) {
+	if c.Source.Type == "dataset" {
+		ds, _ := datasets.ByName(c.Source.Dataset, c.Source.Scale, c.Source.Seed)
+		if join {
+			src, ok := ds.JoinSource(c.Source.WatermarkEvery)
+			if !ok {
+				return nil, fmt.Errorf("config: dataset %q has no secondary stream for joins", c.Source.Dataset)
+			}
+			return src, nil
+		}
+		return ds.Source(c.Source.WatermarkEvery), nil
+	}
+	mk := func(stream uint8, pairs bool) (eventgen.Source, error) {
+		g, err := eventgen.NewSynthetic(eventgen.Config{
+			Events:          c.Source.Events,
+			Keys:            c.Source.Keys,
+			KeyDist:         c.Source.KeyDist,
+			RatePerSec:      c.Source.RatePerSec,
+			PoissonArrivals: c.Source.Poisson,
+			ValueSize:       c.Source.ValueSize,
+			LateFraction:    c.Source.LateFraction,
+			MaxLatenessMs:   c.Source.MaxLatenessMs,
+			Seed:            c.Source.Seed + int64(stream),
+			Stream:          stream,
+			StartEndPairs:   pairs,
+			ECDFKeys:        c.Source.ECDFKeys,
+			ECDFWeights:     c.Source.ECDFWeights,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return eventgen.WithWatermarks(g, c.Source.WatermarkEvery, c.Source.WatermarkSlackMs), nil
+	}
+	if join {
+		a, err := mk(0, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := mk(1, true)
+		if err != nil {
+			return nil, err
+		}
+		return eventgen.NewRoundRobin(a, b), nil
+	}
+	return mk(0, false)
+}
+
+// BuildOperator constructs the configured operator.
+func (c *Config) BuildOperator() (core.Operator, error) {
+	return core.New(c.Operator)
+}

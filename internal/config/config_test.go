@@ -1,0 +1,138 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gadget/internal/core"
+	"gadget/internal/eventgen"
+)
+
+func TestParseDefaults(t *testing.T) {
+	c, err := Parse([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source.Type != "synthetic" || c.Source.Events != 100000 {
+		t.Fatalf("source defaults = %+v", c.Source)
+	}
+	if c.Operator.Operator != core.TumblingIncr {
+		t.Fatalf("operator default = %v", c.Operator.Operator)
+	}
+	if c.Store.Engine != "memstore" || c.Run.Mode != "online" {
+		t.Fatalf("defaults = %+v %+v", c.Store, c.Run)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	doc := `{
+		"source": {"type": "dataset", "dataset": "taxi", "scale": 0.005, "watermark_every": 50},
+		"operator": {"type": "session-hol", "session_gap_ms": 60000},
+		"store": {"engine": "rocksdb", "dir": "/tmp/x"},
+		"run": {"mode": "offline", "trace_path": "/tmp/t.trace"}
+	}`
+	c, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source.Dataset != "taxi" || c.Operator.Operator != core.SessionHol {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []string{
+		`{"source": {"type": "nope"}}`,
+		`{"source": {"type": "dataset", "dataset": "nope"}}`,
+		`{"operator": {"type": "nope"}}`,
+		`{"run": {"mode": "nope"}}`,
+		`{"run": {"mode": "offline"}}`,
+		`not json`,
+	}
+	for _, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("doc %q should fail", doc)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	os.WriteFile(path, []byte(`{"source": {"events": 500}}`), 0o644)
+	c, err := Load(path)
+	if err != nil || c.Source.Events != 500 {
+		t.Fatalf("load = %+v, %v", c, err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestBuildSourceSynthetic(t *testing.T) {
+	c, _ := Parse([]byte(`{"source": {"events": 100, "keys": 5}}`))
+	src, err := c.BuildSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == eventgen.ItemEvent {
+			n++
+		}
+	}
+	if n != 100 {
+		t.Fatalf("events = %d", n)
+	}
+}
+
+func TestBuildSourceJoin(t *testing.T) {
+	c, _ := Parse([]byte(`{"source": {"events": 50}, "operator": {"type": "interval-join"}}`))
+	src, err := c.BuildSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[uint8]int{}
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == eventgen.ItemEvent {
+			streams[it.Event.Stream]++
+		}
+	}
+	if streams[0] != 50 || streams[1] != 50 {
+		t.Fatalf("streams = %v", streams)
+	}
+}
+
+func TestBuildSourceDatasetJoin(t *testing.T) {
+	c, _ := Parse([]byte(`{
+		"source": {"type": "dataset", "dataset": "borg", "scale": 0.001},
+		"operator": {"type": "continuous-join"}
+	}`))
+	if _, err := c.BuildSource(); err != nil {
+		t.Fatal(err)
+	}
+	// Azure has no secondary stream: join must fail.
+	c2, _ := Parse([]byte(`{
+		"source": {"type": "dataset", "dataset": "azure", "scale": 0.001},
+		"operator": {"type": "continuous-join"}
+	}`))
+	if _, err := c2.BuildSource(); err == nil {
+		t.Fatal("azure join should fail")
+	}
+}
+
+func TestBuildOperator(t *testing.T) {
+	c, _ := Parse([]byte(`{"operator": {"type": "aggregation"}}`))
+	op, err := c.BuildOperator()
+	if err != nil || op.Type() != core.Aggregation {
+		t.Fatalf("op = %v, %v", op, err)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+)
+
+// Drive is the paper's Algorithm 1: it pulls the source to exhaustion,
+// assigning events to state machines (OnEvent) and terminating expired
+// machines on watermarks (OnWatermark). Every state access the operator
+// produces is passed to emit in order. In online mode emit applies the
+// access to a live store; in offline mode it appends to a trace.
+func Drive(src eventgen.Source, op Operator, emit Emit) {
+	for {
+		it, ok := src.Next()
+		if !ok {
+			return
+		}
+		switch it.Kind {
+		case eventgen.ItemEvent:
+			op.OnEvent(it.Event, emit)
+		case eventgen.ItemWatermark:
+			op.OnWatermark(it.WM, emit)
+		}
+	}
+}
+
+// Generate runs Drive in offline mode, materializing the state access
+// stream.
+func Generate(src eventgen.Source, op Operator) []kv.Access {
+	var out []kv.Access
+	Drive(src, op, func(a kv.Access) { out = append(out, a) })
+	return out
+}

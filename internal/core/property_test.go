@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+)
+
+// Harness-wide invariants that must hold for every operator over every
+// synthetic stream:
+//
+//  1. every FGet is immediately followed by accesses consistent with a
+//     trigger (window operators pair FGet with Delete);
+//  2. no window state key is read or written after its Delete unless a
+//     newer window re-creates it (checked per exact state key);
+//  3. the number of machines alive at stream end is zero for windowed
+//     operators (the closing MAX watermark flushes everything);
+//  4. trace generation is deterministic.
+func TestOperatorInvariants(t *testing.T) {
+	ops := []OperatorType{
+		TumblingIncr, TumblingHol, SlidingIncr, SlidingHol,
+		SessionIncr, SessionHol, TumblingJoin, SlidingJoin,
+		IntervalJoin, ContinJoin,
+	}
+	f := func(seed int64, rateSel, lateSel uint8) bool {
+		for _, typ := range ops {
+			cfg := Config{
+				Operator:        typ,
+				WindowLengthMs:  500,
+				WindowSlideMs:   100,
+				SessionGapMs:    300,
+				IntervalLowerMs: 200,
+				IntervalUpperMs: 400,
+			}
+			mkSrc := func() eventgen.Source {
+				rate := []float64{100, 1000, 5000}[rateSel%3]
+				late := []float64{0, 0.1}[lateSel%2]
+				mk := func(stream uint8, pairs bool) eventgen.Source {
+					g, err := eventgen.NewSynthetic(eventgen.Config{
+						Events: 1500, Keys: 20, Seed: seed + int64(stream),
+						RatePerSec: rate, LateFraction: late, MaxLatenessMs: 300,
+						Stream: stream, StartEndPairs: pairs,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return eventgen.WithWatermarks(g, 50, 0)
+				}
+				if typ.IsJoin() {
+					return eventgen.NewRoundRobin(mk(0, false), mk(1, true))
+				}
+				return mk(0, false)
+			}
+			op, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := Generate(mkSrc(), op)
+
+			// (4) determinism
+			op2, _ := New(cfg)
+			trace2 := Generate(mkSrc(), op2)
+			if len(trace) != len(trace2) {
+				t.Logf("%s: non-deterministic lengths", typ)
+				return false
+			}
+			for i := range trace {
+				if trace[i] != trace2[i] {
+					t.Logf("%s: non-deterministic at %d", typ, i)
+					return false
+				}
+			}
+
+			// (1) and (2): per-key lifecycle
+			deleted := map[kv.StateKey]bool{}
+			for i, a := range trace {
+				switch a.Op {
+				case kv.OpDelete:
+					deleted[a.Key] = true
+				case kv.OpFGet:
+					// An FGet belongs to a trigger; the same key must be
+					// deleted in the following few accesses.
+					ok := false
+					for j := i + 1; j < len(trace) && j <= i+4; j++ {
+						if trace[j].Op == kv.OpDelete && trace[j].Key == a.Key {
+							ok = true
+							break
+						}
+					}
+					if !ok && typ != ContinJoin {
+						t.Logf("%s: FGet at %d without matching delete", typ, i)
+						return false
+					}
+				case kv.OpPut, kv.OpMerge:
+					if deleted[a.Key] {
+						// Window start timestamps never recur for window
+						// operators with strictly advancing time, but
+						// sessions and joins may legitimately recreate a
+						// key; only flag exact re-use for plain windows.
+						if typ == TumblingIncr || typ == TumblingHol ||
+							typ == SlidingIncr || typ == SlidingHol {
+							t.Logf("%s: write at %d to deleted window %v", typ, i, a.Key)
+							return false
+						}
+						delete(deleted, a.Key)
+					}
+				}
+			}
+
+			// (3) all machines terminated
+			if st := op.Stats(); st.ActiveMachines != 0 && typ != ContinJoin {
+				t.Logf("%s: %d machines alive at end", typ, st.ActiveMachines)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Aggregation never deletes and preserves input keys exactly.
+func TestAggregationInvariants(t *testing.T) {
+	g, _ := eventgen.NewSynthetic(eventgen.Config{Events: 2000, Keys: 30, Seed: 2})
+	src := eventgen.WithWatermarks(g, 100, 0)
+	op, _ := New(Config{Operator: Aggregation})
+	trace := Generate(src, op)
+	for i, a := range trace {
+		if a.Op == kv.OpDelete || a.Op == kv.OpFGet || a.Op == kv.OpMerge {
+			t.Fatalf("aggregation op %d = %v", i, a.Op)
+		}
+		if a.Key.Sub != 0 || a.Key.Group >= 30 {
+			t.Fatalf("aggregation key %v", a.Key)
+		}
+	}
+}

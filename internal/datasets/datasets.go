@@ -1,0 +1,272 @@
+// Package datasets synthesizes event streams with the shapes of the
+// three public traces the paper characterizes. The real traces cannot be
+// bundled (this module is offline), so each generator reproduces the
+// properties the paper's analysis depends on: relative arrival rate, key
+// cardinality and skew, pairing structure (start/end events), per-key
+// burstiness, and bounded event-time disorder. DESIGN.md §4 documents the
+// substitution.
+//
+//   - Borg: high-rate cluster events. Jobs (the event key) arrive
+//     continuously, run for tens of seconds, and emit many task status
+//     events while alive; a job-lifecycle side stream carries
+//     submit/finish events for continuous joins.
+//   - Taxi: low-rate trip events. Medallions (the key) alternate long
+//     pickup/drop-off intervals, so 5s windows see few updates and
+//     sessions outlive a 2min gap; a fare side stream pairs with trips
+//     for joins.
+//   - Azure: VM creation events keyed by skewed subscription ids; a
+//     single stream (the paper cannot run joins on it either).
+package datasets
+
+import (
+	"math/rand"
+	"sort"
+
+	"gadget/internal/eventgen"
+)
+
+// Streams bundles a dataset's input streams. Secondary is nil for Azure.
+type Streams struct {
+	// Name identifies the dataset ("borg", "taxi", "azure").
+	Name string
+	// Primary is stream 0 (task events / trip events / VM events).
+	Primary []eventgen.Event
+	// Secondary is stream 1 (job lifecycle / fares), nil when absent.
+	Secondary []eventgen.Event
+	// Keys is the number of distinct keys in the primary stream.
+	Keys int
+	// SlackMs is the watermark delay matching the stream's bounded
+	// disorder (sources subtract it from emitted watermarks).
+	SlackMs int64
+}
+
+// Scale multiplies the paper-sized event counts. The experiments use
+// small scales so everything runs on a laptop; shapes are preserved.
+
+// Borg synthesizes the Google cluster-usage shape: scale 1.0 yields
+// roughly the paper's 2.5M task events and 26K job events.
+func Borg(scale float64, seed int64) Streams {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nJobs := int(26000 * scale)
+	if nJobs < 10 {
+		nJobs = 10
+	}
+	// The arrival rate scales with the job count so the stream's time
+	// span — and therefore how windows, session gaps, and join intervals
+	// relate to it — is invariant under scaling.
+	jobArrivalPerSec := 10.0 * scale
+	const (
+		meanTaskEvents = 96 // task status events per job
+		meanBurstLen   = 12 // events arrive in scheduling bursts
+	)
+	var primary, secondary []eventgen.Event
+	clock := int64(0)
+	for j := 0; j < nJobs; j++ {
+		clock += int64(rng.ExpFloat64() * 1000 / jobArrivalPerSec)
+		key := uint64(j) // job ids are unique and non-recurring
+		secondary = append(secondary, eventgen.Event{
+			Time: clock, Key: key, Size: 32, Stream: 1, Kind: eventgen.KindStart,
+		})
+		// Task events cluster into 30s bursts (scheduling rounds)
+		// separated by multi-minute quiet periods — what splits a job
+		// into several session windows under a 2-minute gap. Occasional
+		// stragglers land mid-gap; combined with the arrival disorder
+		// below they are what makes session windows *merge*.
+		nEvents := 1 + int(rng.ExpFloat64()*meanTaskEvents)
+		nBursts := nEvents/meanBurstLen + 1
+		burstStart := clock
+		var last int64
+		for b := 0; b < nBursts && nEvents > 0; b++ {
+			burstLen := meanBurstLen
+			if burstLen > nEvents {
+				burstLen = nEvents
+			}
+			nEvents -= burstLen
+			for e := 0; e < burstLen; e++ {
+				t := burstStart + rng.Int63n(30000)
+				if t > last {
+					last = t
+				}
+				primary = append(primary, eventgen.Event{
+					Time: t, Key: key, Size: 64, Kind: eventgen.KindRecord,
+				})
+			}
+			gap := 150000 + rng.Int63n(180000) // 2.5-5.5 min between bursts
+			if b < nBursts-1 && rng.Float64() < 0.5 {
+				primary = append(primary, eventgen.Event{
+					Time: burstStart + gap*2/5 + rng.Int63n(gap/5),
+					Key:  key, Size: 64, Kind: eventgen.KindRecord,
+				})
+			}
+			burstStart += gap
+		}
+		secondary = append(secondary, eventgen.Event{
+			Time: last + 60000, Key: key, Size: 32, Stream: 1, Kind: eventgen.KindEnd,
+		})
+	}
+	sortByTime(primary)
+	sortByTime(secondary)
+	disorder(primary, rng, 0.20, 150000) // ~20% of task events arrive up to 2.5min late
+	return Streams{Name: "borg", Primary: primary, Secondary: secondary, Keys: nJobs, SlackMs: 120000}
+}
+
+// Taxi synthesizes the NYC TLC shape: scale 1.0 yields roughly 1M trip
+// events (500K trips) and 500K fare events.
+func Taxi(scale float64, seed int64) Streams {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nTrips := int(500000 * scale)
+	if nTrips < 10 {
+		nTrips = 10
+	}
+	nMedallions := int(13000 * scale)
+	if nMedallions < 5 {
+		nMedallions = 5
+	}
+	const (
+		meanTripDurMs = 900000 // 15 minute rides >> 2 min session gap
+		meanIdleMs    = 600000 // 10 minutes between fares
+	)
+	type trip struct {
+		key             uint64
+		pickup, dropoff int64
+	}
+	// Each medallion runs its own sequential timeline (a taxi serves one
+	// ride at a time), so trips of the same key never overlap. The
+	// city-wide arrival rate emerges from the medallion count, which
+	// scales with the dataset — the stream's time span stays invariant.
+	trips := make([]trip, 0, nTrips)
+	perMedallion := nTrips / nMedallions
+	if perMedallion < 1 {
+		perMedallion = 1
+	}
+	for m := 0; m < nMedallions && len(trips) < nTrips; m++ {
+		clock := rng.Int63n(meanIdleMs)
+		for i := 0; i < perMedallion && len(trips) < nTrips; i++ {
+			clock += int64(rng.ExpFloat64()*meanIdleMs) + 1000
+			dur := int64(rng.ExpFloat64()*meanTripDurMs) + 120000
+			trips = append(trips, trip{key: uint64(m), pickup: clock, dropoff: clock + dur})
+			clock += dur
+		}
+	}
+	var primary, secondary []eventgen.Event
+	for _, tr := range trips {
+		primary = append(primary,
+			eventgen.Event{Time: tr.pickup, Key: tr.key, Size: 48, Kind: eventgen.KindStart},
+			eventgen.Event{Time: tr.dropoff, Key: tr.key, Size: 48, Kind: eventgen.KindEnd},
+		)
+		// Fare event lands shortly after drop-off (source clock skew).
+		secondary = append(secondary, eventgen.Event{
+			Time: tr.dropoff + rng.Int63n(30000), Key: tr.key, Size: 24,
+			Stream: 1, Kind: eventgen.KindRecord,
+		})
+	}
+	sortByTime(primary)
+	sortByTime(secondary)
+	disorder(primary, rng, 0.05, 30000) // mobile reporting delays
+	disorder(secondary, rng, 0.05, 30000)
+	return Streams{Name: "taxi", Primary: primary, Secondary: secondary, Keys: nMedallions, SlackMs: 30000}
+}
+
+// Azure synthesizes the Azure VM workload shape: scale 1.0 yields
+// roughly 4M VM creation events over skewed subscription ids.
+func Azure(scale float64, seed int64) Streams {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nEvents := int(4000000 * scale)
+	if nEvents < 100 {
+		nEvents = 100
+	}
+	nSubs := int(6000 * scale)
+	if nSubs < 10 {
+		nSubs = 10
+	}
+	creationsPerSec := 50.0 * scale // rate scales with size: span invariant
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(nSubs-1))
+	events := make([]eventgen.Event, nEvents)
+	clock := int64(0)
+	for i := range events {
+		clock += int64(rng.ExpFloat64() * 1000 / creationsPerSec)
+		events[i] = eventgen.Event{
+			Time: clock,
+			Key:  zipf.Uint64(),
+			Size: 40,
+			Kind: eventgen.KindRecord,
+		}
+	}
+	return Streams{Name: "azure", Primary: events, Keys: nSubs}
+}
+
+// ByName returns the named dataset at the given scale.
+func ByName(name string, scale float64, seed int64) (Streams, bool) {
+	switch name {
+	case "borg":
+		return Borg(scale, seed), true
+	case "taxi":
+		return Taxi(scale, seed), true
+	case "azure":
+		return Azure(scale, seed), true
+	default:
+		return Streams{}, false
+	}
+}
+
+// Names lists the available datasets.
+func Names() []string { return []string{"borg", "taxi", "azure"} }
+
+// Source returns the primary stream with punctuated watermarks delayed
+// by the stream's disorder slack.
+func (s Streams) Source(wmEvery int) eventgen.Source {
+	return eventgen.WithWatermarks(eventgen.NewSliceSource(s.Primary), wmEvery, s.SlackMs)
+}
+
+// JoinSource round-robins the primary and secondary streams, each
+// watermarked independently, for two-input operators. It returns false
+// when the dataset has no secondary stream.
+func (s Streams) JoinSource(wmEvery int) (eventgen.Source, bool) {
+	if s.Secondary == nil {
+		return nil, false
+	}
+	a := eventgen.WithWatermarks(eventgen.NewSliceSource(s.Primary), wmEvery, s.SlackMs)
+	b := eventgen.WithWatermarks(eventgen.NewSliceSource(s.Secondary), wmEvery, s.SlackMs)
+	return eventgen.NewRoundRobin(a, b), true
+}
+
+func sortByTime(evs []eventgen.Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+}
+
+// disorder perturbs the *arrival* order of a time-sorted stream: each
+// event keeps its true event time but a fraction of events arrive up to
+// maxJitterMs late. All three public traces exhibit bounded out-of-order
+// arrival; this is what makes watermarks, allowed lateness, and session
+// merging do real work downstream.
+func disorder(evs []eventgen.Event, rng *rand.Rand, fraction float64, maxJitterMs int64) {
+	if fraction <= 0 || maxJitterMs <= 0 {
+		return
+	}
+	keys := make([]int64, len(evs))
+	for i, e := range evs {
+		keys[i] = e.Time
+		if rng.Float64() < fraction {
+			keys[i] += 1 + rng.Int63n(maxJitterMs)
+		}
+	}
+	idx := make([]int, len(evs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]eventgen.Event, len(evs))
+	for i, j := range idx {
+		out[i] = evs[j]
+	}
+	copy(evs, out)
+}

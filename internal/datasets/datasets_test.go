@@ -1,0 +1,198 @@
+package datasets
+
+import (
+	"testing"
+
+	"gadget/internal/eventgen"
+)
+
+// assertSorted verifies a stream is in arrival order with only bounded
+// event-time disorder (real traces are not perfectly sorted).
+func assertSorted(t *testing.T, evs []eventgen.Event, name string) {
+	t.Helper()
+	assertBoundedDisorder(t, evs, name, 160000)
+}
+
+func assertBoundedDisorder(t *testing.T, evs []eventgen.Event, name string, boundMs int64) {
+	t.Helper()
+	var maxSeen int64 = -1 << 62
+	for i, e := range evs {
+		if maxSeen-e.Time > boundMs {
+			t.Fatalf("%s: event %d is %dms late (bound %dms)", name, i, maxSeen-e.Time, boundMs)
+		}
+		if e.Time > maxSeen {
+			maxSeen = e.Time
+		}
+	}
+}
+
+func countLate(evs []eventgen.Event) int {
+	late := 0
+	var maxSeen int64 = -1 << 62
+	for _, e := range evs {
+		if e.Time < maxSeen {
+			late++
+		}
+		if e.Time > maxSeen {
+			maxSeen = e.Time
+		}
+	}
+	return late
+}
+
+func TestBorgShape(t *testing.T) {
+	s := Borg(0.01, 1)
+	if s.Name != "borg" || s.Secondary == nil {
+		t.Fatal("borg must have a secondary stream")
+	}
+	// Scale 0.01 => ~260 jobs, ~25K task events.
+	if s.Keys < 100 || s.Keys > 400 {
+		t.Fatalf("jobs = %d", s.Keys)
+	}
+	ratio := float64(len(s.Primary)) / float64(s.Keys)
+	if ratio < 30 || ratio > 300 {
+		t.Fatalf("task events per job = %v, want ~96", ratio)
+	}
+	assertSorted(t, s.Primary, "primary")
+	assertSorted(t, s.Secondary, "secondary")
+	// Secondary pairs starts and ends per key.
+	open := map[uint64]int{}
+	for _, e := range s.Secondary {
+		switch e.Kind {
+		case eventgen.KindStart:
+			open[e.Key]++
+		case eventgen.KindEnd:
+			open[e.Key]--
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			t.Fatalf("unbalanced lifecycle for job %d: %d", k, n)
+		}
+	}
+	// Bounded out-of-order arrival is part of the shape.
+	if countLate(s.Primary) == 0 {
+		t.Fatal("borg primary should contain late events")
+	}
+}
+
+func TestTaxiShape(t *testing.T) {
+	s := Taxi(0.01, 2)
+	if s.Secondary == nil {
+		t.Fatal("taxi must have fares")
+	}
+	// Trip events = 2 per trip; fares = 1 per trip.
+	if len(s.Primary) != 2*len(s.Secondary) {
+		t.Fatalf("trips/fares mismatch: %d vs %d", len(s.Primary), len(s.Secondary))
+	}
+	assertSorted(t, s.Primary, "primary")
+	assertSorted(t, s.Secondary, "secondary")
+	// Per-key event rate must be far lower than Borg's: compare events
+	// per key per second of stream time.
+	borg := Borg(0.01, 1)
+	rate := func(st Streams) float64 {
+		span := float64(st.Primary[len(st.Primary)-1].Time-st.Primary[0].Time) / 1000
+		return float64(len(st.Primary)) / float64(st.Keys) / span
+	}
+	if rate(s) >= rate(borg) {
+		t.Fatalf("taxi per-key rate %v should be below borg %v", rate(s), rate(borg))
+	}
+}
+
+func TestAzureShape(t *testing.T) {
+	s := Azure(0.001, 3)
+	if s.Secondary != nil {
+		t.Fatal("azure is a single stream")
+	}
+	if len(s.Primary) < 1000 {
+		t.Fatalf("events = %d", len(s.Primary))
+	}
+	assertSorted(t, s.Primary, "primary")
+	// Subscription ids must be skewed: top key should dominate.
+	counts := map[uint64]int{}
+	for _, e := range s.Primary {
+		counts[e.Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := len(s.Primary) / len(counts)
+	if max < 3*mean {
+		t.Fatalf("azure keys not skewed: max %d vs mean %d", max, mean)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s, ok := ByName(name, 0.001, 1)
+		if !ok || s.Name != name {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope", 1, 1); ok {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestSourceEmitsWatermarks(t *testing.T) {
+	s := Azure(0.0005, 4)
+	src := s.Source(100)
+	events, wms := 0, 0
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == eventgen.ItemEvent {
+			events++
+		} else {
+			wms++
+		}
+	}
+	if events != len(s.Primary) {
+		t.Fatalf("events = %d, want %d", events, len(s.Primary))
+	}
+	if wms < events/100 {
+		t.Fatalf("watermarks = %d", wms)
+	}
+}
+
+func TestJoinSource(t *testing.T) {
+	if _, ok := Azure(0.001, 1).JoinSource(100); ok {
+		t.Fatal("azure join source should not exist")
+	}
+	s := Taxi(0.005, 5)
+	src, ok := s.JoinSource(100)
+	if !ok {
+		t.Fatal("taxi join source missing")
+	}
+	counts := map[uint8]int{}
+	for {
+		it, okk := src.Next()
+		if !okk {
+			break
+		}
+		if it.Kind == eventgen.ItemEvent {
+			counts[it.Event.Stream]++
+		}
+	}
+	if counts[0] != len(s.Primary) || counts[1] != len(s.Secondary) {
+		t.Fatalf("join source counts = %v", counts)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Borg(0.005, 9)
+	b := Borg(0.005, 9)
+	if len(a.Primary) != len(b.Primary) {
+		t.Fatal("non-deterministic sizes")
+	}
+	for i := range a.Primary {
+		if a.Primary[i] != b.Primary[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package eventgen produces the input event streams that drive the
+// Gadget harness: configurable synthetic sources (arrival-rate, key,
+// and value-size distributions, out-of-order injection), punctuated
+// watermarking, round-robin merging for two-input operators, and a
+// replayer for recorded event traces (the role the paper's "input
+// replayer" plays for the Borg/Taxi/Azure streams).
+package eventgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gadget/internal/dist"
+)
+
+// EventKind distinguishes plain records from lifecycle signals used by
+// the continuous join (e.g. a job completion or a taxi drop-off ends the
+// validity of the matching key's state).
+type EventKind uint8
+
+const (
+	// KindRecord is an ordinary data event.
+	KindRecord EventKind = iota
+	// KindStart opens a validity interval for the key (e.g. job submit,
+	// passenger pickup).
+	KindStart
+	// KindEnd closes the validity interval for the key (e.g. job finish,
+	// passenger drop-off), triggering state cleanup in continuous joins.
+	KindEnd
+)
+
+// Event is one element of an input stream.
+type Event struct {
+	// Time is the event time in milliseconds.
+	Time int64
+	// Key is the event key (jobID, medallionID, subscriptionID, ...).
+	Key uint64
+	// Size is the payload size in bytes.
+	Size uint32
+	// Stream tags which input the event belongs to (0 or 1 for joins).
+	Stream uint8
+	// Kind is the lifecycle kind (KindRecord for most operators).
+	Kind EventKind
+}
+
+// ItemKind tags stream items as events or watermarks.
+type ItemKind uint8
+
+const (
+	// ItemEvent carries an Event.
+	ItemEvent ItemKind = iota
+	// ItemWatermark carries a watermark timestamp: no later event will
+	// have Time <= WM (up to the configured lateness).
+	ItemWatermark
+)
+
+// Item is one element of a watermarked stream.
+type Item struct {
+	Kind  ItemKind
+	Event Event
+	WM    int64
+}
+
+// Source produces a finite stream of items.
+type Source interface {
+	// Next returns the next item; ok is false when the stream ends.
+	Next() (item Item, ok bool)
+}
+
+// SliceSource replays a materialized event slice.
+type SliceSource struct {
+	events []Event
+	i      int
+}
+
+// NewSliceSource returns a Source over events (not copied).
+func NewSliceSource(events []Event) *SliceSource { return &SliceSource{events: events} }
+
+func (s *SliceSource) Next() (Item, bool) {
+	if s.i >= len(s.events) {
+		return Item{}, false
+	}
+	e := s.events[s.i]
+	s.i++
+	return Item{Kind: ItemEvent, Event: e}, true
+}
+
+// Config describes a synthetic event stream (paper Figure 8's
+// configuration file).
+type Config struct {
+	// Events is the number of events to generate.
+	Events int
+	// Keys is the key-space size.
+	Keys uint64
+	// KeyDist selects the key distribution (default zipfian).
+	KeyDist dist.Kind
+	// ECDFKeys/ECDFWeights, when set, override KeyDist with a
+	// user-supplied empirical distribution: key ECDFKeys[i] is drawn
+	// with probability proportional to ECDFWeights[i] (paper §5.1: "the
+	// event generator can also work with empirical cumulative
+	// distribution functions provided by the user").
+	ECDFKeys    []uint64
+	ECDFWeights []float64
+	// RatePerSec is the mean arrival rate (default 1000 events/s).
+	RatePerSec float64
+	// PoissonArrivals selects exponential interarrival gaps instead of
+	// constant gaps.
+	PoissonArrivals bool
+	// ValueSize is the payload size in bytes (default 10, the paper's
+	// example configuration).
+	ValueSize uint32
+	// LateFraction is the probability an event is emitted out of order.
+	LateFraction float64
+	// MaxLatenessMs bounds the (uniform) lateness of late events.
+	MaxLatenessMs int64
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Stream tags generated events (for two-input operators).
+	Stream uint8
+	// StartEndPairs makes the generator emit KindStart/KindEnd pairs:
+	// each key alternates between opening and closing a validity
+	// interval (used by continuous joins).
+	StartEndPairs bool
+}
+
+// Synthetic generates events on the fly according to a Config.
+type Synthetic struct {
+	cfg      Config
+	keys     dist.Source
+	arrivals dist.Interarrival
+	rng      *rand.Rand
+	clock    int64
+	emitted  int
+	open     map[uint64]bool // key -> interval open (StartEndPairs mode)
+}
+
+// NewSynthetic validates cfg and returns a generator.
+func NewSynthetic(cfg Config) (*Synthetic, error) {
+	if cfg.Events <= 0 {
+		return nil, fmt.Errorf("eventgen: Events must be positive, got %d", cfg.Events)
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1000
+	}
+	if cfg.KeyDist == "" {
+		cfg.KeyDist = dist.Zipfian
+	}
+	if cfg.RatePerSec <= 0 {
+		cfg.RatePerSec = 1000
+	}
+	if cfg.ValueSize == 0 {
+		cfg.ValueSize = 10
+	}
+	if cfg.LateFraction < 0 || cfg.LateFraction > 1 {
+		return nil, fmt.Errorf("eventgen: LateFraction %v out of [0,1]", cfg.LateFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var keys dist.Source
+	var err error
+	if len(cfg.ECDFKeys) > 0 {
+		cum, cerr := cumulative(cfg.ECDFWeights, len(cfg.ECDFKeys))
+		if cerr != nil {
+			return nil, cerr
+		}
+		keys, err = dist.NewECDF(cfg.ECDFKeys, cum, rng)
+	} else {
+		keys, err = dist.New(cfg.KeyDist, cfg.Keys, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var arrivals dist.Interarrival
+	if cfg.PoissonArrivals {
+		arrivals = dist.NewPoissonArrivals(cfg.RatePerSec, rng)
+	} else {
+		arrivals = dist.NewConstantArrivals(cfg.RatePerSec)
+	}
+	g := &Synthetic{cfg: cfg, keys: keys, arrivals: arrivals, rng: rng}
+	if cfg.StartEndPairs {
+		g.open = make(map[uint64]bool)
+	}
+	return g, nil
+}
+
+// Next implements Source.
+func (g *Synthetic) Next() (Item, bool) {
+	if g.emitted >= g.cfg.Events {
+		return Item{}, false
+	}
+	g.emitted++
+	g.clock += g.arrivals.NextGap()
+	ts := g.clock
+	if g.cfg.LateFraction > 0 && g.rng.Float64() < g.cfg.LateFraction && g.cfg.MaxLatenessMs > 0 {
+		ts -= 1 + g.rng.Int63n(g.cfg.MaxLatenessMs)
+		if ts < 0 {
+			ts = 0
+		}
+	}
+	e := Event{
+		Time:   ts,
+		Key:    g.keys.Next(),
+		Size:   g.cfg.ValueSize,
+		Stream: g.cfg.Stream,
+	}
+	if g.open != nil {
+		if g.open[e.Key] {
+			e.Kind = KindEnd
+			delete(g.open, e.Key)
+		} else {
+			e.Kind = KindStart
+			g.open[e.Key] = true
+		}
+	}
+	return Item{Kind: ItemEvent, Event: e}, true
+}
+
+// cumulative normalizes weights into a cumulative distribution.
+func cumulative(weights []float64, n int) ([]float64, error) {
+	if len(weights) != n {
+		return nil, fmt.Errorf("eventgen: %d ECDF weights for %d keys", len(weights), n)
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("eventgen: negative ECDF weight at %d", i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("eventgen: ECDF weights sum to zero")
+	}
+	out := make([]float64, n)
+	run := 0.0
+	for i, w := range weights {
+		run += w / total
+		out[i] = run
+	}
+	out[n-1] = 1
+	return out, nil
+}
+
+// Watermarker wraps a Source, injecting a punctuated watermark after
+// every Every events with value maxSeenTime (minus the configured slack).
+type Watermarker struct {
+	src     Source
+	every   int
+	slackMs int64
+	count   int
+	maxTS   int64
+	pending *Item
+	done    bool
+	final   bool
+}
+
+// WithWatermarks wraps src with punctuated watermarks every `every`
+// events. slackMs is subtracted from the emitted watermark (a watermark
+// delay, modelling bounded disorder tolerance at the source).
+func WithWatermarks(src Source, every int, slackMs int64) *Watermarker {
+	if every <= 0 {
+		every = 100
+	}
+	return &Watermarker{src: src, every: every, slackMs: slackMs}
+}
+
+func (w *Watermarker) Next() (Item, bool) {
+	if w.pending != nil {
+		it := *w.pending
+		w.pending = nil
+		return it, true
+	}
+	if w.done {
+		if !w.final {
+			// Bounded streams end with a MAX watermark that flushes all
+			// remaining state, exactly as Flink emits Long.MAX_VALUE.
+			w.final = true
+			return Item{Kind: ItemWatermark, WM: int64(^uint64(0) >> 1)}, true
+		}
+		return Item{}, false
+	}
+	it, ok := w.src.Next()
+	if !ok {
+		w.done = true
+		return w.Next()
+	}
+	if it.Kind == ItemEvent {
+		if it.Event.Time > w.maxTS {
+			w.maxTS = it.Event.Time
+		}
+		w.count++
+		if w.count%w.every == 0 {
+			wm := Item{Kind: ItemWatermark, WM: w.maxTS - w.slackMs}
+			w.pending = &wm
+		}
+	}
+	return it, true
+}
+
+// RoundRobin interleaves two sources (the paper §6.1: "When simulating a
+// two-input operator, Gadget pulls events from each source in a
+// round-robin fashion"). Watermarks are merged with min semantics: the
+// emitted watermark never exceeds the slowest input's progress.
+type RoundRobin struct {
+	srcs    [2]Source
+	done    [2]bool
+	wm      [2]int64
+	lastWM  int64
+	turn    int
+	pending []Item
+}
+
+// NewRoundRobin merges two sources.
+func NewRoundRobin(a, b Source) *RoundRobin {
+	return &RoundRobin{srcs: [2]Source{a, b}, wm: [2]int64{-1, -1}, lastWM: -1}
+}
+
+func (r *RoundRobin) Next() (Item, bool) {
+	if len(r.pending) > 0 {
+		it := r.pending[0]
+		r.pending = r.pending[1:]
+		return it, true
+	}
+	for tries := 0; tries < 2; tries++ {
+		i := r.turn
+		r.turn = 1 - r.turn
+		if r.done[i] {
+			continue
+		}
+		it, ok := r.srcs[i].Next()
+		if !ok {
+			r.done[i] = true
+			// When one side finishes, its watermark is effectively
+			// infinite; progress is bounded by the other side.
+			r.wm[i] = int64(^uint64(0) >> 1)
+			if out := r.minWM(); out > r.lastWM {
+				r.lastWM = out
+				return Item{Kind: ItemWatermark, WM: out}, true
+			}
+			continue
+		}
+		if it.Kind == ItemWatermark {
+			r.wm[i] = it.WM
+			if out := r.minWM(); out > r.lastWM {
+				r.lastWM = out
+				return Item{Kind: ItemWatermark, WM: out}, true
+			}
+			// Watermark held back; pull again next call.
+			return r.Next()
+		}
+		return it, true
+	}
+	return Item{}, false
+}
+
+func (r *RoundRobin) minWM() int64 {
+	if r.wm[0] < r.wm[1] {
+		return r.wm[0]
+	}
+	return r.wm[1]
+}
+
+// Collect drains a source into slices of events (watermarks dropped),
+// mainly for tests and analyses that need the raw stream.
+func Collect(src Source) []Event {
+	var out []Event
+	for {
+		it, ok := src.Next()
+		if !ok {
+			return out
+		}
+		if it.Kind == ItemEvent {
+			out = append(out, it.Event)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package eventgen
+
+import (
+	"testing"
+
+	"gadget/internal/dist"
+)
+
+func TestSyntheticBasics(t *testing.T) {
+	g, err := NewSynthetic(Config{Events: 1000, Keys: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	var lastClock int64 = -1
+	for {
+		it, ok := g.Next()
+		if !ok {
+			break
+		}
+		if it.Kind != ItemEvent {
+			t.Fatal("synthetic source should emit only events")
+		}
+		e := it.Event
+		if e.Key >= 50 {
+			t.Fatalf("key %d out of range", e.Key)
+		}
+		if e.Size != 10 {
+			t.Fatalf("default value size = %d", e.Size)
+		}
+		if e.Time < lastClock-0 { // no lateness configured: monotone
+			t.Fatalf("timestamps regressed: %d after %d", e.Time, lastClock)
+		}
+		lastClock = e.Time
+		events = append(events, e)
+	}
+	if len(events) != 1000 {
+		t.Fatalf("generated %d events", len(events))
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := NewSynthetic(Config{Events: 0}); err == nil {
+		t.Fatal("zero events should error")
+	}
+	if _, err := NewSynthetic(Config{Events: 1, LateFraction: 1.5}); err == nil {
+		t.Fatal("bad late fraction should error")
+	}
+	if _, err := NewSynthetic(Config{Events: 1, KeyDist: "bogus"}); err == nil {
+		t.Fatal("bad distribution should error")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	mk := func() []Event {
+		g, _ := NewSynthetic(Config{Events: 500, Keys: 100, Seed: 42, PoissonArrivals: true, LateFraction: 0.1, MaxLatenessMs: 50})
+		return Collect(g)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLateEvents(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 10000, Keys: 10, Seed: 7, LateFraction: 0.2, MaxLatenessMs: 100})
+	late := 0
+	var maxSeen int64 = -1
+	for {
+		it, ok := g.Next()
+		if !ok {
+			break
+		}
+		if it.Event.Time < maxSeen {
+			late++
+		}
+		if it.Event.Time > maxSeen {
+			maxSeen = it.Event.Time
+		}
+	}
+	frac := float64(late) / 10000
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("late fraction = %v, want ~0.2", frac)
+	}
+}
+
+func TestStartEndPairs(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 1000, Keys: 20, Seed: 3, StartEndPairs: true})
+	open := map[uint64]bool{}
+	for {
+		it, ok := g.Next()
+		if !ok {
+			break
+		}
+		e := it.Event
+		switch e.Kind {
+		case KindStart:
+			if open[e.Key] {
+				t.Fatalf("double start for key %d", e.Key)
+			}
+			open[e.Key] = true
+		case KindEnd:
+			if !open[e.Key] {
+				t.Fatalf("end without start for key %d", e.Key)
+			}
+			delete(open, e.Key)
+		default:
+			t.Fatal("pairs mode must not emit plain records")
+		}
+	}
+}
+
+func TestWatermarker(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 1000, Keys: 10, Seed: 1})
+	w := WithWatermarks(g, 100, 0)
+	events, wms := 0, 0
+	var lastWM int64 = -1
+	var maxTS int64 = -1
+	for {
+		it, ok := w.Next()
+		if !ok {
+			break
+		}
+		switch it.Kind {
+		case ItemEvent:
+			events++
+			if it.Event.Time > maxTS {
+				maxTS = it.Event.Time
+			}
+		case ItemWatermark:
+			wms++
+			if it.WM < lastWM {
+				t.Fatalf("watermark regressed: %d after %d", it.WM, lastWM)
+			}
+			if it.WM > maxTS+1 && it.WM != int64(^uint64(0)>>1) {
+				t.Fatalf("watermark %d beyond max event time %d", it.WM, maxTS)
+			}
+			lastWM = it.WM
+		}
+	}
+	if events != 1000 {
+		t.Fatalf("events = %d", events)
+	}
+	// 10 punctuated + 1 closing watermark.
+	if wms != 11 {
+		t.Fatalf("watermarks = %d, want 11", wms)
+	}
+	if lastWM <= maxTS {
+		t.Fatal("closing watermark should flush everything")
+	}
+}
+
+func TestWatermarkerSlack(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 200, Keys: 10, Seed: 1})
+	w := WithWatermarks(g, 50, 1000)
+	var maxTS, lastPunctuated int64 = -1, -1
+	count := 0
+	for {
+		it, ok := w.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == ItemEvent {
+			if it.Event.Time > maxTS {
+				maxTS = it.Event.Time
+			}
+			count++
+		} else if count < 200 {
+			lastPunctuated = it.WM
+			if it.WM > maxTS-1000 {
+				t.Fatalf("slacked watermark %d too fresh (max %d)", it.WM, maxTS)
+			}
+		}
+	}
+	if lastPunctuated == -1 {
+		t.Fatal("no punctuated watermark observed")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	evs := []Event{{Time: 1, Key: 2}, {Time: 3, Key: 4}}
+	s := NewSliceSource(evs)
+	got := Collect(s)
+	if len(got) != 2 || got[0] != evs[0] || got[1] != evs[1] {
+		t.Fatalf("collect = %+v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source should stay exhausted")
+	}
+}
+
+func TestRoundRobinInterleavesAndMergesWatermarks(t *testing.T) {
+	mk := func(stream uint8) Source {
+		g, _ := NewSynthetic(Config{Events: 300, Keys: 10, Seed: int64(stream) + 1, Stream: stream})
+		return WithWatermarks(g, 100, 0)
+	}
+	rr := NewRoundRobin(mk(0), mk(1))
+	counts := map[uint8]int{}
+	var lastWM int64 = -1
+	wmCount := 0
+	for {
+		it, ok := rr.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == ItemEvent {
+			counts[it.Event.Stream]++
+		} else {
+			if it.WM < lastWM {
+				t.Fatalf("merged watermark regressed: %d < %d", it.WM, lastWM)
+			}
+			lastWM = it.WM
+			wmCount++
+		}
+	}
+	if counts[0] != 300 || counts[1] != 300 {
+		t.Fatalf("stream counts = %v", counts)
+	}
+	if wmCount == 0 {
+		t.Fatal("no merged watermarks")
+	}
+}
+
+func TestRoundRobinOneSideEmpty(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 10, Keys: 5, Seed: 1})
+	rr := NewRoundRobin(WithWatermarks(g, 5, 0), NewSliceSource(nil))
+	events := 0
+	for {
+		it, ok := rr.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == ItemEvent {
+			events++
+		}
+	}
+	if events != 10 {
+		t.Fatalf("events = %d", events)
+	}
+}
+
+func TestKeyDistributionsRespected(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 20000, Keys: 100, KeyDist: dist.Uniform, Seed: 5})
+	counts := make([]int, 100)
+	for {
+		it, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[it.Event.Key]++
+	}
+	for k, c := range counts {
+		if c < 100 || c > 320 {
+			t.Fatalf("uniform key %d count %d far from 200", k, c)
+		}
+	}
+}
+
+func TestECDFKeys(t *testing.T) {
+	g, err := NewSynthetic(Config{
+		Events:      20000,
+		Seed:        9,
+		ECDFKeys:    []uint64{5, 17, 99},
+		ECDFWeights: []float64{6, 3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for _, e := range Collect(g) {
+		counts[e.Key]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys = %v", counts)
+	}
+	if counts[5] < counts[17] || counts[17] < counts[99] {
+		t.Fatalf("ECDF weights not respected: %v", counts)
+	}
+	frac := float64(counts[5]) / 20000
+	if frac < 0.55 || frac > 0.65 {
+		t.Fatalf("key 5 share = %v, want ~0.6", frac)
+	}
+}
+
+func TestECDFValidation(t *testing.T) {
+	bad := []Config{
+		{Events: 1, ECDFKeys: []uint64{1, 2}, ECDFWeights: []float64{1}},
+		{Events: 1, ECDFKeys: []uint64{1}, ECDFWeights: []float64{-1}},
+		{Events: 1, ECDFKeys: []uint64{1, 2}, ECDFWeights: []float64{0, 0}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSynthetic(cfg); err == nil {
+			t.Fatalf("config %d should fail", i)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 2000, Keys: 64, Seed: 4})
+	src := WithWatermarks(g, 100, 0)
+	parts := Partition(src, 4)
+	if len(parts) != 4 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	keyOwner := map[uint64]int{}
+	totalEvents := 0
+	for p, part := range parts {
+		wms := 0
+		for {
+			it, ok := part.Next()
+			if !ok {
+				break
+			}
+			if it.Kind == ItemWatermark {
+				wms++
+				continue
+			}
+			totalEvents++
+			if owner, seen := keyOwner[it.Event.Key]; seen && owner != p {
+				t.Fatalf("key %d in partitions %d and %d", it.Event.Key, owner, p)
+			}
+			keyOwner[it.Event.Key] = p
+		}
+		// Watermarks are broadcast: every partition sees all 21.
+		if wms != 21 {
+			t.Fatalf("partition %d saw %d watermarks", p, wms)
+		}
+	}
+	if totalEvents != 2000 {
+		t.Fatalf("events = %d", totalEvents)
+	}
+	// Keys spread across partitions.
+	seen := map[int]bool{}
+	for _, p := range keyOwner {
+		seen[p] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d partitions populated", len(seen))
+	}
+}
+
+func TestPartitionSingle(t *testing.T) {
+	g, _ := NewSynthetic(Config{Events: 10, Keys: 5, Seed: 1})
+	parts := Partition(g, 1)
+	if len(parts) != 1 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	if n := len(Collect(parts[0])); n != 10 {
+		t.Fatalf("events = %d", n)
+	}
+}

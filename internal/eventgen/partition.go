@@ -1,0 +1,52 @@
+package eventgen
+
+// Partition splits a stream into n key-disjoint sub-streams, modelling
+// the data-parallel execution of §2.1: each task of an operator processes
+// a disjoint key partition of the input with its own state store.
+// Events route by key hash; watermarks are broadcast to every partition
+// (as stream processors do). The input source is drained eagerly.
+func Partition(src Source, n int) []Source {
+	if n <= 1 {
+		return []Source{src}
+	}
+	parts := make([][]Item, n)
+	for {
+		it, ok := src.Next()
+		if !ok {
+			break
+		}
+		if it.Kind == ItemWatermark {
+			for i := range parts {
+				parts[i] = append(parts[i], it)
+			}
+			continue
+		}
+		p := int(hashKey(it.Event.Key) % uint64(n))
+		parts[p] = append(parts[p], it)
+	}
+	out := make([]Source, n)
+	for i := range parts {
+		out[i] = &itemSource{items: parts[i]}
+	}
+	return out
+}
+
+// itemSource replays a materialized item slice (events and watermarks).
+type itemSource struct {
+	items []Item
+	i     int
+}
+
+func (s *itemSource) Next() (Item, bool) {
+	if s.i >= len(s.items) {
+		return Item{}, false
+	}
+	it := s.items[s.i]
+	s.i++
+	return it, true
+}
+
+func hashKey(k uint64) uint64 {
+	// Fibonacci hashing spreads contiguous keys across partitions.
+	return k * 0x9E3779B97F4A7C15 >> 3
+}

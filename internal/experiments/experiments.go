@@ -1,0 +1,296 @@
+// Package experiments reproduces every table and figure of the paper's
+// characterization (§3), YCSB comparison (§4), and evaluation (§6). Each
+// experiment is a runner keyed by the paper's table/figure id; it
+// returns a Report with formatted rows plus shape checks that assert the
+// paper's qualitative findings (who wins, what grows, where the gaps
+// are) on this reproduction's scaled-down runs.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gadget/internal/core"
+	"gadget/internal/datasets"
+	"gadget/internal/eventgen"
+	"gadget/internal/flinksim"
+	"gadget/internal/kv"
+	"gadget/internal/stores"
+)
+
+// Scale shrinks the paper's multi-hour runs to laptop/CI budgets while
+// preserving memory-pressure ratios and workload shapes.
+type Scale struct {
+	// DatasetScale multiplies the paper-sized dataset event counts.
+	DatasetScale float64
+	// YCSBOps is the YCSB operation count (paper: 2M).
+	YCSBOps uint64
+	// YCSBKeys is the YCSB record count (paper: 1000).
+	YCSBKeys uint64
+	// PerfEvents is the input event count for store-performance runs.
+	PerfEvents int
+	// StoreMemBytes is the base unit for store memory budgets; engines
+	// get paper-proportional multiples of it (paper base: 64 MiB).
+	StoreMemBytes int64
+	// WorkDir hosts store directories; empty uses a temp dir per run.
+	WorkDir string
+}
+
+// DefaultScale targets a ~2 minute full reproduction.
+func DefaultScale() Scale {
+	return Scale{
+		DatasetScale:  0.01,
+		YCSBOps:       200_000,
+		YCSBKeys:      1000,
+		PerfEvents:    60_000,
+		StoreMemBytes: 4 << 20,
+	}
+}
+
+// QuickScale targets CI smoke runs (a few seconds).
+func QuickScale() Scale {
+	return Scale{
+		DatasetScale:  0.002,
+		YCSBOps:       20_000,
+		YCSBKeys:      500,
+		PerfEvents:    8_000,
+		StoreMemBytes: 1 << 20,
+	}
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	// ID is the paper's table/figure id ("table1", "fig13", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the row columns.
+	Header []string
+	// Rows carry the regenerated numbers.
+	Rows [][]string
+	// Checks record the paper's qualitative claims verified against this
+	// run; each is "PASS ..." or "WARN ...".
+	Checks []string
+}
+
+// Failed returns the checks that did not pass.
+func (r Report) Failed() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !strings.HasPrefix(c, "PASS") {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	rows := append([][]string{r.Header}, r.Rows...)
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total) + "\n")
+		}
+	}
+	for _, c := range r.Checks {
+		fmt.Fprintf(&b, "%s\n", c)
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Scale) (Report, error)
+
+// All returns every experiment runner in paper order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"table1", Table1Composition},
+		{"table2", Table2KSTest},
+		{"fig2", Figure2WindowConfig},
+		{"fig3", Figure3Amplification},
+		{"fig4", Figure4SlideSweep},
+		{"fig5", Figure5Locality},
+		{"fig6", Figure6Watermarks},
+		{"fig7", Figure7YCSBLocality},
+		{"table3", Table3TTL},
+		{"fig10", Figure10GadgetAccuracy},
+		{"fig11", Figure11TraceFidelity},
+		{"fig12", Figure12YCSBCore},
+		{"fig13", Figure13StoreShootout},
+		{"fig14", Figure14Concurrent},
+	}
+}
+
+// ByID returns the runner for a paper id.
+func ByID(id string) (Runner, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// paperConfig returns the paper's default operator parameters (§3.1.2).
+func paperConfig(op core.OperatorType) core.Config {
+	return core.Config{
+		Operator:        op,
+		WindowLengthMs:  5000,
+		WindowSlideMs:   1000,
+		SessionGapMs:    120000,
+		IntervalLowerMs: 120000,
+		IntervalUpperMs: 180000,
+	}
+}
+
+const watermarkEvery = 100
+
+// characterizationOps are the nine operators of Tables 1-2 (window joins
+// are part of the eleven store workloads but not the characterization).
+func characterizationOps() []core.OperatorType {
+	return []core.OperatorType{
+		core.TumblingIncr, core.SlidingIncr, core.SessionIncr,
+		core.TumblingHol, core.SlidingHol, core.SessionHol,
+		core.ContinJoin, core.IntervalJoin, core.Aggregation,
+	}
+}
+
+// representativeOps are the three operators of §3.2.3 and §4.
+func representativeOps() []core.OperatorType {
+	return []core.OperatorType{core.Aggregation, core.TumblingIncr, core.IntervalJoin}
+}
+
+// sourceFor builds the right (possibly two-stream) source for op.
+func sourceFor(ds datasets.Streams, op core.OperatorType) (eventgen.Source, bool) {
+	if op.IsJoin() {
+		return ds.JoinSource(watermarkEvery)
+	}
+	return ds.Source(watermarkEvery), true
+}
+
+// allEvents returns the input events op consumes from ds.
+func allEvents(ds datasets.Streams, op core.OperatorType) []eventgen.Event {
+	if op.IsJoin() && ds.Secondary != nil {
+		out := make([]eventgen.Event, 0, len(ds.Primary)+len(ds.Secondary))
+		out = append(out, ds.Primary...)
+		return append(out, ds.Secondary...)
+	}
+	return ds.Primary
+}
+
+// realTrace collects the ground-truth trace from the reference engine.
+func realTrace(ds datasets.Streams, cfg core.Config) ([]kv.Access, error) {
+	src, ok := sourceFor(ds, cfg.Operator)
+	if !ok {
+		return nil, fmt.Errorf("experiments: dataset %s cannot drive %s", ds.Name, cfg.Operator)
+	}
+	tr, _, err := flinksim.CollectTrace(cfg, src)
+	return tr, err
+}
+
+// gadgetTrace generates the trace with the Gadget harness.
+func gadgetTrace(ds datasets.Streams, cfg core.Config) ([]kv.Access, error) {
+	src, ok := sourceFor(ds, cfg.Operator)
+	if !ok {
+		return nil, fmt.Errorf("experiments: dataset %s cannot drive %s", ds.Name, cfg.Operator)
+	}
+	op, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Generate(src, op), nil
+}
+
+// perfEngines are the four stores of the paper's evaluation.
+func perfEngines() []string { return []string{"rocksdb", "lethe", "faster", "berkeleydb"} }
+
+// openScaledStore opens an engine with paper-proportional memory budgets
+// derived from s.StoreMemBytes (the paper's base unit is 64 MiB):
+// RocksDB/Lethe get 2x write buffers plus a 1x cache, BerkeleyDB a 4x
+// cache, FASTER a 4x log and a 1x index.
+func openScaledStore(s Scale, engine, dir string) (kv.Store, error) {
+	unit := s.StoreMemBytes
+	if unit <= 0 {
+		unit = 4 << 20
+	}
+	cfg := stores.Config{Engine: engine, Dir: dir}
+	switch engine {
+	case "rocksdb", "lethe", "lsm":
+		cfg.MemtableBytes = 2 * unit
+		cfg.CacheBytes = unit
+		cfg.DeleteThresholdMs = 10000
+	case "berkeleydb", "btree":
+		cfg.CacheBytes = 4 * unit
+	case "faster":
+		cfg.LogMemBytes = 4 * unit
+		cfg.IndexBuckets = int(unit / 8)
+	}
+	return stores.Open(cfg)
+}
+
+// workDir allocates a fresh store directory under the scale's WorkDir.
+func workDir(s Scale, name string) (string, func(), error) {
+	base := s.WorkDir
+	if base == "" {
+		dir, err := os.MkdirTemp("", "gadget-"+name+"-*")
+		if err != nil {
+			return "", nil, err
+		}
+		return dir, func() { os.RemoveAll(dir) }, nil
+	}
+	dir, err := os.MkdirTemp(base, name+"-*")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func check(ok bool, format string, args ...interface{}) string {
+	prefix := "PASS "
+	if !ok {
+		prefix = "WARN "
+	}
+	return prefix + fmt.Sprintf(format, args...)
+}
+
+// sortedKeys returns map keys in sorted order (deterministic reports).
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Characterization experiments must pass their shape checks even at the
+// tiny CI scale.
+func TestCharacterizationExperiments(t *testing.T) {
+	s := QuickScale()
+	for _, id := range []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, ok := ByID(id)
+			if !ok {
+				t.Fatalf("missing runner %s", id)
+			}
+			rep, err := run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if failed := rep.Failed(); len(failed) > 0 {
+				t.Fatalf("shape checks failed:\n%s", strings.Join(failed, "\n"))
+			}
+			if rep.String() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}
+
+// Performance experiments must run to completion; their shape checks are
+// hardware dependent, so failures degrade to warnings here.
+func TestPerformanceExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("performance experiments skipped in -short mode")
+	}
+	s := QuickScale()
+	for _, id := range []string{"fig11", "fig12", "fig13", "fig14"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, _ := ByID(id)
+			rep, err := run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, w := range rep.Failed() {
+				t.Logf("note (scale-dependent): %s", w)
+			}
+		})
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("unknown id should miss")
+	}
+}
+
+func TestAllUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(seen))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := Report{
+		ID: "x", Title: "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "22"}},
+		Checks: []string{"PASS ok", "WARN nope"},
+	}
+	out := rep.String()
+	if !strings.Contains(out, "PASS ok") || !strings.Contains(out, "22") {
+		t.Fatalf("render = %q", out)
+	}
+	if len(rep.Failed()) != 1 {
+		t.Fatalf("failed = %v", rep.Failed())
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	s := QuickScale()
+	for _, a := range Ablations() {
+		a := a
+		t.Run(a.ID, func(t *testing.T) {
+			rep, err := a.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, w := range rep.Failed() {
+				t.Logf("note (scale-dependent): %s", w)
+			}
+		})
+	}
+}
+
+func TestAblationByID(t *testing.T) {
+	if _, ok := AblationByID("ablate-bloom"); !ok {
+		t.Fatal("missing ablation")
+	}
+	if _, ok := AblationByID("nope"); ok {
+		t.Fatal("unknown ablation should miss")
+	}
+}

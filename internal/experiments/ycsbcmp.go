@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gadget/internal/analysis"
+	"gadget/internal/core"
+	"gadget/internal/dist"
+	"gadget/internal/kv"
+	"gadget/internal/stats"
+	"gadget/internal/ycsb"
+)
+
+// tunedYCSB builds the paper's §4 manually tuned YCSB workloads for a
+// real trace: same operation count, same key count, same read ratio, and
+// the requested request distribution. Aggregation-like read/update pairs
+// use read-modify-write, as the paper does.
+func tunedYCSB(real []kv.Access, op core.OperatorType, kind dist.Kind, seed int64) ([]kv.Access, error) {
+	comp := analysis.Compose(real)
+	records := uint64(distinctState(real))
+	if records == 0 {
+		records = 1
+	}
+	rmw := op == core.Aggregation
+	return ycsb.Tuned(records, uint64(len(real)), comp.Get, rmw, kind, 256, seed)
+}
+
+func distinctState(tr []kv.Access) int {
+	seen := make(map[kv.StateKey]struct{}, 1024)
+	for _, a := range tr {
+		seen[a.Key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Figure7YCSBLocality reproduces Figure 7 (and the §4 analysis): tuned
+// YCSB traces cannot match both the temporal and the spatial locality of
+// real streaming state traces.
+func Figure7YCSBLocality(s Scale) (Report, error) {
+	rep := Report{
+		ID:     "fig7",
+		Title:  "Real vs tuned YCSB locality (Borg)",
+		Header: []string{"operator", "trace", "mean-stack-dist", "uniq-seq-10"},
+	}
+	ds := borg(s)
+	for _, op := range representativeOps() {
+		real, err := realTrace(ds, paperConfig(op))
+		if err != nil {
+			return rep, err
+		}
+		ycsbL, err := tunedYCSB(real, op, dist.Latest, 4)
+		if err != nil {
+			return rep, err
+		}
+		ycsbS, err := tunedYCSB(real, op, dist.Sequential, 5)
+		if err != nil {
+			return rep, err
+		}
+		ids := analysis.KeyIDs(real)
+		shuf := analysis.Shuffle(ids, 9)
+		type row struct {
+			name string
+			ids  []uint64
+		}
+		var meanSD = map[string]float64{}
+		var seq10 = map[string]int{}
+		for _, r := range []row{
+			{"real", ids},
+			{"shuffled", shuf},
+			{"ycsb-latest", analysis.KeyIDs(ycsbL)},
+			{"ycsb-seq", analysis.KeyIDs(ycsbS)},
+		} {
+			d, _ := analysis.StackDistances(r.ids)
+			sq := analysis.UniqueSequences(r.ids, 10)
+			meanSD[r.name] = meanOf(d)
+			seq10[r.name] = sq[9]
+			rep.Rows = append(rep.Rows, []string{
+				string(op), r.name, f2(meanSD[r.name]), fmt.Sprintf("%d", sq[9]),
+			})
+		}
+		strict := op != core.IntervalJoin
+		rep.Checks = append(rep.Checks,
+			check(meanSD["real"] < meanSD["ycsb-latest"] || !strict,
+				"%s: real trace is temporally hotter than YCSB-latest (%.1f vs %.1f)",
+				op, meanSD["real"], meanSD["ycsb-latest"]),
+			check(seq10["ycsb-seq"] < seq10["real"],
+				"%s: YCSB-sequential overshoots spatial locality (%d < %d unique seqs)",
+				op, seq10["ycsb-seq"], seq10["real"]),
+			check(seq10["real"] < seq10["shuffled"] || (!strict && seq10["real"] <= seq10["shuffled"]),
+				"%s: real trace has spatial structure its shuffle lacks (%d vs %d)",
+				op, seq10["real"], seq10["shuffled"]),
+		)
+	}
+	return rep, nil
+}
+
+// Table3TTL reproduces Table 3: key Time-to-Live in real traces vs the
+// closest tuned YCSB traces.
+func Table3TTL(s Scale) (Report, error) {
+	rep := Report{
+		ID:     "table3",
+		Title:  "TTL (trace steps): real vs closest YCSB",
+		Header: []string{"operator", "trace", "p50", "p90", "p99.9", "max", "once-share"},
+	}
+	ds := borg(s)
+	for _, op := range representativeOps() {
+		real, err := realTrace(ds, paperConfig(op))
+		if err != nil {
+			return rep, err
+		}
+		ycsbL, err := tunedYCSB(real, op, dist.Latest, 6)
+		if err != nil {
+			return rep, err
+		}
+		realIDs := analysis.KeyIDs(real)
+		ycsbIDs := analysis.KeyIDs(ycsbL)
+		realTTL := analysis.SampleTTLs(realIDs, 1000, 11)
+		ycsbTTL := analysis.SampleTTLs(ycsbIDs, 1000, 11)
+		_, realOnce := analysis.TTLs(realIDs)
+		_, ycsbOnce := analysis.TTLs(ycsbIDs)
+		emit := func(name string, s stats.Summary, once float64) {
+			rep.Rows = append(rep.Rows, []string{
+				string(op), name, f2(s.P50), f2(s.P90), f2(s.P999), f2(s.Max), f3(once),
+			})
+		}
+		emit("real", realTTL, realOnce)
+		emit("ycsb-latest", ycsbTTL, ycsbOnce)
+		rep.Checks = append(rep.Checks,
+			check(realTTL.P50 < ycsbTTL.P50 || realTTL.P90 < ycsbTTL.P90,
+				"%s: real keys live far shorter than YCSB keys (p50 %.0f vs %.0f)",
+				op, realTTL.P50, ycsbTTL.P50),
+		)
+		// Streaming traces never touch a key exactly once; YCSB does
+		// whenever the keyspace outgrows the zipf head (window operators).
+		if op != core.Aggregation {
+			rep.Checks = append(rep.Checks, check(realOnce < 0.05 && ycsbOnce > realOnce,
+				"%s: YCSB leaves more keys accessed once (%.2f vs %.2f)", op, ycsbOnce, realOnce))
+		}
+	}
+	return rep, nil
+}

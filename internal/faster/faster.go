@@ -1,0 +1,463 @@
+// Package faster implements a hash key-value store in the role FASTER
+// (Chandramouli et al., SIGMOD '18) plays in the paper: an open hash
+// index over a hybrid log. The log's tail region is mutable (updates
+// happen in place), the colder in-memory region is read-copy-update, and
+// the coldest region is spilled to disk. Point operations are O(1): one
+// hash probe plus a short chain walk.
+//
+// Merge is implemented eagerly as read-modify-write (FASTER's rmw), so
+// the cost profile the paper attributes to FASTER on holistic workloads
+// — reading and rewriting a growing vector per update — is preserved.
+//
+// Unlike the original's epoch-based lock-free design, this implementation
+// uses a coarse RWMutex; the paper's concurrency experiments co-locate
+// whole operator instances rather than stressing intra-store scalability.
+package faster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gadget/internal/kv"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the store directory; required.
+	Dir string
+	// LogMemBudget is the in-memory portion of the hybrid log in bytes
+	// (default 256 MiB, the paper's configuration).
+	LogMemBudget int64
+	// IndexBuckets is the number of hash buckets (default: 64 MiB worth,
+	// i.e. 8M buckets). The index does not resize, as in FASTER's
+	// statically sized hash table.
+	IndexBuckets int
+	// MutableFraction is the tail fraction of the in-memory log where
+	// updates happen in place (default 0.9).
+	MutableFraction float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.LogMemBudget <= 0 {
+		out.LogMemBudget = 256 << 20
+	}
+	if out.IndexBuckets <= 0 {
+		out.IndexBuckets = (64 << 20) / 8
+	}
+	// Round buckets up to a power of two for mask addressing.
+	n := 1
+	for n < out.IndexBuckets {
+		n <<= 1
+	}
+	out.IndexBuckets = n
+	if out.MutableFraction <= 0 || out.MutableFraction > 1 {
+		out.MutableFraction = 0.9
+	}
+	return out
+}
+
+const (
+	segBits = 22 // 4 MiB segments
+	segSize = 1 << segBits
+	segMask = segSize - 1
+
+	recHeader = 1 + 4 + 4 + 4 + 8 // kind, keyLen, valCap, valLen, prev
+
+	kindPut    byte = 1
+	kindDelete byte = 2
+	kindPad    byte = 0xFF
+)
+
+// Store is a FASTER-style hash store implementing kv.Store.
+type Store struct {
+	opts Options
+
+	mu       sync.RWMutex
+	buckets  []uint64 // head of record chain per bucket; 0 = empty
+	segs     map[uint64][]byte
+	tail     uint64 // next append address
+	headAddr uint64 // lowest in-memory address
+	file     *os.File
+	count    int64 // live (non-deleted) keys, approximate
+	closed   bool
+}
+
+var _ kv.Store = (*Store)(nil)
+
+// Open opens (or creates) a store in opts.Dir. If a previous instance
+// was cleanly closed, its log is scanned to rebuild the index.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("faster: Options.Dir is required")
+	}
+	o := opts.withDefaults()
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(o.Dir, "faster.log"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:    o,
+		buckets: make([]uint64, o.IndexBuckets),
+		segs:    map[uint64][]byte{0: make([]byte, segSize)},
+		tail:    1, // address 0 is reserved as "nil"
+		file:    f,
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover rebuilds the index by scanning a previously persisted log.
+func (s *Store) recover() error {
+	metaPath := filepath.Join(s.opts.Dir, "meta")
+	mb, err := os.ReadFile(metaPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(mb) != 8 {
+		return fmt.Errorf("faster: corrupt meta file")
+	}
+	persistedTail := binary.LittleEndian.Uint64(mb)
+	st, err := s.file.Stat()
+	if err != nil {
+		return err
+	}
+	if int64(persistedTail) > st.Size() {
+		return fmt.Errorf("faster: meta tail %d beyond log size %d", persistedTail, st.Size())
+	}
+	// Load the whole persisted log back as in-memory segments, then scan.
+	nSegs := (persistedTail + segSize - 1) / segSize
+	for i := uint64(0); i < nSegs; i++ {
+		seg := make([]byte, segSize)
+		if _, err := s.file.ReadAt(seg, int64(i*segSize)); err != nil && i != nSegs-1 {
+			return err
+		}
+		s.segs[i] = seg
+	}
+	liveKind := make(map[string]byte)
+	addr := uint64(1)
+	for addr < persistedTail {
+		segOff := addr & segMask
+		if segSize-segOff < recHeader {
+			addr = (addr>>segBits + 1) << segBits
+			continue
+		}
+		seg := s.segs[addr>>segBits]
+		if seg[segOff] == kindPad {
+			addr = (addr>>segBits + 1) << segBits
+			continue
+		}
+		kind, keyLen, valCap, _, _ := parseHeader(seg[segOff:])
+		recLen := uint64(recHeader) + uint64(keyLen) + uint64(valCap)
+		key := seg[segOff+recHeader : segOff+recHeader+uint64(keyLen)]
+		b := s.bucketFor(key)
+		// Rewrite prev pointer to the current chain head so recovery
+		// preserves lookup chains even after index reconstruction.
+		binary.LittleEndian.PutUint64(seg[segOff+13:], s.buckets[b])
+		liveKind[string(key)] = kind
+		s.buckets[b] = addr
+		addr += recLen
+	}
+	for _, kind := range liveKind {
+		if kind == kindPut {
+			s.count++
+		}
+	}
+	s.tail = persistedTail
+	// Keep only the budgeted tail in memory.
+	s.headAddr = 0
+	s.evictLocked()
+	// Remove stale meta so a crash before the next Close is detected.
+	os.Remove(metaPath)
+	return nil
+}
+
+func parseHeader(b []byte) (kind byte, keyLen, valCap, valLen uint32, prev uint64) {
+	kind = b[0]
+	keyLen = binary.LittleEndian.Uint32(b[1:])
+	valCap = binary.LittleEndian.Uint32(b[5:])
+	valLen = binary.LittleEndian.Uint32(b[9:])
+	prev = binary.LittleEndian.Uint64(b[13:])
+	return
+}
+
+func (s *Store) bucketFor(key []byte) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 0x100000001B3
+	)
+	h := uint64(offset)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h & uint64(len(s.buckets)-1)
+}
+
+// Caps advertises in-place updates without a lazy merge operator.
+func (s *Store) Caps() kv.Capabilities {
+	return kv.Capabilities{NativeMerge: false, InPlaceUpdate: true}
+}
+
+// mutableBoundary returns the lowest address eligible for in-place update.
+func (s *Store) mutableBoundary() uint64 {
+	mutable := uint64(float64(s.opts.LogMemBudget) * s.opts.MutableFraction)
+	if s.tail <= mutable {
+		return 0
+	}
+	return s.tail - mutable
+}
+
+// readRecord fetches the record at addr, from memory or disk.
+func (s *Store) readRecord(addr uint64) (kind byte, key, val []byte, prev uint64, err error) {
+	segIdx := addr >> segBits
+	segOff := addr & segMask
+	if seg, ok := s.segs[segIdx]; ok {
+		kind, keyLen, _, valLen, prev := parseHeader(seg[segOff:])
+		ko := segOff + recHeader
+		return kind, seg[ko : ko+uint64(keyLen)], seg[ko+uint64(keyLen) : ko+uint64(keyLen)+uint64(valLen)], prev, nil
+	}
+	var hdr [recHeader]byte
+	if _, err := s.file.ReadAt(hdr[:], int64(addr)); err != nil {
+		return 0, nil, nil, 0, err
+	}
+	kind, keyLen, _, valLen, prev := parseHeader(hdr[:])
+	buf := make([]byte, uint64(keyLen)+uint64(valLen))
+	if _, err := s.file.ReadAt(buf, int64(addr+recHeader)); err != nil {
+		return 0, nil, nil, 0, err
+	}
+	return kind, buf[:keyLen], buf[keyLen:], prev, nil
+}
+
+// findRecord walks the hash chain for key, returning the newest record
+// address (0 if absent).
+func (s *Store) findRecord(key []byte) (addr uint64, kind byte, val []byte, err error) {
+	addr = s.buckets[s.bucketFor(key)]
+	for addr != 0 {
+		k, rkey, rval, prev, err := s.readRecord(addr)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if string(rkey) == string(key) {
+			return addr, k, rval, nil
+		}
+		addr = prev
+	}
+	return 0, 0, nil, nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	addr, kind, val, err := s.findRecord(key)
+	if err != nil {
+		return nil, err
+	}
+	if addr == 0 || kind == kindDelete {
+		return nil, kv.ErrNotFound
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// Put stores value under key, updating in place when the record lives in
+// the mutable region and has capacity.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.upsertLocked(key, value)
+}
+
+func (s *Store) upsertLocked(key, value []byte) error {
+	if s.closed {
+		return kv.ErrClosed
+	}
+	addr, kind, _, err := s.findRecord(key)
+	if err != nil {
+		return err
+	}
+	if addr == 0 || kind == kindDelete {
+		s.count++
+	}
+	if addr != 0 && addr >= s.mutableBoundary() && kind == kindPut {
+		if s.tryInPlace(addr, value) {
+			return nil
+		}
+	}
+	return s.appendRecord(kindPut, key, value)
+}
+
+// tryInPlace overwrites the value of the in-memory record at addr when
+// the new value fits its capacity.
+func (s *Store) tryInPlace(addr uint64, value []byte) bool {
+	seg, ok := s.segs[addr>>segBits]
+	if !ok {
+		return false
+	}
+	off := addr & segMask
+	_, keyLen, valCap, _, _ := parseHeader(seg[off:])
+	if uint32(len(value)) > valCap {
+		return false
+	}
+	binary.LittleEndian.PutUint32(seg[off+9:], uint32(len(value)))
+	copy(seg[off+recHeader+uint64(keyLen):], value)
+	return true
+}
+
+// Merge performs FASTER's rmw: read the current value, append the
+// operand, and write the result (in place when possible).
+func (s *Store) Merge(key, operand []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	addr, kind, val, err := s.findRecord(key)
+	if err != nil {
+		return err
+	}
+	var combined []byte
+	if addr != 0 && kind == kindPut {
+		combined = make([]byte, 0, len(val)+len(operand))
+		combined = append(combined, val...)
+		combined = append(combined, operand...)
+	} else {
+		combined = append([]byte(nil), operand...)
+		s.count++
+	}
+	if addr != 0 && addr >= s.mutableBoundary() && kind == kindPut {
+		if s.tryInPlace(addr, combined) {
+			return nil
+		}
+	}
+	return s.appendRecord(kindPut, key, combined)
+}
+
+// Delete appends a tombstone for key.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	addr, kind, _, err := s.findRecord(key)
+	if err != nil {
+		return err
+	}
+	if addr == 0 || kind == kindDelete {
+		return nil // nothing to delete; avoid growing the log
+	}
+	s.count--
+	return s.appendRecord(kindDelete, key, nil)
+}
+
+// appendRecord writes a new record at the tail and links it into the
+// index chain.
+func (s *Store) appendRecord(kind byte, key, value []byte) error {
+	recLen := uint64(recHeader) + uint64(len(key)) + uint64(len(value))
+	if recLen > segSize {
+		return fmt.Errorf("faster: record of %d bytes exceeds segment size", recLen)
+	}
+	segIdx := s.tail >> segBits
+	segOff := s.tail & segMask
+	if segOff+recLen > segSize {
+		// Pad the rest of the segment and move to the next.
+		if seg, ok := s.segs[segIdx]; ok && segOff < segSize {
+			seg[segOff] = kindPad
+		}
+		s.tail = (segIdx + 1) << segBits
+		segIdx = s.tail >> segBits
+		segOff = 0
+	}
+	seg, ok := s.segs[segIdx]
+	if !ok {
+		seg = make([]byte, segSize)
+		s.segs[segIdx] = seg
+	}
+	b := s.bucketFor(key)
+	prev := s.buckets[b]
+	hdr := seg[segOff:]
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(value)))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(value)))
+	binary.LittleEndian.PutUint64(hdr[13:], prev)
+	copy(seg[segOff+recHeader:], key)
+	copy(seg[segOff+recHeader+uint64(len(key)):], value)
+	s.buckets[b] = s.tail
+	s.tail += recLen
+	return s.evictLocked()
+}
+
+// evictLocked spills the oldest in-memory segments to disk until the
+// in-memory log fits its budget.
+func (s *Store) evictLocked() error {
+	for int64(s.tail-s.headAddr) > s.opts.LogMemBudget {
+		segIdx := s.headAddr >> segBits
+		if segIdx == s.tail>>segBits {
+			break // never evict the active tail segment
+		}
+		if seg, ok := s.segs[segIdx]; ok {
+			if _, err := s.file.WriteAt(seg, int64(segIdx*segSize)); err != nil {
+				return err
+			}
+			delete(s.segs, segIdx)
+		}
+		s.headAddr = (segIdx + 1) << segBits
+	}
+	return nil
+}
+
+// Count returns the approximate number of live keys.
+func (s *Store) Count() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// ApproximateSize returns the total log size in bytes.
+func (s *Store) ApproximateSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(s.tail)
+}
+
+// Close persists the in-memory log tail and a metadata record so a
+// subsequent Open can rebuild the index by scanning.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for segIdx, seg := range s.segs {
+		if _, err := s.file.WriteAt(seg, int64(segIdx*segSize)); err != nil {
+			s.file.Close()
+			return err
+		}
+	}
+	var mb [8]byte
+	binary.LittleEndian.PutUint64(mb[:], s.tail)
+	if err := os.WriteFile(filepath.Join(s.opts.Dir, "meta"), mb[:], 0o644); err != nil {
+		s.file.Close()
+		return err
+	}
+	return s.file.Close()
+}

@@ -1,0 +1,331 @@
+package faster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gadget/internal/kv"
+)
+
+func testStore(t testing.TB, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func smallOpts() Options {
+	return Options{
+		LogMemBudget: 8 << 20, // two 4 MiB segments: forces eviction
+		IndexBuckets: 1024,
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := testStore(t, smallOpts())
+	if _, err := s.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("miss = %v", err)
+	}
+	s.Put([]byte("a"), []byte("1"))
+	if v, err := s.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	s.Put([]byte("a"), []byte("2"))
+	if v, _ := s.Get([]byte("a")); string(v) != "2" {
+		t.Fatalf("overwrite = %q", v)
+	}
+	s.Delete([]byte("a"))
+	if _, err := s.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("delete failed")
+	}
+	if err := s.Delete([]byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestMergeRMW(t *testing.T) {
+	s := testStore(t, smallOpts())
+	k := []byte("bucket")
+	s.Merge(k, []byte("a"))
+	s.Merge(k, []byte("b"))
+	s.Merge(k, []byte("c"))
+	if v, err := s.Get(k); err != nil || string(v) != "abc" {
+		t.Fatalf("merged = %q, %v", v, err)
+	}
+	s.Put(k, []byte("X"))
+	s.Merge(k, []byte("y"))
+	if v, _ := s.Get(k); string(v) != "Xy" {
+		t.Fatalf("put+merge = %q", v)
+	}
+	s.Delete(k)
+	s.Merge(k, []byte("z"))
+	if v, _ := s.Get(k); string(v) != "z" {
+		t.Fatalf("delete+merge = %q", v)
+	}
+}
+
+func TestInPlaceUpdateSameSize(t *testing.T) {
+	s := testStore(t, smallOpts())
+	k := []byte("counter")
+	s.Put(k, []byte("00000001"))
+	tailBefore := s.tail
+	for i := 2; i < 100; i++ {
+		s.Put(k, []byte(fmt.Sprintf("%08d", i)))
+	}
+	if s.tail != tailBefore {
+		t.Fatalf("same-size updates should be in place: tail grew by %d", s.tail-tailBefore)
+	}
+	if v, _ := s.Get(k); string(v) != "00000099" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestGrowingValueForcesRCU(t *testing.T) {
+	s := testStore(t, smallOpts())
+	k := []byte("vec")
+	s.Put(k, []byte("a"))
+	tailBefore := s.tail
+	s.Merge(k, []byte("bb")) // grows beyond capacity 1
+	if s.tail == tailBefore {
+		t.Fatal("growing value should append a new record")
+	}
+	if v, _ := s.Get(k); string(v) != "abb" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestShrinkingValueInPlace(t *testing.T) {
+	s := testStore(t, smallOpts())
+	k := []byte("k")
+	s.Put(k, []byte("longvalue"))
+	tailBefore := s.tail
+	s.Put(k, []byte("s"))
+	if s.tail != tailBefore {
+		t.Fatal("shrinking update should stay in place")
+	}
+	if v, _ := s.Get(k); string(v) != "s" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestHashChainCollisions(t *testing.T) {
+	// One bucket: every key collides; chains must still resolve.
+	s := testStore(t, Options{Dir: t.TempDir(), IndexBuckets: 1, LogMemBudget: 8 << 20})
+	for i := 0; i < 200; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < 200; i++ {
+		v, err := s.Get([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("chained Get(%d) = %q, %v", i, v, err)
+		}
+	}
+	s.Delete([]byte("key-100"))
+	if _, err := s.Get([]byte("key-100")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("chained delete failed")
+	}
+	if v, _ := s.Get([]byte("key-101")); string(v) != "v101" {
+		t.Fatal("neighbor damaged by chained delete")
+	}
+}
+
+func TestEvictionToDisk(t *testing.T) {
+	s := testStore(t, smallOpts())
+	val := bytes.Repeat([]byte("x"), 1024)
+	const n = 20000 // ~20 MiB of records >> 8 MiB budget
+	for i := 0; i < n; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	if s.headAddr == 0 {
+		t.Fatal("expected evictions")
+	}
+	// Cold keys (early ones) must still be readable from disk.
+	for _, i := range []int{0, 1, 100, 5000} {
+		v, err := s.Get([]byte(fmt.Sprintf("key-%06d", i)))
+		if err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("cold Get(%d): %v", i, err)
+		}
+	}
+	// Hot keys are served from memory.
+	if v, err := s.Get([]byte(fmt.Sprintf("key-%06d", n-1))); err != nil || !bytes.Equal(v, val) {
+		t.Fatalf("hot Get: %v", err)
+	}
+}
+
+func TestColdKeyUpdateAppends(t *testing.T) {
+	s := testStore(t, smallOpts())
+	val := bytes.Repeat([]byte("x"), 1024)
+	s.Put([]byte("cold"), []byte("old"))
+	for i := 0; i < 20000; i++ {
+		s.Put([]byte(fmt.Sprintf("filler-%06d", i)), val)
+	}
+	// "cold" now lives on disk; updating it must RCU-append.
+	s.Put([]byte("cold"), []byte("new"))
+	if v, _ := s.Get([]byte("cold")); string(v) != "new" {
+		t.Fatalf("cold update = %q", v)
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	s := testStore(t, Options{Dir: t.TempDir(), IndexBuckets: 64, LogMemBudget: 8 << 20})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(500))
+		switch rng.Intn(10) {
+		case 0:
+			s.Delete([]byte(k))
+			delete(model, k)
+		case 1, 2:
+			op := fmt.Sprintf("+%d", i%7)
+			s.Merge([]byte(k), []byte(op))
+			model[k] += op
+		default:
+			v := fmt.Sprintf("v%d", i)
+			s.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		v, err := s.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v; want %q", k, v, err, want)
+		}
+	}
+	if int(s.Count()) != len(model) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(model))
+	}
+}
+
+func TestCloseAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, IndexBuckets: 256, LogMemBudget: 8 << 20}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete([]byte("key-0042"))
+	s.Merge([]byte("mk"), []byte("m1"))
+	s.Merge([]byte("mk"), []byte("m2"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, i := range []int{0, 1, 999} {
+		k := fmt.Sprintf("key-%04d", i)
+		v, err := s2.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	if _, err := s2.Get([]byte("key-0042")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("tombstone lost in recovery")
+	}
+	if v, _ := s2.Get([]byte("mk")); string(v) != "m1m2" {
+		t.Fatalf("merge lost in recovery: %q", v)
+	}
+	if s2.Count() != 1000 { // 1000 puts - 1 delete + 1 merge key
+		t.Fatalf("recovered count = %d", s2.Count())
+	}
+	// Store continues to work after recovery.
+	s2.Put([]byte("key-0000"), []byte("new"))
+	if v, _ := s2.Get([]byte("key-0000")); string(v) != "new" {
+		t.Fatal("post-recovery write failed")
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	s := testStore(t, smallOpts())
+	s.Close()
+	if err := s.Put([]byte("k"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Put = %v", err)
+	}
+	if _, err := s.Get([]byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Get = %v", err)
+	}
+	if err := s.Merge([]byte("k"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Merge = %v", err)
+	}
+	if err := s.Delete([]byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Delete = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestCaps(t *testing.T) {
+	s := testStore(t, smallOpts())
+	caps := kv.CapsOf(s)
+	if caps.NativeMerge || !caps.InPlaceUpdate {
+		t.Fatalf("caps = %+v", caps)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	s := testStore(t, smallOpts())
+	if err := s.Put([]byte("k"), make([]byte, segSize)); err == nil {
+		t.Fatal("record larger than a segment should fail")
+	}
+}
+
+func TestApproximateSize(t *testing.T) {
+	s := testStore(t, smallOpts())
+	before := s.ApproximateSize()
+	s.Put([]byte("k"), make([]byte, 1000))
+	if s.ApproximateSize() < before+1000 {
+		t.Fatal("size did not grow")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := testStore(b, Options{Dir: b.TempDir()})
+	val := bytes.Repeat([]byte("v"), 256)
+	var key [16]byte
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(key[:], fmt.Sprintf("%016d", i%100000))
+		s.Put(key[:], val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := testStore(b, Options{Dir: b.TempDir()})
+	val := bytes.Repeat([]byte("v"), 256)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Put([]byte(fmt.Sprintf("%016d", i)), val)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Get([]byte(fmt.Sprintf("%016d", i%n)))
+	}
+}

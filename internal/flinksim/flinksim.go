@@ -1,0 +1,302 @@
+// Package flinksim is a miniature stream processing engine that plays
+// the role Apache Flink plays in the paper: the *reference* system whose
+// state access traces are the ground truth Gadget is validated against
+// (paper §3 instruments Flink's state management layer; we instrument
+// this engine's store instead — see DESIGN.md §4).
+//
+// Unlike the Gadget harness (package core), flinksim actually executes
+// operators: window buckets hold real event payloads, incremental
+// aggregates are real counters, session windows merge real state, and
+// every trigger produces an output after reading state back. Running it
+// against the real KV engines therefore doubles as an end-to-end
+// integration test of merge/put/delete semantics under streaming
+// workloads.
+package flinksim
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+
+	"gadget/internal/core"
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+)
+
+// RecordingStore wraps a kv.Store, recording every access in order —
+// the instrumentation layer of the paper's §3.1.
+type RecordingStore struct {
+	inner kv.Store
+	trace []kv.Access
+	clock int64
+}
+
+// NewRecordingStore wraps inner.
+func NewRecordingStore(inner kv.Store) *RecordingStore {
+	return &RecordingStore{inner: inner}
+}
+
+// SetClock sets the event time stamped on subsequent recorded accesses.
+func (r *RecordingStore) SetClock(t int64) { r.clock = t }
+
+// Trace returns the recorded access stream.
+func (r *RecordingStore) Trace() []kv.Access { return r.trace }
+
+func (r *RecordingStore) record(op kv.Op, key []byte, size uint32) {
+	sk, err := kv.DecodeStateKey(key)
+	if err != nil {
+		return
+	}
+	r.trace = append(r.trace, kv.Access{Op: op, Key: sk, Size: size, Time: r.clock})
+}
+
+// Get implements kv.Store.
+func (r *RecordingStore) Get(key []byte) ([]byte, error) {
+	r.record(kv.OpGet, key, 0)
+	return r.inner.Get(key)
+}
+
+// FGet is a Get recorded as the trigger-time final get.
+func (r *RecordingStore) FGet(key []byte) ([]byte, error) {
+	r.record(kv.OpFGet, key, 0)
+	return r.inner.Get(key)
+}
+
+// Put implements kv.Store.
+func (r *RecordingStore) Put(key, value []byte) error {
+	r.record(kv.OpPut, key, uint32(len(value)))
+	return r.inner.Put(key, value)
+}
+
+// Merge implements kv.Store.
+func (r *RecordingStore) Merge(key, operand []byte) error {
+	r.record(kv.OpMerge, key, uint32(len(operand)))
+	return r.inner.Merge(key, operand)
+}
+
+// Delete implements kv.Store.
+func (r *RecordingStore) Delete(key []byte) error {
+	r.record(kv.OpDelete, key, 0)
+	return r.inner.Delete(key)
+}
+
+// Close implements kv.Store (the inner store is closed too).
+func (r *RecordingStore) Close() error { return r.inner.Close() }
+
+// Summary reports what the engine did during a run.
+type Summary struct {
+	Events      uint64
+	Outputs     uint64
+	LateDropped uint64
+	Merges      uint64
+}
+
+// Engine executes one operator over one (or two merged) input streams,
+// keeping all operator state in a kv.Store.
+type Engine struct {
+	cfg     core.Config
+	store   stateStore
+	rec     *RecordingStore // non-nil when the store records
+	op      operator
+	summary Summary
+	timers  timerHeap
+	meta    map[kv.StateKey]*stateMeta
+	wm      int64
+}
+
+// stateStore is the store surface operators use (FGet distinguishes
+// trigger-time reads in recorded traces).
+type stateStore interface {
+	Get(key []byte) ([]byte, error)
+	FGet(key []byte) ([]byte, error)
+	Put(key, value []byte) error
+	Merge(key, operand []byte) error
+	Delete(key []byte) error
+}
+
+// plainStore adapts any kv.Store to stateStore (FGet = Get).
+type plainStore struct{ kv.Store }
+
+func (p plainStore) FGet(key []byte) ([]byte, error) { return p.Store.Get(key) }
+
+// stateMeta is the engine's in-memory bookkeeping per state key (window
+// bounds, element counts for cross-checking, session bounds).
+type stateMeta struct {
+	key          kv.StateKey
+	fireAt       int64
+	elements     int
+	sessionStart int64
+	sessionEnd   int64
+	hasMerge     bool
+}
+
+type timerEntry struct {
+	at  int64
+	key kv.StateKey
+}
+
+type timerHeap []timerEntry
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds an engine for cfg over the given store. Pass a
+// *RecordingStore to collect the state access trace.
+func New(cfg core.Config, store kv.Store) (*Engine, error) {
+	e := &Engine{cfg: cfg, meta: make(map[kv.StateKey]*stateMeta), wm: -1}
+	if rec, ok := store.(*RecordingStore); ok {
+		e.store = rec
+		e.rec = rec
+	} else {
+		e.store = plainStore{store}
+	}
+	op, err := newOperator(e)
+	if err != nil {
+		return nil, err
+	}
+	e.op = op
+	return e, nil
+}
+
+// Run drives the engine over src to exhaustion.
+func (e *Engine) Run(src eventgen.Source) (Summary, error) {
+	for {
+		it, ok := src.Next()
+		if !ok {
+			return e.summary, nil
+		}
+		switch it.Kind {
+		case eventgen.ItemEvent:
+			e.summary.Events++
+			if e.rec != nil {
+				e.rec.SetClock(it.Event.Time)
+			}
+			if err := e.op.onEvent(it.Event); err != nil {
+				return e.summary, err
+			}
+		case eventgen.ItemWatermark:
+			if it.WM <= e.wm {
+				continue
+			}
+			e.wm = it.WM
+			if e.rec != nil {
+				e.rec.SetClock(it.WM)
+			}
+			if err := e.fireTimers(it.WM); err != nil {
+				return e.summary, err
+			}
+		}
+	}
+}
+
+// fireTimers pops due timers and lets the operator terminate each state
+// machine whose expiry still matches (lazy invalidation, as in core).
+func (e *Engine) fireTimers(wm int64) error {
+	for len(e.timers) > 0 && e.timers[0].at <= wm {
+		t := heap.Pop(&e.timers).(timerEntry)
+		m, ok := e.meta[t.key]
+		if !ok || m.fireAt != t.at {
+			continue
+		}
+		if err := e.op.onTimer(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) registerTimer(m *stateMeta) {
+	heap.Push(&e.timers, timerEntry{at: m.fireAt, key: m.key})
+}
+
+func (e *Engine) getMeta(key kv.StateKey, fireAt int64) (*stateMeta, bool) {
+	if m, ok := e.meta[key]; ok {
+		return m, false
+	}
+	m := &stateMeta{key: key, fireAt: fireAt}
+	e.meta[key] = m
+	if fireAt >= 0 {
+		e.registerTimer(m)
+	}
+	return m, true
+}
+
+func (e *Engine) dropMeta(m *stateMeta) { delete(e.meta, m.key) }
+
+// ActiveState returns the number of live state entries tracked.
+func (e *Engine) ActiveState() int { return len(e.meta) }
+
+// CollectTrace runs cfg over src with a recording memstore, returning the
+// ground-truth state access trace — the equivalent of the paper's
+// instrumented-Flink trace collection.
+func CollectTrace(cfg core.Config, src eventgen.Source) ([]kv.Access, Summary, error) {
+	rec := NewRecordingStore(memstore.New())
+	defer rec.Close()
+	eng, err := New(cfg, rec)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	sum, err := eng.Run(src)
+	if err != nil {
+		return nil, sum, err
+	}
+	return rec.Trace(), sum, nil
+}
+
+// Encoding helpers shared by the operators: incremental aggregates are
+// counters padded to AggStateSize; holistic bucket operands are
+// length-prefixed payloads so trigger-time reads can count elements.
+
+func (e *Engine) encodeAgg(count uint64) []byte {
+	size := e.cfg.AggStateSize
+	if size < 8 {
+		size = 8
+	}
+	out := make([]byte, size)
+	binary.BigEndian.PutUint64(out, count)
+	return out
+}
+
+func decodeAgg(v []byte) (uint64, error) {
+	if len(v) < 8 {
+		return 0, fmt.Errorf("flinksim: aggregate too short (%d bytes)", len(v))
+	}
+	return binary.BigEndian.Uint64(v), nil
+}
+
+// operandFor builds a length-prefixed bucket element for an event.
+func operandFor(size uint32) []byte {
+	if size < 1 {
+		size = 1
+	}
+	out := make([]byte, 4+size)
+	binary.LittleEndian.PutUint32(out, size)
+	return out
+}
+
+// countElements walks a concatenation of length-prefixed operands.
+func countElements(bucket []byte) (int, error) {
+	n := 0
+	for len(bucket) > 0 {
+		if len(bucket) < 4 {
+			return 0, fmt.Errorf("flinksim: torn bucket element")
+		}
+		sz := binary.LittleEndian.Uint32(bucket)
+		if uint32(len(bucket)-4) < sz {
+			return 0, fmt.Errorf("flinksim: bucket element overruns (%d of %d)", sz, len(bucket)-4)
+		}
+		bucket = bucket[4+sz:]
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,254 @@
+package flinksim
+
+import (
+	"fmt"
+	"testing"
+
+	"gadget/internal/btree"
+	"gadget/internal/core"
+	"gadget/internal/datasets"
+	"gadget/internal/eventgen"
+	"gadget/internal/faster"
+	"gadget/internal/kv"
+	"gadget/internal/lsm"
+	"gadget/internal/memstore"
+)
+
+func syntheticSource(t *testing.T, n int, seed int64) eventgen.Source {
+	t.Helper()
+	g, err := eventgen.NewSynthetic(eventgen.Config{Events: n, Keys: 25, Seed: seed, RatePerSec: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eventgen.WithWatermarks(g, 100, 0)
+}
+
+func joinSource(t *testing.T, n int, seed int64) eventgen.Source {
+	t.Helper()
+	mk := func(stream uint8, pairs bool) eventgen.Source {
+		g, err := eventgen.NewSynthetic(eventgen.Config{
+			Events: n, Keys: 25, Seed: seed + int64(stream), RatePerSec: 2000,
+			Stream: stream, StartEndPairs: pairs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eventgen.WithWatermarks(g, 100, 0)
+	}
+	return eventgen.NewRoundRobin(mk(0, false), mk(1, true))
+}
+
+func sourceFor(t *testing.T, typ core.OperatorType, n int, seed int64) eventgen.Source {
+	if typ.IsJoin() {
+		return joinSource(t, n, seed)
+	}
+	return syntheticSource(t, n, seed)
+}
+
+// The central fidelity check behind the paper's Figure 10: for every
+// operator, the Gadget harness (metadata-only simulation) must generate
+// the same op/key access sequence as the real executing engine.
+func TestGadgetMatchesEngineTraces(t *testing.T) {
+	cfg := core.Config{
+		WindowLengthMs: 1000, WindowSlideMs: 200, SessionGapMs: 500,
+		IntervalLowerMs: 300, IntervalUpperMs: 600,
+	}
+	for _, typ := range core.OperatorTypes() {
+		typ := typ
+		t.Run(string(typ), func(t *testing.T) {
+			c := cfg
+			c.Operator = typ
+			real, sum, err := CollectTrace(c, sourceFor(t, typ, 3000, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Events == 0 {
+				t.Fatal("engine processed no events")
+			}
+			op, err := core.New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := core.Generate(sourceFor(t, typ, 3000, 7), op)
+			if len(sim) != len(real) {
+				t.Fatalf("trace lengths differ: gadget %d vs engine %d", len(sim), len(real))
+			}
+			for i := range sim {
+				if sim[i].Op != real[i].Op || sim[i].Key != real[i].Key {
+					t.Fatalf("access %d differs: gadget %v %v vs engine %v %v",
+						i, sim[i].Op, sim[i].Key, real[i].Op, real[i].Key)
+				}
+			}
+		})
+	}
+}
+
+// Running the engine against the real KV stores cross-checks their
+// merge/put/delete semantics end to end (the engine verifies window
+// contents on every trigger).
+func TestEngineAgainstRealStores(t *testing.T) {
+	cfg := core.Config{
+		Operator:       core.SlidingHol,
+		WindowLengthMs: 500, WindowSlideMs: 100,
+	}
+	stores := map[string]func(t *testing.T) kv.Store{
+		"lsm": func(t *testing.T) kv.Store {
+			db, err := lsm.Open(lsm.Options{Dir: t.TempDir(), MemtableSize: 64 << 10, L0CompactionTrigger: 2, BaseLevelSize: 256 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return db
+		},
+		"faster": func(t *testing.T) kv.Store {
+			s, err := faster.Open(faster.Options{Dir: t.TempDir(), IndexBuckets: 4096, LogMemBudget: 8 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"btree": func(t *testing.T) kv.Store {
+			s, err := btree.Open(btree.Options{Dir: t.TempDir(), CacheSize: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"memstore": func(t *testing.T) kv.Store { return memstore.New() },
+	}
+	for name, mk := range stores {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			store := mk(t)
+			defer store.Close()
+			eng, err := New(cfg, store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := eng.Run(syntheticSource(t, 4000, 3))
+			if err != nil {
+				t.Fatalf("engine consistency check failed on %s: %v", name, err)
+			}
+			if sum.Outputs == 0 {
+				t.Fatal("no windows fired")
+			}
+			if eng.ActiveState() != 0 {
+				t.Fatalf("state leaked: %d entries", eng.ActiveState())
+			}
+		})
+	}
+}
+
+func TestIncrementalWindowCountsVerified(t *testing.T) {
+	cfg := core.Config{Operator: core.TumblingIncr, WindowLengthMs: 1000}
+	db, err := lsm.Open(lsm.Options{Dir: t.TempDir(), MemtableSize: 64 << 10, L0CompactionTrigger: 2, BaseLevelSize: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := New(cfg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(syntheticSource(t, 5000, 11)); err != nil {
+		t.Fatalf("count verification failed: %v", err)
+	}
+}
+
+func TestAggregationOutputsPerEvent(t *testing.T) {
+	cfg := core.Config{Operator: core.Aggregation}
+	rec := NewRecordingStore(memstore.New())
+	defer rec.Close()
+	eng, err := New(cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Run(syntheticSource(t, 1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Outputs != 1000 {
+		t.Fatalf("outputs = %d", sum.Outputs)
+	}
+	if len(rec.Trace()) != 2000 {
+		t.Fatalf("trace len = %d", len(rec.Trace()))
+	}
+}
+
+func TestSessionMergingWithRealState(t *testing.T) {
+	cfg := core.Config{Operator: core.SessionHol, SessionGapMs: 300}
+	rec := NewRecordingStore(memstore.New())
+	defer rec.Close()
+	eng, err := New(cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Run(syntheticSource(t, 5000, 13))
+	if err != nil {
+		t.Fatalf("session verification failed: %v", err)
+	}
+	if sum.Outputs == 0 {
+		t.Fatal("no sessions fired")
+	}
+}
+
+func TestContinuousJoinOnDataset(t *testing.T) {
+	ds := datasets.Borg(0.002, 3)
+	src, ok := ds.JoinSource(100)
+	if !ok {
+		t.Fatal("borg must support joins")
+	}
+	cfg := core.Config{Operator: core.ContinJoin}
+	rec := NewRecordingStore(memstore.New())
+	defer rec.Close()
+	eng, err := New(cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Run(src)
+	if err != nil {
+		t.Fatalf("continuous join verification failed: %v", err)
+	}
+	if sum.Outputs == 0 {
+		t.Fatal("no joins completed")
+	}
+	// Puts must be rare relative to gets (few jobs, many task events) —
+	// the paper's Table 1 Borg continuous-join shape.
+	counts := map[kv.Op]int{}
+	for _, a := range rec.Trace() {
+		counts[a.Op]++
+	}
+	if counts[kv.OpPut]*10 > counts[kv.OpGet] {
+		t.Fatalf("puts %d should be far below gets %d", counts[kv.OpPut], counts[kv.OpGet])
+	}
+}
+
+func TestRecordingStoreClock(t *testing.T) {
+	rec := NewRecordingStore(memstore.New())
+	defer rec.Close()
+	rec.SetClock(42)
+	key := (kv.StateKey{Group: 1}).Bytes()
+	rec.Put(key, []byte("v"))
+	tr := rec.Trace()
+	if len(tr) != 1 || tr[0].Time != 42 || tr[0].Op != kv.OpPut || tr[0].Size != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestUnknownOperator(t *testing.T) {
+	if _, err := New(core.Config{Operator: "bogus"}, memstore.New()); err == nil {
+		t.Fatal("unknown operator should fail")
+	}
+}
+
+func BenchmarkEngineTumblingIncr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _ := eventgen.NewSynthetic(eventgen.Config{Events: 10000, Keys: 100, Seed: 1, RatePerSec: 2000})
+		src := eventgen.WithWatermarks(g, 100, 0)
+		eng, _ := New(core.Config{Operator: core.TumblingIncr, WindowLengthMs: 1000}, memstore.New())
+		if _, err := eng.Run(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,467 @@
+package flinksim
+
+import (
+	"fmt"
+
+	"gadget/internal/core"
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+)
+
+// operator is a real (state-materializing) streaming operator.
+type operator interface {
+	onEvent(e eventgen.Event) error
+	onTimer(m *stateMeta) error
+}
+
+func newOperator(e *Engine) (operator, error) {
+	c := e.cfg
+	switch c.Operator {
+	case core.TumblingIncr:
+		return &windowExec{e: e, length: c.WindowLengthMs, slide: c.WindowLengthMs}, nil
+	case core.TumblingHol:
+		return &windowExec{e: e, holistic: true, length: c.WindowLengthMs, slide: c.WindowLengthMs}, nil
+	case core.SlidingIncr:
+		return &windowExec{e: e, length: c.WindowLengthMs, slide: c.WindowSlideMs}, nil
+	case core.SlidingHol:
+		return &windowExec{e: e, holistic: true, length: c.WindowLengthMs, slide: c.WindowSlideMs}, nil
+	case core.SessionIncr:
+		return &sessionExec{e: e, gap: c.SessionGapMs, sessions: map[uint64][]*stateMeta{}}, nil
+	case core.SessionHol:
+		return &sessionExec{e: e, holistic: true, gap: c.SessionGapMs, sessions: map[uint64][]*stateMeta{}}, nil
+	case core.TumblingJoin:
+		return &windowJoinExec{e: e, length: c.WindowLengthMs, slide: c.WindowLengthMs}, nil
+	case core.SlidingJoin:
+		return &windowJoinExec{e: e, length: c.WindowLengthMs, slide: c.WindowSlideMs}, nil
+	case core.IntervalJoin:
+		return &intervalJoinExec{e: e, lower: c.IntervalLowerMs, upper: c.IntervalUpperMs}, nil
+	case core.ContinJoin:
+		return &continuousJoinExec{e: e, open: map[uint64]*contOpen{}}, nil
+	case core.Aggregation:
+		return &aggregationExec{e: e}, nil
+	default:
+		return nil, fmt.Errorf("flinksim: unknown operator %q", c.Operator)
+	}
+}
+
+func assignedWindows(t, length, slide int64) []int64 {
+	last := t - t%slide
+	out := make([]int64, 0, length/slide+1)
+	for start := last; start > t-length; start -= slide {
+		if start < 0 {
+			break
+		}
+		out = append(out, start)
+	}
+	return out
+}
+
+// windowExec materializes tumbling and sliding windows.
+type windowExec struct {
+	e        *Engine
+	holistic bool
+	length   int64
+	slide    int64
+}
+
+func (w *windowExec) onEvent(e eventgen.Event) error {
+	for _, start := range assignedWindows(e.Time, w.length, w.slide) {
+		fireAt := start + w.length + w.e.cfg.AllowedLatenessMs
+		if fireAt <= w.e.wm {
+			w.e.summary.LateDropped++
+			continue
+		}
+		sk := kv.StateKey{Group: e.Key, Sub: uint64(start)}
+		m, _ := w.e.getMeta(sk, fireAt)
+		m.elements++
+		key := sk.Bytes()
+		if w.holistic {
+			if err := w.e.store.Merge(key, operandFor(e.Size)); err != nil {
+				return err
+			}
+			w.e.summary.Merges++
+			continue
+		}
+		// Incremental: read-modify-write the counter.
+		var count uint64
+		v, err := w.e.store.Get(key)
+		switch err {
+		case nil:
+			count, err = decodeAgg(v)
+			if err != nil {
+				return err
+			}
+		case kv.ErrNotFound:
+		default:
+			return err
+		}
+		if err := w.e.store.Put(key, w.e.encodeAgg(count+1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *windowExec) onTimer(m *stateMeta) error {
+	key := m.key.Bytes()
+	v, err := w.e.store.FGet(key)
+	if err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	// Cross-check the store against the engine's own bookkeeping: this
+	// is what makes flinksim an end-to-end test of the KV engines.
+	if err == nil {
+		if w.holistic {
+			n, cerr := countElements(v)
+			if cerr != nil {
+				return cerr
+			}
+			if n != m.elements {
+				return fmt.Errorf("flinksim: window %v holds %d elements, expected %d", m.key, n, m.elements)
+			}
+		} else {
+			count, cerr := decodeAgg(v)
+			if cerr != nil {
+				return cerr
+			}
+			if int(count) != m.elements {
+				return fmt.Errorf("flinksim: window %v count %d, expected %d", m.key, count, m.elements)
+			}
+		}
+	}
+	if err := w.e.store.Delete(key); err != nil {
+		return err
+	}
+	w.e.summary.Outputs++
+	w.e.dropMeta(m)
+	return nil
+}
+
+// aggregationExec materializes continuous per-key aggregation.
+type aggregationExec struct {
+	e *Engine
+}
+
+func (a *aggregationExec) onEvent(e eventgen.Event) error {
+	sk := kv.StateKey{Group: e.Key}
+	m, _ := a.e.getMeta(sk, -1)
+	m.elements++
+	key := sk.Bytes()
+	var count uint64
+	v, err := a.e.store.Get(key)
+	switch err {
+	case nil:
+		count, err = decodeAgg(v)
+		if err != nil {
+			return err
+		}
+	case kv.ErrNotFound:
+	default:
+		return err
+	}
+	if int(count)+1 != m.elements {
+		return fmt.Errorf("flinksim: aggregate %v count %d, expected %d", sk, count+1, m.elements)
+	}
+	if err := a.e.store.Put(key, a.e.encodeAgg(count+1)); err != nil {
+		return err
+	}
+	a.e.summary.Outputs++ // continuous aggregation emits per event
+	return nil
+}
+
+func (a *aggregationExec) onTimer(*stateMeta) error { return nil }
+
+// sessionExec materializes merging session windows.
+type sessionExec struct {
+	e        *Engine
+	holistic bool
+	gap      int64
+	sessions map[uint64][]*stateMeta
+}
+
+func (s *sessionExec) onEvent(e eventgen.Event) error {
+	if e.Time+s.gap+s.e.cfg.AllowedLatenessMs <= s.e.wm {
+		s.e.summary.LateDropped++
+		return nil
+	}
+	var hit []*stateMeta
+	for _, m := range s.sessions[e.Key] {
+		if e.Time+s.gap >= m.sessionStart && e.Time <= m.sessionEnd {
+			hit = append(hit, m)
+		}
+	}
+	var target *stateMeta
+	switch len(hit) {
+	case 0:
+		sk := kv.StateKey{Group: e.Key, Sub: uint64(e.Time)}
+		m, _ := s.e.getMeta(sk, e.Time+s.gap+s.e.cfg.AllowedLatenessMs)
+		m.sessionStart = e.Time
+		m.sessionEnd = e.Time + s.gap
+		s.sessions[e.Key] = append(s.sessions[e.Key], m)
+		target = m
+	case 1:
+		target = hit[0]
+	default:
+		a, b := hit[0], hit[1]
+		if b.sessionStart < a.sessionStart {
+			a, b = b, a
+		}
+		// Fold session b into a: read b, merge its bucket into a,
+		// delete b — with real state movement.
+		bKey := b.key.Bytes()
+		v, err := s.e.store.Get(bKey)
+		if err != nil && err != kv.ErrNotFound {
+			return err
+		}
+		if err == nil {
+			if err := s.e.store.Merge(a.key.Bytes(), v); err != nil {
+				return err
+			}
+			s.e.summary.Merges++
+		}
+		if err := s.e.store.Delete(bKey); err != nil {
+			return err
+		}
+		a.elements += b.elements
+		if b.sessionEnd > a.sessionEnd {
+			a.sessionEnd = b.sessionEnd
+		}
+		s.remove(e.Key, b)
+		s.e.dropMeta(b)
+		target = a
+	}
+	if e.Time+s.gap > target.sessionEnd {
+		target.sessionEnd = e.Time + s.gap
+	}
+	newFire := target.sessionEnd + s.e.cfg.AllowedLatenessMs
+	if newFire != target.fireAt {
+		target.fireAt = newFire
+		s.e.registerTimer(target)
+	}
+	target.elements++
+	key := target.key.Bytes()
+	if s.holistic {
+		if err := s.e.store.Merge(key, operandFor(e.Size)); err != nil {
+			return err
+		}
+		s.e.summary.Merges++
+		return nil
+	}
+	var count uint64
+	v, err := s.e.store.Get(key)
+	switch err {
+	case nil:
+		count, err = decodeAgg(v)
+		if err != nil {
+			return err
+		}
+	case kv.ErrNotFound:
+	default:
+		return err
+	}
+	return s.e.store.Put(key, s.e.encodeAgg(count+1))
+}
+
+func (s *sessionExec) remove(key uint64, m *stateMeta) {
+	list := s.sessions[key]
+	for i, x := range list {
+		if x == m {
+			s.sessions[key] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(s.sessions[key]) == 0 {
+		delete(s.sessions, key)
+	}
+}
+
+func (s *sessionExec) onTimer(m *stateMeta) error {
+	key := m.key.Bytes()
+	v, err := s.e.store.FGet(key)
+	if err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	if err == nil && s.holistic {
+		n, cerr := countElements(v)
+		if cerr != nil {
+			return cerr
+		}
+		if n != m.elements {
+			return fmt.Errorf("flinksim: session %v holds %d, expected %d", m.key, n, m.elements)
+		}
+	}
+	if err := s.e.store.Delete(key); err != nil {
+		return err
+	}
+	s.e.summary.Outputs++
+	s.remove(m.key.Group, m)
+	s.e.dropMeta(m)
+	return nil
+}
+
+func streamGroup(key uint64, stream uint8) uint64 { return key<<1 | uint64(stream) }
+
+// bufferRootSub mirrors core's map-state buffer root namespace.
+const bufferRootSub = ^uint64(0)
+
+// windowJoinExec materializes window joins: per-stream buckets that are
+// both read on trigger.
+type windowJoinExec struct {
+	e      *Engine
+	length int64
+	slide  int64
+}
+
+func (w *windowJoinExec) onEvent(e eventgen.Event) error {
+	for _, start := range assignedWindows(e.Time, w.length, w.slide) {
+		fireAt := start + w.length + w.e.cfg.AllowedLatenessMs
+		if fireAt <= w.e.wm {
+			w.e.summary.LateDropped++
+			continue
+		}
+		sk := kv.StateKey{Group: streamGroup(e.Key, e.Stream), Sub: uint64(start)}
+		m, _ := w.e.getMeta(sk, fireAt)
+		m.elements++
+		if err := w.e.store.Merge(sk.Bytes(), operandFor(e.Size)); err != nil {
+			return err
+		}
+		w.e.summary.Merges++
+	}
+	return nil
+}
+
+func (w *windowJoinExec) onTimer(m *stateMeta) error {
+	key := m.key.Bytes()
+	v, err := w.e.store.FGet(key)
+	if err != nil && err != kv.ErrNotFound {
+		return err
+	}
+	if err == nil {
+		n, cerr := countElements(v)
+		if cerr != nil {
+			return cerr
+		}
+		if n != m.elements {
+			return fmt.Errorf("flinksim: join bucket %v holds %d, expected %d", m.key, n, m.elements)
+		}
+	}
+	if err := w.e.store.Delete(key); err != nil {
+		return err
+	}
+	w.e.summary.Outputs++
+	w.e.dropMeta(m)
+	return nil
+}
+
+// intervalJoinExec materializes the interval join's per-event buffers.
+type intervalJoinExec struct {
+	e            *Engine
+	lower, upper int64
+}
+
+func (ij *intervalJoinExec) onEvent(e eventgen.Event) error {
+	if e.Time+ij.upper+ij.e.cfg.AllowedLatenessMs <= ij.e.wm {
+		ij.e.summary.LateDropped++
+		return nil
+	}
+	own := kv.StateKey{Group: streamGroup(e.Key, e.Stream), Sub: uint64(e.Time)}
+	other := kv.StateKey{Group: streamGroup(e.Key, 1-e.Stream&1), Sub: bufferRootSub}
+	m, _ := ij.e.getMeta(own, e.Time+ij.upper+ij.e.cfg.AllowedLatenessMs)
+	m.elements++
+	if err := ij.e.store.Put(own.Bytes(), operandFor(e.Size)); err != nil {
+		return err
+	}
+	_, err := ij.e.store.Get(other.Bytes())
+	if err == nil {
+		ij.e.summary.Outputs++ // a match
+	} else if err != kv.ErrNotFound {
+		return err
+	}
+	return nil
+}
+
+func (ij *intervalJoinExec) onTimer(m *stateMeta) error {
+	if err := ij.e.store.Delete(m.key.Bytes()); err != nil {
+		return err
+	}
+	ij.e.dropMeta(m)
+	return nil
+}
+
+// continuousJoinExec materializes the validity-interval join.
+type continuousJoinExec struct {
+	e    *Engine
+	open map[uint64]*contOpen
+}
+
+type contOpen struct{ accumulated int }
+
+func (cj *continuousJoinExec) onEvent(e eventgen.Event) error {
+	buildKey := kv.StateKey{Group: e.Key, Sub: 0}
+	accumKey := kv.StateKey{Group: e.Key, Sub: 1}
+	switch e.Kind {
+	case eventgen.KindStart:
+		// Re-opening refreshes the build record, keeping accumulated
+		// matches (mirrors core's continuous join exactly).
+		if _, ok := cj.open[e.Key]; !ok {
+			cj.open[e.Key] = &contOpen{}
+		}
+		m, _ := cj.e.getMeta(buildKey, -1)
+		m.elements++
+		return cj.e.store.Put(buildKey.Bytes(), operandFor(e.Size))
+	case eventgen.KindEnd:
+		st, ok := cj.open[e.Key]
+		if !ok {
+			return nil
+		}
+		if st.accumulated > 0 {
+			v, err := cj.e.store.FGet(accumKey.Bytes())
+			if err != nil && err != kv.ErrNotFound {
+				return err
+			}
+			if err == nil {
+				n, cerr := countElements(v)
+				if cerr != nil {
+					return cerr
+				}
+				if n != st.accumulated {
+					return fmt.Errorf("flinksim: accumulator %v holds %d, expected %d", accumKey, n, st.accumulated)
+				}
+			}
+			if err := cj.e.store.Delete(accumKey.Bytes()); err != nil {
+				return err
+			}
+			if m, ok := cj.e.meta[accumKey]; ok {
+				cj.e.dropMeta(m)
+			}
+		}
+		if err := cj.e.store.Delete(buildKey.Bytes()); err != nil {
+			return err
+		}
+		if m, ok := cj.e.meta[buildKey]; ok {
+			cj.e.dropMeta(m)
+		}
+		delete(cj.open, e.Key)
+		cj.e.summary.Outputs++
+		return nil
+	default:
+		_, err := cj.e.store.Get(buildKey.Bytes())
+		if err != nil && err != kv.ErrNotFound {
+			return err
+		}
+		st, ok := cj.open[e.Key]
+		if !ok {
+			return nil
+		}
+		if err == kv.ErrNotFound {
+			return fmt.Errorf("flinksim: open interval for key %d but build record missing", e.Key)
+		}
+		st.accumulated++
+		m, _ := cj.e.getMeta(accumKey, -1)
+		m.elements++
+		cj.e.summary.Merges++
+		return cj.e.store.Merge(accumKey.Bytes(), operandFor(e.Size))
+	}
+}
+
+func (cj *continuousJoinExec) onTimer(*stateMeta) error { return nil }

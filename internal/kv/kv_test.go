@@ -1,0 +1,98 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpGet:    "get",
+		OpPut:    "put",
+		OpMerge:  "merge",
+		OpDelete: "delete",
+		OpFGet:   "fget",
+		Op(200):  "op(200)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestOpIsRead(t *testing.T) {
+	if !OpGet.IsRead() || !OpFGet.IsRead() {
+		t.Error("get/fget should be reads")
+	}
+	if OpPut.IsRead() || OpMerge.IsRead() || OpDelete.IsRead() {
+		t.Error("put/merge/delete should not be reads")
+	}
+}
+
+func TestStateKeyEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(group, sub uint64) bool {
+		k := StateKey{Group: group, Sub: sub}
+		enc := k.Bytes()
+		if len(enc) != KeyLen {
+			return false
+		}
+		dec, err := DecodeStateKey(enc)
+		return err == nil && dec == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateKeyEncodeAppends(t *testing.T) {
+	prefix := []byte("abc")
+	out := StateKey{Group: 1, Sub: 2}.Encode(prefix)
+	if !bytes.HasPrefix(out, prefix) || len(out) != 3+KeyLen {
+		t.Fatalf("Encode did not append: len=%d", len(out))
+	}
+}
+
+func TestDecodeStateKeyBadLength(t *testing.T) {
+	if _, err := DecodeStateKey(make([]byte, 7)); err == nil {
+		t.Fatal("want error for short key")
+	}
+	if _, err := DecodeStateKey(make([]byte, 17)); err == nil {
+		t.Fatal("want error for long key")
+	}
+}
+
+// Byte order of encoded keys must agree with StateKey.Less so that
+// engines sorting by bytes see the same order analyses compute on structs.
+func TestStateKeyOrderMatchesByteOrder(t *testing.T) {
+	f := func(g1, s1, g2, s2 uint64) bool {
+		a := StateKey{g1, s1}
+		b := StateKey{g2, s2}
+		byteLess := bytes.Compare(a.Bytes(), b.Bytes()) < 0
+		return byteLess == a.Less(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateKeyString(t *testing.T) {
+	if got := (StateKey{3, 9}).String(); got != "3/9" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+type capStore struct{ Store }
+
+func (capStore) Caps() Capabilities { return Capabilities{InPlaceUpdate: true} }
+
+func TestCapsOf(t *testing.T) {
+	var plain Store // nil store without Capabler still defaults
+	if c := CapsOf(plain); !c.NativeMerge {
+		t.Error("default caps should advertise native merge")
+	}
+	if c := CapsOf(capStore{}); c.NativeMerge || !c.InPlaceUpdate {
+		t.Errorf("capStore caps = %+v", c)
+	}
+}

@@ -1,0 +1,81 @@
+// Package lethe layers Lethe's delete-aware compaction (Sarkar et al.,
+// SIGMOD '20) on top of the LSM engine. Lethe's FADE policy bounds delete
+// persistence latency: a tombstone must be compacted away within a
+// user-set threshold. The picker therefore prioritizes files whose oldest
+// tombstone has exceeded the threshold, falling back to standard leveled
+// compaction otherwise.
+package lethe
+
+import (
+	"time"
+
+	"gadget/internal/lsm"
+)
+
+// DefaultDeleteThreshold matches the paper's Lethe configuration (10s).
+const DefaultDeleteThreshold = 10 * time.Second
+
+// Options configures a Lethe store.
+type Options struct {
+	// LSM carries the underlying engine configuration (Dir is required).
+	LSM lsm.Options
+	// DeleteThreshold is the maximum tombstone age before a file becomes
+	// a priority compaction candidate. Defaults to 10s.
+	DeleteThreshold time.Duration
+	// now is a test hook.
+	now func() time.Time
+}
+
+// Open opens a Lethe store: an LSM database with the FADE picker.
+func Open(opts Options) (*lsm.DB, error) {
+	th := opts.DeleteThreshold
+	if th <= 0 {
+		th = DefaultDeleteThreshold
+	}
+	now := opts.now
+	if now == nil {
+		now = time.Now
+	}
+	lo := opts.LSM
+	lo.Picker = &Picker{Threshold: th, now: now}
+	return lsm.Open(lo)
+}
+
+// Picker implements FADE: files with expired tombstones first, then
+// standard leveled compaction.
+type Picker struct {
+	Threshold time.Duration
+	fallback  lsm.LeveledPicker
+	now       func() time.Time
+}
+
+// Pick implements lsm.CompactionPicker.
+func (p *Picker) Pick(levels []lsm.LevelInfo, opts lsm.Options) *lsm.CompactionRequest {
+	now := time.Now
+	if p.now != nil {
+		now = p.now
+	}
+	cutoff := now().Add(-p.Threshold)
+	// Scan shallow-to-deep: expired tombstones high in the tree delay
+	// space reclamation the most.
+	for lvl := 0; lvl < len(levels)-1; lvl++ {
+		var expired []uint64
+		for _, f := range levels[lvl].Files {
+			if f.Deletes > 0 && !f.TombstoneAt.IsZero() && f.TombstoneAt.Before(cutoff) {
+				expired = append(expired, f.Num)
+			}
+		}
+		if len(expired) > 0 {
+			if lvl == 0 {
+				// L0 files overlap; compact them all to keep the level sound.
+				all := make([]uint64, len(levels[0].Files))
+				for i, f := range levels[0].Files {
+					all[i] = f.Num
+				}
+				return &lsm.CompactionRequest{Level: 0, FileNums: all}
+			}
+			return &lsm.CompactionRequest{Level: lvl, FileNums: expired}
+		}
+	}
+	return p.fallback.Pick(levels, opts)
+}

@@ -1,0 +1,126 @@
+package lethe
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gadget/internal/kv"
+	"gadget/internal/lsm"
+)
+
+func TestOpenAndBasicOps(t *testing.T) {
+	db, err := Open(Options{LSM: lsm.Options{Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	db.Merge([]byte("m"), []byte("a"))
+	db.Merge([]byte("m"), []byte("b"))
+	if v, _ := db.Get([]byte("m")); string(v) != "ab" {
+		t.Fatalf("merge = %q", v)
+	}
+	db.Delete([]byte("k"))
+	if _, err := db.Get([]byte("k")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("delete failed")
+	}
+}
+
+// A Lethe store with an expired tombstone should compact eagerly and drop
+// tombstones sooner than the default policy would.
+func TestExpiredTombstonesTriggerCompaction(t *testing.T) {
+	fakeNow := time.Now()
+	opts := Options{
+		LSM: lsm.Options{
+			Dir:                 t.TempDir(),
+			MemtableSize:        4 << 10,
+			L0CompactionTrigger: 100, // effectively disable size-triggered L0 compaction
+			BaseLevelSize:       1 << 30,
+		},
+		DeleteThreshold: time.Millisecond,
+		now:             func() time.Time { return fakeNow },
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		db.Put(k, make([]byte, 64))
+		db.Delete(k)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Age the tombstones past the threshold and compact.
+	fakeNow = fakeNow.Add(time.Second)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.StatsSnapshot()
+	if st.Compactions == 0 {
+		t.Fatal("FADE should have triggered a compaction")
+	}
+	if st.TombstonesDropped == 0 {
+		t.Fatal("expired tombstones should be dropped")
+	}
+}
+
+func TestNoCompactionBeforeThreshold(t *testing.T) {
+	fixed := time.Now()
+	p := &Picker{Threshold: time.Hour, now: func() time.Time { return fixed }}
+	levels := make([]lsm.LevelInfo, 7)
+	levels[1].Files = []lsm.FileInfo{{Num: 5, Deletes: 10, TombstoneAt: fixed.Add(-time.Minute), Size: 100}}
+	levels[1].Size = 100
+	if req := p.Pick(levels, lsm.Options{L0CompactionTrigger: 4, BaseLevelSize: 1 << 30, LevelMultiplier: 10}); req != nil {
+		t.Fatalf("picked %+v before threshold", req)
+	}
+	// After aging past the threshold the same file is picked.
+	p.now = func() time.Time { return fixed.Add(2 * time.Hour) }
+	req := p.Pick(levels, lsm.Options{L0CompactionTrigger: 4, BaseLevelSize: 1 << 30, LevelMultiplier: 10})
+	if req == nil || req.Level != 1 || len(req.FileNums) != 1 || req.FileNums[0] != 5 {
+		t.Fatalf("picked %+v, want file 5 at level 1", req)
+	}
+}
+
+func TestL0ExpiredPicksWholeLevel(t *testing.T) {
+	fixed := time.Now()
+	p := &Picker{Threshold: time.Second, now: func() time.Time { return fixed }}
+	levels := make([]lsm.LevelInfo, 7)
+	levels[0].Files = []lsm.FileInfo{
+		{Num: 1, Deletes: 1, TombstoneAt: fixed.Add(-time.Minute)},
+		{Num: 2},
+		{Num: 3},
+	}
+	req := p.Pick(levels, lsm.Options{L0CompactionTrigger: 100, BaseLevelSize: 1 << 30, LevelMultiplier: 10})
+	if req == nil || req.Level != 0 || len(req.FileNums) != 3 {
+		t.Fatalf("picked %+v, want all 3 L0 files", req)
+	}
+}
+
+func TestFallbackToLeveled(t *testing.T) {
+	p := &Picker{Threshold: time.Hour}
+	levels := make([]lsm.LevelInfo, 7)
+	for i := 0; i < 4; i++ {
+		levels[0].Files = append(levels[0].Files, lsm.FileInfo{Num: uint64(i)})
+	}
+	req := p.Pick(levels, lsm.Options{L0CompactionTrigger: 4, BaseLevelSize: 1 << 30, LevelMultiplier: 10})
+	if req == nil || req.Level != 0 || len(req.FileNums) != 4 {
+		t.Fatalf("fallback pick = %+v", req)
+	}
+}
+
+func TestDefaultThresholdApplied(t *testing.T) {
+	db, err := Open(Options{LSM: lsm.Options{Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}

@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Entry kinds stored in internal keys. Values matter: within one user key
+// and sequence they are never compared, but they are persisted.
+const (
+	kindPut    byte = 1
+	kindMerge  byte = 2
+	kindDelete byte = 3
+)
+
+// Internal keys give every write a unique, totally ordered identity:
+//
+//	escape(userKey) . bigEndian(^seq) . kind
+//
+// The user key is escape-encoded (0x00 becomes 0x00 0xFF, terminated by
+// 0x00 0x01) so that no encoded key is a prefix of another and byte order
+// of encodings equals byte order of the raw keys even for variable-length
+// keys. The complemented sequence makes newer entries sort first within a
+// user key, so a SeekGE(lookupKey(k)) lands on the newest entry for k.
+
+// appendEscaped appends the order-preserving escape encoding of k to dst.
+func appendEscaped(dst, k []byte) []byte {
+	for _, b := range k {
+		if b == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// decodeEscaped parses an escape-encoded key, returning the raw key and
+// the number of encoded bytes consumed.
+func decodeEscaped(b []byte) (key []byte, n int, err error) {
+	out := make([]byte, 0, len(b))
+	i := 0
+	for i < len(b) {
+		c := b[i]
+		if c != 0x00 {
+			out = append(out, c)
+			i++
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, 0, fmt.Errorf("lsm: truncated escaped key")
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i += 2
+		case 0x01:
+			return out, i + 2, nil
+		default:
+			return nil, 0, fmt.Errorf("lsm: invalid escape 0x00%02x", b[i+1])
+		}
+	}
+	return nil, 0, fmt.Errorf("lsm: unterminated escaped key")
+}
+
+const trailerLen = 9
+
+// makeIKey builds the internal key for (userKey, seq, kind).
+func makeIKey(userKey []byte, seq uint64, kind byte) []byte {
+	out := make([]byte, 0, len(userKey)+2+trailerLen+4)
+	out = appendEscaped(out, userKey)
+	var t [trailerLen]byte
+	binary.BigEndian.PutUint64(t[:8], ^seq)
+	t[8] = kind
+	return append(out, t[:]...)
+}
+
+// lookupKey builds the smallest internal key for userKey, i.e. the
+// position of its newest possible entry.
+func lookupKey(userKey []byte) []byte {
+	return makeIKey(userKey, ^uint64(0), 0)
+}
+
+// parseIKey splits an internal key into its components.
+func parseIKey(ikey []byte) (userKey []byte, seq uint64, kind byte, err error) {
+	if len(ikey) < trailerLen+2 {
+		return nil, 0, 0, fmt.Errorf("lsm: internal key too short (%d bytes)", len(ikey))
+	}
+	userKey, n, err := decodeEscaped(ikey[:len(ikey)-trailerLen])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if n != len(ikey)-trailerLen {
+		return nil, 0, 0, fmt.Errorf("lsm: trailing bytes in internal key")
+	}
+	t := ikey[len(ikey)-trailerLen:]
+	return userKey, ^binary.BigEndian.Uint64(t[:8]), t[8], nil
+}
+
+// ikeyUserPrefix returns the escaped-user-key prefix of an internal key
+// (everything but the trailer), used to group entries by user key without
+// unescaping.
+func ikeyUserPrefix(ikey []byte) []byte {
+	if len(ikey) < trailerLen {
+		return ikey
+	}
+	return ikey[:len(ikey)-trailerLen]
+}

@@ -1,0 +1,133 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"gadget/internal/kv"
+)
+
+// internalIter is the common surface of memtable and table iterators.
+type internalIter interface {
+	Valid() bool
+	Next()
+	Key() []byte
+	Value() []byte
+}
+
+// scanHeap merge-sorts internal iterators by internal key. Internal keys
+// are unique, so no tie-breaking is needed.
+type scanHeap []internalIter
+
+func (h scanHeap) Len() int            { return len(h) }
+func (h scanHeap) Less(i, j int) bool  { return bytes.Compare(h[i].Key(), h[j].Key()) < 0 }
+func (h scanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x interface{}) { *h = append(*h, x.(internalIter)) }
+func (h *scanHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Scan calls fn for every live user key in ascending order with its
+// fully resolved value (merges applied, tombstones skipped) until fn
+// returns false. The iteration observes a consistent point-in-time view:
+// the database is read-locked for the duration of the scan.
+func (db *DB) Scan(fn func(key, value []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	var h scanHeap
+	add := func(it internalIter) {
+		if it.Valid() {
+			h = append(h, it)
+		}
+	}
+	mit := db.mem.sl.Iter()
+	mit.First()
+	add(mit)
+	for _, m := range db.imm {
+		it := m.sl.Iter()
+		it.First()
+		add(it)
+	}
+	for _, lvl := range db.version.levels {
+		for _, fm := range lvl {
+			it := fm.reader.Iter()
+			it.First()
+			add(it)
+		}
+	}
+	heap.Init(&h)
+
+	var curPrefix []byte
+	var operands [][]byte
+	var base []byte
+	resolved := false
+	haveKey := false
+
+	flush := func() bool {
+		if !haveKey {
+			return true
+		}
+		defer func() {
+			operands = operands[:0]
+			base = nil
+			resolved = false
+			haveKey = false
+		}()
+		if !resolved && len(operands) == 0 {
+			return true // only shadowed entries: nothing live
+		}
+		if resolved && base == nil && len(operands) == 0 {
+			return true // newest entry was a tombstone
+		}
+		userKey, _, err := decodeEscaped(curPrefix)
+		if err != nil {
+			return true
+		}
+		return fn(userKey, combineMerge(base, operands))
+	}
+
+	for len(h) > 0 {
+		top := h[0]
+		ikey := top.Key()
+		prefix := ikeyUserPrefix(ikey)
+		if !bytes.Equal(prefix, curPrefix) {
+			if !flush() {
+				return nil
+			}
+			curPrefix = append(curPrefix[:0], prefix...)
+		}
+		haveKey = true
+		if !resolved {
+			switch ikey[len(ikey)-1] {
+			case kindPut:
+				base = append([]byte(nil), top.Value()...)
+				resolved = true
+			case kindDelete:
+				base = nil
+				resolved = true
+				if len(operands) > 0 {
+					// Merges above a tombstone resolve against an empty
+					// base; mark it as a live (possibly empty) value.
+					base = []byte{}
+				}
+			case kindMerge:
+				operands = append(operands, append([]byte(nil), top.Value()...))
+			}
+		}
+		top.Next()
+		if top.Valid() {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	flush()
+	return nil
+}

@@ -1,0 +1,138 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestScanEmpty(t *testing.T) {
+	db := testDB(t, Options{})
+	count := 0
+	if err := db.Scan(func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("scanned %d entries in empty db", count)
+	}
+}
+
+func TestScanResolvesAcrossLayers(t *testing.T) {
+	db := testDB(t, smallOpts())
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(800))
+		switch rng.Intn(10) {
+		case 0:
+			db.Delete([]byte(k))
+			delete(model, k)
+		case 1, 2:
+			op := fmt.Sprintf("+%d", i%5)
+			db.Merge([]byte(k), []byte(op))
+			model[k] += op
+		default:
+			v := fmt.Sprintf("v%d", i)
+			db.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+		if i == 5000 {
+			db.Flush() // leave data spread across memtable and tables
+		}
+	}
+	got := map[string]string{}
+	var prev []byte
+	err := db.Scan(func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		got[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("scanned %d keys, model has %d", len(got), len(model))
+	}
+	for k, want := range model {
+		if got[k] != want {
+			t.Fatalf("Scan[%s] = %q, want %q", k, got[k], want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := testDB(t, Options{})
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte("v"))
+	}
+	count := 0
+	db.Scan(func(k, v []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+}
+
+func TestScanMergeOnTombstone(t *testing.T) {
+	db := testDB(t, smallOpts())
+	db.Put([]byte("k"), []byte("base"))
+	db.Flush()
+	db.Delete([]byte("k"))
+	db.Flush()
+	db.Merge([]byte("k"), []byte("after"))
+	var keys []string
+	var vals []string
+	db.Scan(func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		vals = append(vals, string(v))
+		return true
+	})
+	want := []string{"k"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) || vals[0] != "after" {
+		t.Fatalf("scan = %v / %v", keys, vals)
+	}
+}
+
+func TestScanClosed(t *testing.T) {
+	db := testDB(t, Options{})
+	db.Close()
+	if err := db.Scan(func(k, v []byte) bool { return true }); err == nil {
+		t.Fatal("scan on closed db should fail")
+	}
+}
+
+func TestScanMatchesSortedModel(t *testing.T) {
+	db := testDB(t, smallOpts())
+	model := map[string]string{}
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key-%05d", (i*37)%1000)
+		v := fmt.Sprintf("v%d", i)
+		db.Put([]byte(k), []byte(v))
+		model[k] = v
+	}
+	db.Flush()
+	db.Compact()
+	var wantKeys []string
+	for k := range model {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	i := 0
+	db.Scan(func(k, v []byte) bool {
+		if string(k) != wantKeys[i] {
+			t.Fatalf("key %d = %q, want %q", i, k, wantKeys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(wantKeys) {
+		t.Fatalf("scanned %d of %d", i, len(wantKeys))
+	}
+}

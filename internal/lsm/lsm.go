@@ -1,0 +1,463 @@
+// Package lsm implements a log-structured merge-tree key-value store in
+// the role RocksDB plays in the paper: skiplist memtables, sorted-table
+// files organized into levels, size-tiered L0 with leveled compaction
+// below, Bloom filters, a shared block cache, tombstones, and a RocksDB
+// StringAppend-style merge operator for lazy updates. An optional
+// write-ahead log provides durability of the memtable across restarts.
+//
+// Flushes and compactions run inline on the writing goroutine (the moral
+// equivalent of a write stall), keeping behaviour deterministic for
+// benchmarking. The delete-aware Lethe variant plugs in through the
+// CompactionPicker interface (see package lethe).
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gadget/internal/cache"
+	"gadget/internal/kv"
+)
+
+// Options configures a DB. The zero value is usable: defaults mirror the
+// paper's RocksDB configuration scaled by a laptop-friendly factor.
+type Options struct {
+	// Dir is the database directory; required.
+	Dir string
+	// MemtableSize is the flush threshold in bytes (default 32 MiB).
+	MemtableSize int64
+	// MaxImmutables is how many frozen memtables may queue before the
+	// writer flushes inline (default 1, i.e. two write buffers total as
+	// in the paper's configuration).
+	MaxImmutables int
+	// BlockCacheSize is the shared block cache capacity (default 64 MiB).
+	BlockCacheSize int64
+	// L0CompactionTrigger is the number of L0 files that triggers
+	// compaction into L1 (default 4).
+	L0CompactionTrigger int
+	// BaseLevelSize is the target size of L1 (default 64 MiB); each
+	// deeper level is LevelMultiplier times larger.
+	BaseLevelSize int64
+	// LevelMultiplier is the per-level size ratio (default 10).
+	LevelMultiplier int
+	// WAL enables the write-ahead log (default off, matching benchmark
+	// configurations of embedded streaming state backends).
+	WAL bool
+	// Picker overrides the compaction policy; nil selects the default
+	// leveled picker. The Lethe engine installs its delete-aware picker.
+	Picker CompactionPicker
+	// SyncWrites fsyncs the WAL on every write when the WAL is enabled.
+	SyncWrites bool
+	// DisableBloom turns off per-table Bloom filters (ablation knob).
+	DisableBloom bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MemtableSize <= 0 {
+		out.MemtableSize = 32 << 20
+	}
+	if out.MaxImmutables <= 0 {
+		out.MaxImmutables = 1
+	}
+	if out.BlockCacheSize <= 0 {
+		out.BlockCacheSize = 64 << 20
+	}
+	if out.L0CompactionTrigger <= 0 {
+		out.L0CompactionTrigger = 4
+	}
+	if out.BaseLevelSize <= 0 {
+		out.BaseLevelSize = 64 << 20
+	}
+	if out.LevelMultiplier <= 0 {
+		out.LevelMultiplier = 10
+	}
+	if out.Picker == nil {
+		out.Picker = LeveledPicker{}
+	}
+	return out
+}
+
+// Stats exposes engine counters useful for write-amplification studies.
+type Stats struct {
+	Flushes                     uint64
+	Compactions                 uint64
+	BytesFlushed                uint64
+	BytesCompacted              uint64
+	TombstonesDropped           uint64
+	Gets, Puts, Merges, Deletes uint64
+}
+
+const numLevels = 7
+
+// DB is an LSM key-value store implementing kv.Store.
+type DB struct {
+	opts  Options
+	cache *cache.Cache
+
+	mu      sync.RWMutex
+	mem     *memtable
+	imm     []*memtable // oldest first
+	version *version
+	seq     uint64
+	nextNum uint64
+	wal     *walWriter
+	closed  bool
+	stats   Stats
+}
+
+var _ kv.Store = (*DB)(nil)
+
+// Open opens (or creates) a database in opts.Dir, loading any existing
+// sorted tables and replaying the write-ahead log if one exists.
+func Open(opts Options) (*DB, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("lsm: Options.Dir is required")
+	}
+	o := opts.withDefaults()
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts:    o,
+		cache:   cache.New(o.BlockCacheSize),
+		mem:     newMemtable(),
+		version: newVersion(),
+		nextNum: 1,
+	}
+	if err := db.loadTables(); err != nil {
+		return nil, err
+	}
+	if err := db.replayWAL(); err != nil {
+		return nil, err
+	}
+	if o.WAL {
+		w, err := newWALWriter(filepath.Join(o.Dir, "wal.log"), o.SyncWrites)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+	return db, nil
+}
+
+// loadTables scans Dir for *.sst files and reinstalls them at the levels
+// recorded in their property blocks.
+func (db *DB) loadTables() error {
+	entries, err := os.ReadDir(db.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		var num uint64
+		if _, err := fmt.Sscanf(name, "%06d.sst", &num); err != nil {
+			continue
+		}
+		fm, err := openTable(filepath.Join(db.opts.Dir, name), num, db.cache)
+		if err != nil {
+			return fmt.Errorf("lsm: loading %s: %w", name, err)
+		}
+		lvl := 0
+		if v, ok := fm.reader.Property(propLevel); ok && int(v) < numLevels {
+			lvl = int(v)
+		}
+		db.version.levels[lvl] = append(db.version.levels[lvl], fm)
+		if maxSeq, ok := fm.reader.Property(propMaxSeq); ok && maxSeq > db.seq {
+			db.seq = maxSeq
+		}
+		if num >= db.nextNum {
+			db.nextNum = num + 1
+		}
+	}
+	db.version.sortLevels()
+	return nil
+}
+
+// Caps advertises the engine's native merge support.
+func (db *DB) Caps() kv.Capabilities {
+	return kv.Capabilities{NativeMerge: true}
+}
+
+// Put stores value under key.
+func (db *DB) Put(key, value []byte) error { return db.write(key, value, kindPut) }
+
+// Merge appends operand to the value under key (lazy read-modify-write).
+func (db *DB) Merge(key, operand []byte) error { return db.write(key, operand, kindMerge) }
+
+// Delete removes key by writing a tombstone.
+func (db *DB) Delete(key []byte) error { return db.write(key, nil, kindDelete) }
+
+func (db *DB) write(key, value []byte, kind byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	switch kind {
+	case kindPut:
+		db.stats.Puts++
+	case kindMerge:
+		db.stats.Merges++
+	case kindDelete:
+		db.stats.Deletes++
+	}
+	db.seq++
+	ikey := makeIKey(key, db.seq, kind)
+	if db.wal != nil {
+		if err := db.wal.append(ikey, value); err != nil {
+			return err
+		}
+	}
+	// The memtable retains the slices; copy the value since callers may
+	// reuse buffers. ikey is freshly allocated already.
+	v := append([]byte(nil), value...)
+	db.mem.add(ikey, v, kind)
+	if db.mem.approxBytes() >= db.opts.MemtableSize {
+		if err := db.rotateMemtableLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateMemtableLocked freezes the active memtable and flushes queued
+// immutables beyond the allowed backlog. Called with mu held.
+func (db *DB) rotateMemtableLocked() error {
+	db.imm = append(db.imm, db.mem)
+	db.mem = newMemtable()
+	for len(db.imm) > db.opts.MaxImmutables {
+		if err := db.flushOldestLocked(); err != nil {
+			return err
+		}
+	}
+	return db.maybeCompactLocked()
+}
+
+// Get returns the value under key, resolving merge operands across all
+// layers of the tree.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, kv.ErrClosed
+	}
+	db.stats.Gets++
+	var operands [][]byte
+
+	v, res := db.mem.get(key, &operands)
+	if out, err, done := finishLookup(v, res, &operands); done {
+		return out, err
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		v, res = db.imm[i].get(key, &operands)
+		if out, err, done := finishLookup(v, res, &operands); done {
+			return out, err
+		}
+	}
+	// L0: newest file first.
+	for _, fm := range db.version.levels[0] {
+		v, res, err := fm.get(key, &operands)
+		if err != nil {
+			return nil, err
+		}
+		if out, err, done := finishLookup(v, res, &operands); done {
+			return out, err
+		}
+	}
+	// Deeper levels: at most one file per level contains the key.
+	for lvl := 1; lvl < numLevels; lvl++ {
+		fm := db.version.fileForKey(lvl, key)
+		if fm == nil {
+			continue
+		}
+		v, res, err := fm.get(key, &operands)
+		if err != nil {
+			return nil, err
+		}
+		if out, err, done := finishLookup(v, res, &operands); done {
+			return out, err
+		}
+	}
+	// Bottomed out: merge operands with an empty base, or miss.
+	if len(operands) > 0 {
+		return combineMerge(nil, operands), nil
+	}
+	return nil, kv.ErrNotFound
+}
+
+// finishLookup folds one layer's result into the overall resolution.
+func finishLookup(v []byte, res lookupResult, operands *[][]byte) ([]byte, error, bool) {
+	switch res {
+	case lookupFound:
+		return combineMerge(v, *operands), nil, true
+	case lookupDeleted:
+		if len(*operands) > 0 {
+			return combineMerge(nil, *operands), nil, true
+		}
+		return nil, kv.ErrNotFound, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// combineMerge concatenates base with operands applied oldest-to-newest.
+// operands arrive newest-first (the order layers are probed).
+func combineMerge(base []byte, operands [][]byte) []byte {
+	if len(operands) == 0 {
+		return base
+	}
+	size := len(base)
+	for _, op := range operands {
+		size += len(op)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, base...)
+	for i := len(operands) - 1; i >= 0; i-- {
+		out = append(out, operands[i]...)
+	}
+	return out
+}
+
+// Flush forces the active memtable to disk (mainly for tests and Close).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return kv.ErrClosed
+	}
+	if db.mem.len() > 0 {
+		db.imm = append(db.imm, db.mem)
+		db.mem = newMemtable()
+	}
+	for len(db.imm) > 0 {
+		if err := db.flushOldestLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact runs compactions until the picker is satisfied (for tests).
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.maybeCompactLocked()
+}
+
+// CacheStats reports block cache hits and misses.
+func (db *DB) CacheStats() (hits, misses uint64) {
+	return db.cache.Stats()
+}
+
+// Stats returns a snapshot of engine counters.
+func (db *DB) StatsSnapshot() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// ApproximateSize returns the total bytes in sorted tables plus memtables.
+func (db *DB) ApproximateSize() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var sz int64
+	for _, lvl := range db.version.levels {
+		for _, fm := range lvl {
+			sz += fm.size
+		}
+	}
+	sz += db.mem.approxBytes()
+	for _, m := range db.imm {
+		sz += m.approxBytes()
+	}
+	return sz
+}
+
+// LevelFileCounts reports the number of files per level (for tests).
+func (db *DB) LevelFileCounts() []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]int, numLevels)
+	for i, lvl := range db.version.levels {
+		out[i] = len(lvl)
+	}
+	return out
+}
+
+// Close flushes the memtable and releases all file handles.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+	// Flush without holding the lock twice.
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	if db.wal != nil {
+		db.wal.close()
+		// The memtable was flushed; the log is stale.
+		os.Remove(filepath.Join(db.opts.Dir, "wal.log"))
+	}
+	var firstErr error
+	for _, lvl := range db.version.levels {
+		for _, fm := range lvl {
+			if err := fm.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// version tracks the current file layout. L0 files are ordered newest
+// first; deeper levels are sorted by smallest key and non-overlapping.
+type version struct {
+	levels [numLevels][]*fileMeta
+}
+
+func newVersion() *version { return &version{} }
+
+func (v *version) sortLevels() {
+	sort.Slice(v.levels[0], func(i, j int) bool {
+		return v.levels[0][i].num > v.levels[0][j].num // newest first
+	})
+	for lvl := 1; lvl < numLevels; lvl++ {
+		files := v.levels[lvl]
+		sort.Slice(files, func(i, j int) bool {
+			return string(files[i].smallest) < string(files[j].smallest)
+		})
+	}
+}
+
+// fileForKey returns the single file at lvl (>=1) whose range covers the
+// escaped user key, or nil.
+func (v *version) fileForKey(lvl int, userKey []byte) *fileMeta {
+	prefix := appendEscaped(nil, userKey)
+	files := v.levels[lvl]
+	i := sort.Search(len(files), func(i int) bool {
+		return string(files[i].largest) >= string(prefix)
+	})
+	if i == len(files) {
+		return nil
+	}
+	fm := files[i]
+	// prefix must be >= smallest's user prefix; compare against smallest.
+	if string(prefix) < string(ikeyUserPrefix(fm.smallest)) {
+		return nil
+	}
+	return fm
+}

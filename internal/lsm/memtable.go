@@ -1,0 +1,81 @@
+package lsm
+
+import (
+	"bytes"
+	"time"
+
+	"gadget/internal/skiplist"
+)
+
+// memtable is an in-memory write buffer of internal-key entries. Entries
+// are unique (the sequence number is part of the key), so the skiplist's
+// overwrite semantics are never exercised.
+type memtable struct {
+	sl        *skiplist.List
+	createdAt time.Time
+	// earliestTombstone is the wall-clock time the first delete was
+	// buffered, used by the Lethe delete-aware compaction picker.
+	earliestTombstone time.Time
+	deletes           int
+	merges            int
+}
+
+func newMemtable() *memtable {
+	return &memtable{sl: skiplist.New(), createdAt: time.Now()}
+}
+
+func (m *memtable) add(ikey, value []byte, kind byte) {
+	m.sl.Put(ikey, value)
+	switch kind {
+	case kindDelete:
+		if m.deletes == 0 {
+			m.earliestTombstone = time.Now()
+		}
+		m.deletes++
+	case kindMerge:
+		m.merges++
+	}
+}
+
+func (m *memtable) approxBytes() int64 { return m.sl.ApproxBytes() }
+func (m *memtable) len() int           { return m.sl.Len() }
+
+// lookupResult is the outcome of probing one layer of the store for a
+// user key while resolving a read.
+type lookupResult int
+
+const (
+	lookupMissing  lookupResult = iota // key not present in this layer
+	lookupFound                        // base value found (resolution done)
+	lookupDeleted                      // tombstone found (resolution done)
+	lookupContinue                     // merge operands found; keep descending
+)
+
+// get probes the memtable for userKey. Merge operands discovered on the
+// way down (newest first) are appended to *operands. When the newest
+// visible entry chain resolves inside this memtable, it returns
+// lookupFound with the base value or lookupDeleted.
+func (m *memtable) get(userKey []byte, operands *[][]byte) ([]byte, lookupResult) {
+	lk := lookupKey(userKey)
+	prefix := ikeyUserPrefix(lk)
+	it := m.sl.Iter()
+	it.SeekGE(lk)
+	res := lookupMissing
+	for ; it.Valid(); it.Next() {
+		ik := it.Key()
+		if !bytes.HasPrefix(ik, prefix) || len(ik) != len(prefix)+trailerLen {
+			break
+		}
+		kind := ik[len(ik)-1]
+		switch kind {
+		case kindPut:
+			return it.Value(), lookupFound
+		case kindDelete:
+			return nil, lookupDeleted
+		case kindMerge:
+			*operands = append(*operands, it.Value())
+			res = lookupContinue
+		}
+	}
+	return nil, res
+}

@@ -1,0 +1,227 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gadget/internal/cache"
+	"gadget/internal/sstable"
+)
+
+// Numeric properties persisted in every table.
+const (
+	propLevel          = "level"
+	propMaxSeq         = "maxseq"
+	propDeletes        = "deletes"
+	propTombstoneNanos = "tombstone_nanos" // earliest tombstone wall time
+	propEntries        = "entries"
+)
+
+// fileMeta describes one live sorted table.
+type fileMeta struct {
+	num      uint64
+	size     int64
+	smallest []byte // internal keys
+	largest  []byte
+	deletes  uint64
+	// tombstoneAt is the earliest wall-clock time a tombstone in this
+	// file was created (zero when the file has no tombstones). Lethe's
+	// picker prioritizes files whose tombstones have aged past the
+	// delete persistence threshold.
+	tombstoneAt time.Time
+	reader      *sstable.Reader
+	file        *os.File
+	path        string
+}
+
+func (fm *fileMeta) close() error {
+	return fm.file.Close()
+}
+
+// get probes the table for userKey with the same contract as memtable.get.
+func (fm *fileMeta) get(userKey []byte, operands *[][]byte) ([]byte, lookupResult, error) {
+	if !fm.reader.MayContain(lookupKey(userKey)) {
+		return nil, lookupMissing, nil
+	}
+	lk := lookupKey(userKey)
+	prefix := ikeyUserPrefix(lk)
+	it := fm.reader.Iter()
+	it.SeekGE(lk)
+	res := lookupMissing
+	for ; it.Valid(); it.Next() {
+		ik := it.Key()
+		if !bytes.HasPrefix(ik, prefix) {
+			break
+		}
+		switch ik[len(ik)-1] {
+		case kindPut:
+			v := append([]byte(nil), it.Value()...)
+			return v, lookupFound, nil
+		case kindDelete:
+			return nil, lookupDeleted, nil
+		case kindMerge:
+			*operands = append(*operands, append([]byte(nil), it.Value()...))
+			res = lookupContinue
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, lookupMissing, err
+	}
+	return nil, res, nil
+}
+
+// overlaps reports whether the file's key range intersects [lo, hi]
+// (internal-key prefixes; nil bounds mean unbounded).
+func (fm *fileMeta) overlaps(lo, hi []byte) bool {
+	if hi != nil && bytes.Compare(ikeyUserPrefix(fm.smallest), hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(ikeyUserPrefix(fm.largest), lo) < 0 {
+		return false
+	}
+	return true
+}
+
+func tablePath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.sst", num))
+}
+
+// openTable opens an existing table file and builds its metadata.
+func openTable(path string, num uint64, c *cache.Cache) (*fileMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.Open(f, num, c)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.FilterKey = filterUserKey
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fm := &fileMeta{
+		num:      num,
+		size:     st.Size(),
+		smallest: r.Smallest(),
+		largest:  r.Largest(),
+		reader:   r,
+		file:     f,
+		path:     path,
+	}
+	if d, ok := r.Property(propDeletes); ok {
+		fm.deletes = d
+	}
+	if ns, ok := r.Property(propTombstoneNanos); ok && ns > 0 {
+		fm.tombstoneAt = time.Unix(0, int64(ns))
+	}
+	return fm, nil
+}
+
+// filterUserKey maps an internal key to its escaped user-key prefix so
+// Bloom lookups by user key work regardless of sequence numbers.
+func filterUserKey(ikey []byte) []byte { return ikeyUserPrefix(ikey) }
+
+// tableBuilder wraps an sstable.Writer with tombstone bookkeeping.
+type tableBuilder struct {
+	w       *sstable.Writer
+	f       *os.File
+	path    string
+	num     uint64
+	deletes uint64
+	maxSeq  uint64
+	tombAt  time.Time
+}
+
+func (db *DB) newTableBuilder() (*tableBuilder, error) {
+	num := db.nextNum
+	db.nextNum++
+	path := tablePath(db.opts.Dir, num)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := sstable.NewWriter(f)
+	w.FilterKey = filterUserKey
+	if db.opts.DisableBloom {
+		w.BloomBitsPerKey = -1
+	}
+	return &tableBuilder{w: w, f: f, path: path, num: num}, nil
+}
+
+func (b *tableBuilder) add(ikey, value []byte, tombAt time.Time) error {
+	_, seq, kind, err := parseIKey(ikey)
+	if err != nil {
+		return err
+	}
+	if seq > b.maxSeq {
+		b.maxSeq = seq
+	}
+	if kind == kindDelete {
+		b.deletes++
+		if b.tombAt.IsZero() || (!tombAt.IsZero() && tombAt.Before(b.tombAt)) {
+			b.tombAt = tombAt
+		}
+	}
+	return b.w.Add(ikey, value)
+}
+
+// finish seals the table at the given level and reopens it for reads.
+func (b *tableBuilder) finish(db *DB, level int) (*fileMeta, error) {
+	b.w.SetProperty(propLevel, uint64(level))
+	b.w.SetProperty(propMaxSeq, b.maxSeq)
+	b.w.SetProperty(propDeletes, b.deletes)
+	b.w.SetProperty(propEntries, b.w.Count())
+	if !b.tombAt.IsZero() {
+		b.w.SetProperty(propTombstoneNanos, uint64(b.tombAt.UnixNano()))
+	}
+	if err := b.w.Close(); err != nil {
+		return nil, err
+	}
+	if err := b.f.Close(); err != nil {
+		return nil, err
+	}
+	return openTable(b.path, b.num, db.cache)
+}
+
+// abandon removes a partially written table.
+func (b *tableBuilder) abandon() {
+	b.f.Close()
+	os.Remove(b.path)
+}
+
+// flushOldestLocked writes the oldest immutable memtable to a new L0
+// table. Called with mu held.
+func (db *DB) flushOldestLocked() error {
+	m := db.imm[0]
+	if m.len() == 0 {
+		db.imm = db.imm[1:]
+		return nil
+	}
+	b, err := db.newTableBuilder()
+	if err != nil {
+		return err
+	}
+	it := m.sl.Iter()
+	for it.First(); it.Valid(); it.Next() {
+		if err := b.add(it.Key(), it.Value(), m.earliestTombstone); err != nil {
+			b.abandon()
+			return err
+		}
+	}
+	fm, err := b.finish(db, 0)
+	if err != nil {
+		return err
+	}
+	db.imm = db.imm[1:]
+	db.version.levels[0] = append([]*fileMeta{fm}, db.version.levels[0]...)
+	db.stats.Flushes++
+	db.stats.BytesFlushed += uint64(fm.size)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package memstore provides a trivial in-memory map-backed kv.Store used
+// as the reference model in property tests and as a zero-IO baseline in
+// benchmarks.
+package memstore
+
+import (
+	"sync"
+
+	"gadget/internal/kv"
+)
+
+// Store is a map-backed kv.Store. The zero value is not usable; call New.
+type Store struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+var _ kv.Store = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store { return &Store{m: make(map[string][]byte)} }
+
+// Caps reports native merge and in-place updates (a map does both).
+func (s *Store) Caps() kv.Capabilities {
+	return kv.Capabilities{NativeMerge: true, InPlaceUpdate: true}
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	v, ok := s.m[string(key)]
+	if !ok {
+		return nil, kv.ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Put stores value under key.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	s.m[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+// Merge appends operand to the value under key.
+func (s *Store) Merge(key, operand []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	k := string(key)
+	s.m[k] = append(s.m[k], operand...)
+	return nil
+}
+
+// Delete removes key.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	delete(s.m, string(key))
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// ApproximateSize returns total key+value bytes.
+func (s *Store) ApproximateSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sz int64
+	for k, v := range s.m {
+		sz += int64(len(k) + len(v))
+	}
+	return sz
+}
+
+// Close marks the store closed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

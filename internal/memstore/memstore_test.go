@@ -1,0 +1,74 @@
+package memstore
+
+import (
+	"errors"
+	"testing"
+
+	"gadget/internal/kv"
+)
+
+func TestBasics(t *testing.T) {
+	s := New()
+	if _, err := s.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("miss = %v", err)
+	}
+	s.Put([]byte("a"), []byte("1"))
+	if v, _ := s.Get([]byte("a")); string(v) != "1" {
+		t.Fatalf("Get = %q", v)
+	}
+	s.Merge([]byte("a"), []byte("2"))
+	if v, _ := s.Get([]byte("a")); string(v) != "12" {
+		t.Fatalf("merge = %q", v)
+	}
+	s.Delete([]byte("a"))
+	if _, err := s.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("delete failed")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := New()
+	v := []byte("mutable")
+	s.Put([]byte("k"), v)
+	v[0] = 'X' // caller mutates its buffer after Put
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "mutable" {
+		t.Fatalf("store aliased caller buffer: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	got2, _ := s.Get([]byte("k"))
+	if string(got2) != "mutable" {
+		t.Fatalf("Get returned aliased buffer: %q", got2)
+	}
+}
+
+func TestApproximateSizeAndClose(t *testing.T) {
+	s := New()
+	s.Put([]byte("key"), []byte("value"))
+	if s.ApproximateSize() != 8 {
+		t.Fatalf("size = %d", s.ApproximateSize())
+	}
+	s.Close()
+	if err := s.Put([]byte("x"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if _, err := s.Get([]byte("x")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if err := s.Merge([]byte("x"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Merge after close = %v", err)
+	}
+	if err := s.Delete([]byte("x")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Delete after close = %v", err)
+	}
+}
+
+func TestCaps(t *testing.T) {
+	c := kv.CapsOf(New())
+	if !c.NativeMerge || !c.InPlaceUpdate {
+		t.Fatalf("caps = %+v", c)
+	}
+}

@@ -1,0 +1,283 @@
+// Package remote implements the paper's §8 extension: external state
+// management. A Server exposes any kv.Store over TCP with a compact
+// length-prefixed binary protocol, and Client implements kv.Store over
+// that protocol — so the same harness that drives embedded stores can
+// evaluate a decoupled compute/state deployment (multiple workload
+// generator instances against one shared remote store).
+//
+// Protocol (all integers little-endian):
+//
+//	request:  op u8 | keyLen u32 | valLen u32 | key | val
+//	response: status u8 | valLen u32 | val
+//
+// status: 0 = ok, 1 = not found, 2 = error (val holds the message).
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gadget/internal/kv"
+)
+
+const (
+	opGet byte = iota
+	opPut
+	opMerge
+	opDelete
+
+	statusOK       byte = 0
+	statusNotFound byte = 1
+	statusError    byte = 2
+
+	maxFrame = 64 << 20
+)
+
+// Server serves a kv.Store over TCP.
+type Server struct {
+	store kv.Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// Serve starts serving store on addr (e.g. "127.0.0.1:0") and returns
+// once the listener is ready. Close shuts it down.
+func Serve(store kv.Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		keyLen := binary.LittleEndian.Uint32(hdr[1:])
+		valLen := binary.LittleEndian.Uint32(hdr[5:])
+		if keyLen > maxFrame || valLen > maxFrame {
+			return
+		}
+		buf := make([]byte, keyLen+valLen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		key, val := buf[:keyLen], buf[keyLen:]
+
+		var status byte
+		var out []byte
+		switch op {
+		case opGet:
+			v, err := s.store.Get(key)
+			switch {
+			case err == nil:
+				out = v
+			case errors.Is(err, kv.ErrNotFound):
+				status = statusNotFound
+			default:
+				status, out = statusError, []byte(err.Error())
+			}
+		case opPut:
+			if err := s.store.Put(key, val); err != nil {
+				status, out = statusError, []byte(err.Error())
+			}
+		case opMerge:
+			if err := s.store.Merge(key, val); err != nil {
+				status, out = statusError, []byte(err.Error())
+			}
+		case opDelete:
+			if err := s.store.Delete(key); err != nil {
+				status, out = statusError, []byte(err.Error())
+			}
+		default:
+			status, out = statusError, []byte("unknown op")
+		}
+		var rhdr [5]byte
+		rhdr[0] = status
+		binary.LittleEndian.PutUint32(rhdr[1:], uint32(len(out)))
+		if _, err := w.Write(rhdr[:]); err != nil {
+			return
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, closes live connections, and waits for
+// handlers to drain. The wrapped store is not closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a kv.Store backed by a remote Server. It is safe for
+// concurrent use; requests are serialized over one connection (the
+// dataflow model's single-writer-per-task discipline).
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed bool
+}
+
+var _ kv.Store = (*Client)(nil)
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Caps mirrors a store with native merge (the server translates).
+func (c *Client) Caps() kv.Capabilities { return kv.Capabilities{NativeMerge: true} }
+
+func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, statusError, kv.ErrClosed
+	}
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(val)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, statusError, err
+	}
+	if _, err := c.w.Write(key); err != nil {
+		return nil, statusError, err
+	}
+	if _, err := c.w.Write(val); err != nil {
+		return nil, statusError, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, statusError, err
+	}
+	var rhdr [5]byte
+	if _, err := io.ReadFull(c.r, rhdr[:]); err != nil {
+		return nil, statusError, err
+	}
+	status := rhdr[0]
+	n := binary.LittleEndian.Uint32(rhdr[1:])
+	if n > maxFrame {
+		return nil, statusError, fmt.Errorf("remote: oversized response (%d bytes)", n)
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(c.r, out); err != nil {
+		return nil, statusError, err
+	}
+	return out, status, nil
+}
+
+// Get implements kv.Store.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	out, status, err := c.roundTrip(opGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		return out, nil
+	case statusNotFound:
+		return nil, kv.ErrNotFound
+	default:
+		return nil, fmt.Errorf("remote: %s", out)
+	}
+}
+
+// Put implements kv.Store.
+func (c *Client) Put(key, value []byte) error { return c.write(opPut, key, value) }
+
+// Merge implements kv.Store.
+func (c *Client) Merge(key, operand []byte) error { return c.write(opMerge, key, operand) }
+
+// Delete implements kv.Store.
+func (c *Client) Delete(key []byte) error { return c.write(opDelete, key, nil) }
+
+func (c *Client) write(op byte, key, val []byte) error {
+	out, status, err := c.roundTrip(op, key, val)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("remote: %s", out)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gadget/internal/core"
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+	"gadget/internal/replay"
+)
+
+func startPair(t *testing.T) (*Server, *Client, *memstore.Store) {
+	t.Helper()
+	backing := memstore.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli, backing
+}
+
+func TestBasicOps(t *testing.T) {
+	_, cli, _ := startPair(t)
+	if _, err := cli.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("miss = %v", err)
+	}
+	if err := cli.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cli.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := cli.Merge([]byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cli.Get([]byte("a")); string(v) != "12" {
+		t.Fatalf("merge = %q", v)
+	}
+	if err := cli.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Get([]byte("a")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestEmptyKeysAndValues(t *testing.T) {
+	_, cli, _ := startPair(t)
+	if err := cli.Put(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cli.Get(nil); err != nil || len(v) != 0 {
+		t.Fatalf("empty key Get = %q, %v", v, err)
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	_, cli, _ := startPair(t)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := cli.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.Get([]byte("big"))
+	if err != nil || len(v) != len(big) {
+		t.Fatalf("big Get len=%d err=%v", len(v), err)
+	}
+	for i := range v {
+		if v[i] != big[i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}
+
+func TestManyClients(t *testing.T) {
+	srv, _, _ := startPair(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				if err := cli.Put(k, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := cli.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClientAfterClose(t *testing.T) {
+	_, cli, _ := startPair(t)
+	cli.Close()
+	if err := cli.Put([]byte("k"), nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	srv, cli, _ := startPair(t)
+	srv.Close()
+	if err := cli.Put([]byte("k"), nil); err == nil {
+		t.Fatal("put after server close should fail")
+	}
+}
+
+func TestBackendErrorsPropagate(t *testing.T) {
+	backing := memstore.New()
+	backing.Close() // every op will error
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Put([]byte("k"), nil); err == nil {
+		t.Fatal("backend error should propagate")
+	}
+}
+
+// The paper's external-state scenario: a full streaming workload driven
+// through the remote store, concurrently from two operator instances.
+func TestExternalStateWorkload(t *testing.T) {
+	backing := memstore.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+
+	mkTrace := func(seed int64) []kv.Access {
+		g, err := eventgen.NewSynthetic(eventgen.Config{Events: 2000, Keys: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := eventgen.WithWatermarks(g, 100, 0)
+		op, err := core.New(core.Config{Operator: core.TumblingIncr, WindowLengthMs: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Generate(src, op)
+	}
+	var wg sync.WaitGroup
+	results := make([]replay.Result, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			res, err := replay.Run(cli, mkTrace(int64(i)), replay.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Ops == 0 || res.Errors != 0 {
+			t.Fatalf("instance %d: %+v", i, res)
+		}
+	}
+}
+
+func BenchmarkRemoteRoundTrip(b *testing.B) {
+	backing := memstore.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	key := []byte("bench-key")
+	val := make([]byte, 256)
+	cli.Put(key, val)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cli.Get(key)
+	}
+}

@@ -1,0 +1,248 @@
+// Package replay is Gadget's performance evaluator: it feeds a state
+// access stream to a kv.Store, measuring throughput and per-operation
+// latency. The built-in trace replayer consumes either materialized
+// traces or streaming access sources, supports a configurable service
+// rate ("to speed up or slow down the trace arbitrarily", §5.5), and can
+// drive one store from several concurrent operators (§6.4).
+//
+// Operation translation (§5.5) happens inside the store wrappers: the
+// LSM engines execute merge natively, while the FASTER- and B+Tree-style
+// engines implement Merge as read-modify-write, exactly the mapping the
+// paper applies (merge -> rmw / read+update).
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gadget/internal/kv"
+	"gadget/internal/stats"
+)
+
+// Options configures a replay run.
+type Options struct {
+	// ServiceRate limits the replay to this many ops/second (0 = replay
+	// as fast as the store allows).
+	ServiceRate float64
+	// SampleEvery records latency for every Nth operation (default 1,
+	// i.e. every operation).
+	SampleEvery int
+}
+
+// Result aggregates a replay run's measurements.
+type Result struct {
+	// Ops is the number of operations applied.
+	Ops uint64
+	// Misses counts reads of absent keys (expected in streaming traces:
+	// first access of every window is a miss).
+	Misses uint64
+	// Errors counts unexpected store errors.
+	Errors uint64
+	// Duration is the wall time of the run.
+	Duration time.Duration
+	// Throughput is Ops divided by Duration, in ops/second.
+	Throughput float64
+	// Latency is the overall latency histogram in nanoseconds.
+	Latency *stats.Histogram
+	// PerOp holds one latency histogram per operation type.
+	PerOp [kv.NumOps]*stats.Histogram
+}
+
+// P999Micros returns the overall p99.9 latency in microseconds.
+func (r Result) P999Micros() float64 { return float64(r.Latency.Quantile(0.999)) / 1e3 }
+
+// P99Micros returns the overall p99 latency in microseconds.
+func (r Result) P99Micros() float64 { return float64(r.Latency.Quantile(0.99)) / 1e3 }
+
+// MeanMicros returns the mean latency in microseconds.
+func (r Result) MeanMicros() float64 { return r.Latency.Mean() / 1e3 }
+
+func (r Result) String() string {
+	return fmt.Sprintf("ops=%d thr=%.0f/s mean=%.2fus p99=%.2fus p99.9=%.2fus",
+		r.Ops, r.Throughput, r.MeanMicros(), r.P99Micros(), r.P999Micros())
+}
+
+// valuePool provides deterministic pseudo-random value bytes without
+// allocating per operation. Stores copy what they retain, so slices of
+// the shared buffer are safe to hand out.
+var valuePool = func() []byte {
+	buf := make([]byte, 1<<20)
+	x := uint64(0x243F6A8885A308D3)
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
+	return buf
+}()
+
+// valueOf returns size deterministic bytes (shared, read-only).
+func valueOf(size uint32) []byte {
+	if size == 0 {
+		return nil
+	}
+	if int(size) > len(valuePool) {
+		size = uint32(len(valuePool))
+	}
+	return valuePool[:size]
+}
+
+// Apply executes one access against the store, returning (missed, error).
+func Apply(store kv.Store, a kv.Access, keyBuf []byte) (bool, error) {
+	key := a.Key.Encode(keyBuf[:0])
+	switch a.Op {
+	case kv.OpGet, kv.OpFGet:
+		_, err := store.Get(key)
+		if err == kv.ErrNotFound {
+			return true, nil
+		}
+		return false, err
+	case kv.OpPut:
+		return false, store.Put(key, valueOf(a.Size))
+	case kv.OpMerge:
+		return false, store.Merge(key, valueOf(a.Size))
+	case kv.OpDelete:
+		return false, store.Delete(key)
+	default:
+		return false, fmt.Errorf("replay: unknown op %d", a.Op)
+	}
+}
+
+// Source yields accesses to replay.
+type Source interface {
+	Next() (kv.Access, bool)
+}
+
+// SliceSource replays a materialized trace.
+type SliceSource struct {
+	trace []kv.Access
+	i     int
+}
+
+// NewSliceSource wraps a trace slice (not copied).
+func NewSliceSource(trace []kv.Access) *SliceSource { return &SliceSource{trace: trace} }
+
+func (s *SliceSource) Next() (kv.Access, bool) {
+	if s.i >= len(s.trace) {
+		return kv.Access{}, false
+	}
+	a := s.trace[s.i]
+	s.i++
+	return a, true
+}
+
+// Run replays a materialized trace against store.
+func Run(store kv.Store, trace []kv.Access, opts Options) (Result, error) {
+	return RunSource(store, NewSliceSource(trace), opts)
+}
+
+// RunSource replays a streaming access source against store.
+func RunSource(store kv.Store, src Source, opts Options) (Result, error) {
+	c := NewCollector(store, opts)
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := c.Do(a); err != nil {
+			return c.Finish(), err
+		}
+	}
+	return c.Finish(), nil
+}
+
+// Collector measures accesses applied one at a time — the online mode of
+// the harness, where the workload generator issues requests to the store
+// as it produces them.
+type Collector struct {
+	store  kv.Store
+	opts   Options
+	sample uint64
+	res    Result
+	keyBuf [kv.KeyLen]byte
+	i      uint64
+	start  time.Time
+}
+
+// NewCollector starts a measured run against store.
+func NewCollector(store kv.Store, opts Options) *Collector {
+	sample := opts.SampleEvery
+	if sample <= 0 {
+		sample = 1
+	}
+	c := &Collector{store: store, opts: opts, sample: uint64(sample), start: time.Now()}
+	c.res.Latency = stats.NewHistogram()
+	for i := range c.res.PerOp {
+		c.res.PerOp[i] = stats.NewHistogram()
+	}
+	return c
+}
+
+// Do applies and measures one access. It returns an error only after the
+// store has failed persistently.
+func (c *Collector) Do(a kv.Access) error {
+	if c.opts.ServiceRate > 0 {
+		// Pace the replay: operation i is due at start + i/rate.
+		due := c.start.Add(time.Duration(float64(c.i) / c.opts.ServiceRate * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	measure := c.i%c.sample == 0
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
+	missed, err := Apply(c.store, a, c.keyBuf[:])
+	if measure {
+		lat := time.Since(t0).Nanoseconds()
+		c.res.Latency.Record(lat)
+		c.res.PerOp[a.Op].Record(lat)
+	}
+	if missed {
+		c.res.Misses++
+	}
+	c.i++
+	if err != nil {
+		c.res.Errors++
+		if c.res.Errors > 100 {
+			return fmt.Errorf("replay: too many store errors, last: %w", err)
+		}
+	}
+	return nil
+}
+
+// Finish seals the run and returns its measurements.
+func (c *Collector) Finish() Result {
+	c.res.Ops = c.i
+	c.res.Duration = time.Since(c.start)
+	if c.res.Duration > 0 {
+		c.res.Throughput = float64(c.res.Ops) / c.res.Duration.Seconds()
+	}
+	return c.res
+}
+
+// RunConcurrent replays several traces against one shared store, one
+// goroutine per trace — the paper's concurrent-operators experiment
+// (§6.4: multiple Gadget instances configured to access the same store).
+func RunConcurrent(store kv.Store, traces [][]kv.Access, opts Options) ([]Result, error) {
+	results := make([]Result, len(traces))
+	errs := make([]error, len(traces))
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr []kv.Access) {
+			defer wg.Done()
+			results[i], errs[i] = Run(store, tr, opts)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

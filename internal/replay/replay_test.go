@@ -1,0 +1,164 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+)
+
+func mkTrace() []kv.Access {
+	k := kv.StateKey{Group: 1, Sub: 2}
+	return []kv.Access{
+		{Op: kv.OpGet, Key: k}, // miss
+		{Op: kv.OpPut, Key: k, Size: 10},
+		{Op: kv.OpGet, Key: k}, // hit
+		{Op: kv.OpMerge, Key: k, Size: 5},
+		{Op: kv.OpFGet, Key: k},
+		{Op: kv.OpDelete, Key: k},
+		{Op: kv.OpGet, Key: k}, // miss again
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	res, err := Run(st, mkTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 7 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Misses != 2 {
+		t.Fatalf("misses = %d", res.Misses)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if res.Latency.Count() != 7 {
+		t.Fatalf("latency samples = %d", res.Latency.Count())
+	}
+	if res.PerOp[kv.OpGet].Count() != 3 {
+		t.Fatalf("get samples = %d", res.PerOp[kv.OpGet].Count())
+	}
+	if res.String() == "" || res.MeanMicros() < 0 || res.P99Micros() < 0 || res.P999Micros() < 0 {
+		t.Fatal("result accessors broken")
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	var buf [kv.KeyLen]byte
+	k := kv.StateKey{Group: 9, Sub: 9}
+	Apply(st, kv.Access{Op: kv.OpPut, Key: k, Size: 16}, buf[:])
+	Apply(st, kv.Access{Op: kv.OpMerge, Key: k, Size: 8}, buf[:])
+	v, err := st.Get(k.Bytes())
+	if err != nil || len(v) != 24 {
+		t.Fatalf("value len = %d, %v", len(v), err)
+	}
+	// Values are deterministic pseudo-bytes.
+	if v[0] != valuePool[0] {
+		t.Fatal("value bytes not from the pool")
+	}
+	if _, err := Apply(st, kv.Access{Op: kv.Op(200), Key: k}, buf[:]); err == nil {
+		t.Fatal("unknown op should error")
+	}
+}
+
+func TestValueOf(t *testing.T) {
+	if valueOf(0) != nil {
+		t.Fatal("size 0 should be nil")
+	}
+	if len(valueOf(100)) != 100 {
+		t.Fatal("size mismatch")
+	}
+	if len(valueOf(1<<30)) != len(valuePool) {
+		t.Fatal("oversized value should clamp to pool")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	trace := make([]kv.Access, 1000)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}, Size: 8}
+	}
+	res, err := Run(st, trace, Options{SampleEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count() != 100 {
+		t.Fatalf("sampled latencies = %d, want 100", res.Latency.Count())
+	}
+	if res.Ops != 1000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+func TestServiceRate(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	trace := make([]kv.Access, 50)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}, Size: 8}
+	}
+	start := time.Now()
+	res, err := Run(st, trace, Options{ServiceRate: 1000}) // 50 ops at 1000/s ~ 50ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("service rate not honored: %v", elapsed)
+	}
+	if res.Throughput > 1500 {
+		t.Fatalf("throughput %v exceeds service rate", res.Throughput)
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	mk := func(group uint64) []kv.Access {
+		out := make([]kv.Access, 2000)
+		for i := range out {
+			out[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: group, Sub: uint64(i)}, Size: 8}
+		}
+		return out
+	}
+	results, err := RunConcurrent(st, [][]kv.Access{mk(1), mk(2)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Ops != 2000 || results[1].Ops != 2000 {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestErrorsSurfaceAfterThreshold(t *testing.T) {
+	st := memstore.New()
+	st.Close() // closed store: every op errors
+	trace := make([]kv.Access, 200)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}}
+	}
+	if _, err := Run(st, trace, Options{}); err == nil {
+		t.Fatal("expected error from closed store")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	res, err := Run(st, nil, Options{})
+	if err != nil || res.Ops != 0 {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+}

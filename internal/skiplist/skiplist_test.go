@@ -1,0 +1,206 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	l := New()
+	if _, ok := l.Get([]byte("a")); ok {
+		t.Fatal("empty list should miss")
+	}
+	l.Put([]byte("a"), []byte("1"))
+	l.Put([]byte("c"), []byte("3"))
+	l.Put([]byte("b"), []byte("2"))
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		v, ok := l.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%q) = %q,%v", k, v, ok)
+		}
+	}
+	if _, ok := l.Get([]byte("d")); ok {
+		t.Fatal("miss expected")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	l := New()
+	l.Put([]byte("k"), []byte("v1"))
+	l.Put([]byte("k"), []byte("v2"))
+	if l.Len() != 1 {
+		t.Fatalf("len = %d after overwrite", l.Len())
+	}
+	v, _ := l.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestIteratorOrder(t *testing.T) {
+	l := New()
+	keys := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for _, k := range keys {
+		l.Put([]byte(k), []byte(k))
+	}
+	it := l.Iter()
+	it.First()
+	var got []string
+	for ; it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+		if !bytes.Equal(it.Key(), it.Value()) {
+			t.Fatal("value mismatch")
+		}
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("iteration order %v, want %v", got, want)
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := New()
+	for _, k := range []string{"b", "d", "f"} {
+		l.Put([]byte(k), []byte(k))
+	}
+	cases := []struct{ seek, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"f", "f"}, {"g", ""},
+	}
+	for _, c := range cases {
+		it := l.Iter()
+		it.SeekGE([]byte(c.seek))
+		if c.want == "" {
+			if it.Valid() {
+				t.Fatalf("SeekGE(%q) should be invalid, got %q", c.seek, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("SeekGE(%q) = %q, want %q", c.seek, it.Key(), c.want)
+		}
+	}
+}
+
+func TestNextOnUnpositioned(t *testing.T) {
+	l := New()
+	l.Put([]byte("a"), nil)
+	it := l.Iter()
+	it.Next() // must not panic
+	if it.Valid() {
+		t.Fatal("unpositioned iterator should stay invalid on Next")
+	}
+}
+
+func TestApproxBytesGrows(t *testing.T) {
+	l := New()
+	before := l.ApproxBytes()
+	l.Put(make([]byte, 100), make([]byte, 900))
+	if l.ApproxBytes() < before+1000 {
+		t.Fatalf("ApproxBytes = %d", l.ApproxBytes())
+	}
+	// Overwrite with smaller value shrinks accounting.
+	mid := l.ApproxBytes()
+	l.Put(make([]byte, 100), make([]byte, 10))
+	if l.ApproxBytes() >= mid {
+		t.Fatal("overwrite with smaller value should shrink bytes")
+	}
+}
+
+// Property: the skiplist behaves exactly like a sorted Go map.
+func TestMatchesMapModel(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val uint16
+	}) bool {
+		l := New()
+		model := map[string][]byte{}
+		for _, op := range ops {
+			k := []byte{op.Key % 32}
+			v := []byte(fmt.Sprint(op.Val))
+			l.Put(k, v)
+			model[string(k)] = v
+		}
+		if l.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := l.Get([]byte(k))
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		// Iteration must be sorted and complete.
+		it := l.Iter()
+		it.First()
+		var prev []byte
+		count := 0
+		for ; it.Valid(); it.Next() {
+			if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+				return false
+			}
+			prev = append(prev[:0], it.Key()...)
+			count++
+		}
+		return count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomWorkload(t *testing.T) {
+	l := New()
+	rng := rand.New(rand.NewSource(5))
+	model := map[string]string{}
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(5000))
+		v := fmt.Sprintf("val-%d", i)
+		l.Put([]byte(k), []byte(v))
+		model[k] = v
+	}
+	if l.Len() != len(model) {
+		t.Fatalf("len = %d, want %d", l.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := l.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	l := New()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%09d", i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Put(keys[i], keys[i])
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New()
+	const n = 100000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%09d", i))
+		l.Put(keys[i], keys[i])
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Get(keys[i%n])
+	}
+}

@@ -1,0 +1,500 @@
+// Package sstable implements the immutable sorted-table file format used
+// by the LSM engine: 4 KiB data blocks of length-prefixed entries, a
+// Bloom filter block, a block index, a small numeric properties block,
+// and a fixed footer. Readers serve block reads through a shared LRU
+// cache.
+//
+// The format stores opaque byte keys in ascending order; the LSM layer
+// encodes its internal keys (user key, sequence, kind) on top.
+package sstable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"gadget/internal/bloom"
+	"gadget/internal/cache"
+)
+
+const (
+	// TargetBlockSize is the uncompressed size at which a data block is cut.
+	TargetBlockSize = 4 << 10
+
+	footerLen = 8 * 6
+	magic     = 0x47414447_45545342 // "GADGETSB"
+)
+
+// ErrCorrupt indicates a structurally invalid table file.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// Writer builds an SSTable. Keys must be Added in strictly ascending
+// order. The writer owns neither the file nor its lifetime; callers close
+// the file after Close returns.
+type Writer struct {
+	w       *bufio.Writer
+	off     uint64
+	block   bytes.Buffer
+	index   []indexEntry
+	filter  *bloom.Builder
+	props   map[string]uint64
+	lastKey []byte
+	first   []byte
+	count   uint64
+	// FilterKey extracts the bloom filter key from an entry key; defaults
+	// to the identity. The LSM sets it to strip sequence suffixes so that
+	// point lookups by user key can consult the filter.
+	FilterKey func(key []byte) []byte
+	// BloomBitsPerKey sizes the Bloom filter (0 = default of 10;
+	// negative disables the filter entirely, so MayContain admits all).
+	BloomBitsPerKey int
+}
+
+type indexEntry struct {
+	lastKey []byte
+	off     uint64
+	length  uint32
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:         bufio.NewWriterSize(w, 64<<10),
+		filter:    bloom.NewBuilder(),
+		props:     make(map[string]uint64),
+		FilterKey: func(k []byte) []byte { return k },
+	}
+}
+
+// SetProperty records a numeric property persisted in the table (e.g.
+// tombstone counts used by the Lethe compaction picker).
+func (w *Writer) SetProperty(name string, v uint64) { w.props[name] = v }
+
+// Add appends an entry. Keys must arrive in strictly ascending order.
+func (w *Writer) Add(key, value []byte) error {
+	if w.lastKey != nil && bytes.Compare(key, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: keys out of order: %x after %x", key, w.lastKey)
+	}
+	if w.first == nil {
+		w.first = append([]byte(nil), key...)
+	}
+	w.lastKey = append(w.lastKey[:0], key...)
+	w.filter.Add(w.FilterKey(key))
+	w.count++
+
+	var hdr [2 * binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(value)))
+	w.block.Write(hdr[:n])
+	w.block.Write(key)
+	w.block.Write(value)
+
+	if w.block.Len() >= TargetBlockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.block.Len() == 0 {
+		return nil
+	}
+	data := w.block.Bytes()
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(data))
+	if _, err := w.w.Write(data); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(crc[:]); err != nil {
+		return err
+	}
+	w.index = append(w.index, indexEntry{
+		lastKey: append([]byte(nil), w.lastKey...),
+		off:     w.off,
+		length:  uint32(len(data)),
+	})
+	w.off += uint64(len(data)) + 4
+	w.block.Reset()
+	return nil
+}
+
+// Count returns the number of entries added so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// EstimatedSize returns the bytes written so far plus the pending block.
+func (w *Writer) EstimatedSize() uint64 { return w.off + uint64(w.block.Len()) }
+
+// Close flushes the final block and writes filter, index, properties and
+// footer. It does not close the underlying file.
+func (w *Writer) Close() error {
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	// Filter block. A disabled filter persists as a zero-length block,
+	// which readers treat as admit-all.
+	filterOff := w.off
+	var fb []byte
+	if w.BloomBitsPerKey >= 0 {
+		bits := w.BloomBitsPerKey
+		if bits == 0 {
+			bits = 10
+		}
+		fb = w.filter.Build(bits).Bytes()
+	}
+	if _, err := w.w.Write(fb); err != nil {
+		return err
+	}
+	w.off += uint64(len(fb))
+
+	// Index block: count, then (klen, key, off, len) entries.
+	indexOff := w.off
+	var ib bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(w.index)))
+	ib.Write(tmp[:n])
+	for _, e := range w.index {
+		n = binary.PutUvarint(tmp[:], uint64(len(e.lastKey)))
+		ib.Write(tmp[:n])
+		ib.Write(e.lastKey)
+		n = binary.PutUvarint(tmp[:], e.off)
+		ib.Write(tmp[:n])
+		n = binary.PutUvarint(tmp[:], uint64(e.length))
+		ib.Write(tmp[:n])
+	}
+	// Properties appended to the index block, sorted for determinism.
+	names := make([]string, 0, len(w.props))
+	for k := range w.props {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	n = binary.PutUvarint(tmp[:], uint64(len(names)))
+	ib.Write(tmp[:n])
+	for _, name := range names {
+		n = binary.PutUvarint(tmp[:], uint64(len(name)))
+		ib.Write(tmp[:n])
+		ib.WriteString(name)
+		n = binary.PutUvarint(tmp[:], w.props[name])
+		ib.Write(tmp[:n])
+	}
+	if _, err := w.w.Write(ib.Bytes()); err != nil {
+		return err
+	}
+	w.off += uint64(ib.Len())
+
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], filterOff)
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(fb)))
+	binary.LittleEndian.PutUint64(footer[16:], indexOff)
+	binary.LittleEndian.PutUint64(footer[24:], uint64(ib.Len()))
+	binary.LittleEndian.PutUint64(footer[32:], w.count)
+	binary.LittleEndian.PutUint64(footer[40:], magic)
+	if _, err := w.w.Write(footer[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader serves lookups and scans over one SSTable file.
+type Reader struct {
+	f      *os.File
+	id     uint64 // cache namespace
+	cache  *cache.Cache
+	filter *bloom.Filter
+	index  []indexEntry
+	props  map[string]uint64
+	count  uint64
+	first  []byte
+	// FilterKey must match the writer's; defaults to identity.
+	FilterKey func(key []byte) []byte
+}
+
+// Open opens the table in file f. id must be unique per live file and is
+// used to namespace blocks in c. c may be nil to disable caching.
+func Open(f *os.File, id uint64, c *cache.Cache) (*Reader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < footerLen {
+		return nil, ErrCorrupt
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != magic {
+		return nil, ErrCorrupt
+	}
+	filterOff := binary.LittleEndian.Uint64(footer[0:])
+	filterLen := binary.LittleEndian.Uint64(footer[8:])
+	indexOff := binary.LittleEndian.Uint64(footer[16:])
+	indexLen := binary.LittleEndian.Uint64(footer[24:])
+	count := binary.LittleEndian.Uint64(footer[32:])
+
+	if int64(filterOff+filterLen) > st.Size() || int64(indexOff+indexLen) > st.Size() {
+		return nil, ErrCorrupt
+	}
+	fb := make([]byte, filterLen)
+	if _, err := f.ReadAt(fb, int64(filterOff)); err != nil {
+		return nil, err
+	}
+	ib := make([]byte, indexLen)
+	if _, err := f.ReadAt(ib, int64(indexOff)); err != nil {
+		return nil, err
+	}
+	r := &Reader{
+		f:         f,
+		id:        id,
+		cache:     c,
+		filter:    bloom.FromBytes(fb),
+		props:     make(map[string]uint64),
+		count:     count,
+		FilterKey: func(k []byte) []byte { return k },
+	}
+	if err := r.parseIndex(ib); err != nil {
+		return nil, err
+	}
+	if len(r.index) > 0 {
+		// First key of the table: read the first block lazily? Read now.
+		blk, err := r.readBlock(0)
+		if err != nil {
+			return nil, err
+		}
+		k, _, _, err := decodeEntry(blk)
+		if err != nil {
+			return nil, err
+		}
+		r.first = append([]byte(nil), k...)
+	}
+	return r, nil
+}
+
+func (r *Reader) parseIndex(ib []byte) error {
+	buf := bytes.NewBuffer(ib)
+	nEntries, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return ErrCorrupt
+	}
+	r.index = make([]indexEntry, 0, nEntries)
+	for i := uint64(0); i < nEntries; i++ {
+		klen, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return ErrCorrupt
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(buf, key); err != nil {
+			return ErrCorrupt
+		}
+		off, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return ErrCorrupt
+		}
+		length, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return ErrCorrupt
+		}
+		r.index = append(r.index, indexEntry{lastKey: key, off: off, length: uint32(length)})
+	}
+	nProps, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return ErrCorrupt
+	}
+	for i := uint64(0); i < nProps; i++ {
+		nlen, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return ErrCorrupt
+		}
+		name := make([]byte, nlen)
+		if _, err := io.ReadFull(buf, name); err != nil {
+			return ErrCorrupt
+		}
+		v, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return ErrCorrupt
+		}
+		r.props[string(name)] = v
+	}
+	return nil
+}
+
+// Count returns the number of entries in the table.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Property returns a numeric property written by the writer.
+func (r *Reader) Property(name string) (uint64, bool) {
+	v, ok := r.props[name]
+	return v, ok
+}
+
+// Smallest returns the first key in the table (nil for an empty table).
+func (r *Reader) Smallest() []byte { return r.first }
+
+// Largest returns the last key in the table (nil for an empty table).
+func (r *Reader) Largest() []byte {
+	if len(r.index) == 0 {
+		return nil
+	}
+	return r.index[len(r.index)-1].lastKey
+}
+
+// MayContain consults the Bloom filter with the filter key of key.
+func (r *Reader) MayContain(key []byte) bool {
+	return r.filter.MayContain(r.FilterKey(key))
+}
+
+func (r *Reader) readBlock(i int) ([]byte, error) {
+	e := r.index[i]
+	ck := cache.Key{File: r.id, Off: e.off}
+	if r.cache != nil {
+		if b := r.cache.Get(ck); b != nil {
+			return b, nil
+		}
+	}
+	buf := make([]byte, e.length+4)
+	if _, err := r.f.ReadAt(buf, int64(e.off)); err != nil {
+		return nil, err
+	}
+	data := buf[:e.length]
+	want := binary.LittleEndian.Uint32(buf[e.length:])
+	if crc32.ChecksumIEEE(data) != want {
+		return nil, ErrCorrupt
+	}
+	if r.cache != nil {
+		r.cache.Put(ck, data)
+	}
+	return data, nil
+}
+
+func decodeEntry(b []byte) (key, value, rest []byte, err error) {
+	klen, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, nil, ErrCorrupt
+	}
+	b = b[n:]
+	vlen, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, nil, ErrCorrupt
+	}
+	b = b[n:]
+	if uint64(len(b)) < klen+vlen {
+		return nil, nil, nil, ErrCorrupt
+	}
+	return b[:klen], b[klen : klen+vlen], b[klen+vlen:], nil
+}
+
+// Iterator scans a table in ascending key order.
+type Iterator struct {
+	r        *Reader
+	blockIdx int
+	block    []byte // remaining undecoded bytes of the current block
+	key, val []byte
+	err      error
+	valid    bool
+}
+
+// Iter returns an unpositioned iterator; call First or SeekGE.
+func (r *Reader) Iter() *Iterator { return &Iterator{r: r, blockIdx: -1} }
+
+// First positions at the smallest entry.
+func (it *Iterator) First() {
+	it.blockIdx = -1
+	it.block = nil
+	it.valid = false
+	it.err = nil
+	it.Next()
+}
+
+// SeekGE positions at the first entry with key >= target.
+func (it *Iterator) SeekGE(target []byte) {
+	it.err = nil
+	it.valid = false
+	it.block = nil
+	// Find the first block whose lastKey >= target.
+	i := sort.Search(len(it.r.index), func(i int) bool {
+		return bytes.Compare(it.r.index[i].lastKey, target) >= 0
+	})
+	if i == len(it.r.index) {
+		it.blockIdx = len(it.r.index)
+		return
+	}
+	it.blockIdx = i
+	blk, err := it.r.readBlock(i)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.block = blk
+	// Scan within the block.
+	for {
+		if !it.decodeNext() {
+			return
+		}
+		if bytes.Compare(it.key, target) >= 0 {
+			return
+		}
+	}
+}
+
+// decodeNext decodes one entry from the current block into key/val.
+func (it *Iterator) decodeNext() bool {
+	if len(it.block) == 0 {
+		it.valid = false
+		return false
+	}
+	k, v, rest, err := decodeEntry(it.block)
+	if err != nil {
+		it.err = err
+		it.valid = false
+		return false
+	}
+	it.key, it.val, it.block = k, v, rest
+	it.valid = true
+	return true
+}
+
+// Next advances to the following entry, loading the next block as needed.
+func (it *Iterator) Next() {
+	if it.err != nil {
+		return
+	}
+	if it.decodeNext() {
+		return
+	}
+	// Advance to the next block.
+	for {
+		it.blockIdx++
+		if it.blockIdx >= len(it.r.index) {
+			it.valid = false
+			return
+		}
+		blk, err := it.r.readBlock(it.blockIdx)
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return
+		}
+		it.block = blk
+		if it.decodeNext() {
+			return
+		}
+	}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Err returns the first I/O or corruption error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current key. The slice aliases an internal buffer and
+// is only valid until the next positioning call.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value, with the same aliasing rules as Key.
+func (it *Iterator) Value() []byte { return it.val }

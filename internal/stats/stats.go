@@ -1,0 +1,191 @@
+// Package stats provides the statistical machinery used across the
+// harness: streaming latency histograms with percentile queries, the
+// two-sample Kolmogorov-Smirnov test, the 1-D Wasserstein distance, and
+// small summary helpers. Everything is implemented from scratch on the
+// standard library.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of sorted,
+// using linear interpolation between closest ranks. sorted must be in
+// ascending order; it returns 0 for an empty slice.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := lo + 1
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count               int
+	Mean                float64
+	Min, Max            float64
+	P50, P90, P99, P999 float64
+}
+
+// Summarize computes a Summary of xs (xs is copied, not modified).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		Count: len(sorted),
+		Mean:  Mean(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   Percentile(sorted, 50),
+		P90:   Percentile(sorted, 90),
+		P99:   Percentile(sorted, 99),
+		P999:  Percentile(sorted, 99.9),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f p99.9=%.2f max=%.2f",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}
+
+// KSResult is the outcome of a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	D      float64 // supremum distance between the two empirical CDFs
+	PValue float64 // asymptotic p-value
+	N, M   int     // sample sizes
+}
+
+// Reject reports whether the null hypothesis (same distribution) is
+// rejected at significance level alpha.
+func (r KSResult) Reject(alpha float64) bool { return r.PValue < alpha }
+
+// KSTest runs the two-sample Kolmogorov-Smirnov test on samples a and b.
+// The inputs are not modified. The p-value uses the standard asymptotic
+// Kolmogorov distribution with the Stephens small-sample correction, the
+// same approximation used by scipy's 'asymp' mode.
+func KSTest(a, b []float64) KSResult {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return KSResult{D: 0, PValue: 1, N: n, M: m}
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	var d float64
+	i, j := 0, 0
+	for i < n && j < m {
+		x := math.Min(as[i], bs[j])
+		for i < n && as[i] <= x {
+			i++
+		}
+		for j < m && bs[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: ksProb(lambda), N: n, M: m}
+}
+
+// ksProb evaluates Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const eps1, eps2 = 1e-6, 1e-16
+	a2 := -2 * lambda * lambda
+	var sum, termBF float64
+	fac := 2.0
+	for j := 1; j <= 100; j++ {
+		term := fac * math.Exp(a2*float64(j)*float64(j))
+		sum += term
+		if math.Abs(term) <= eps1*termBF || math.Abs(term) <= eps2*sum {
+			return clamp01(sum)
+		}
+		fac = -fac
+		termBF = math.Abs(term)
+	}
+	return 1 // failed to converge: distributions are effectively identical
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Wasserstein computes the first Wasserstein distance (earth mover's
+// distance) between the empirical distributions of a and b. The inputs
+// are not modified.
+func Wasserstein(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	// Merge all positions; integrate |F_a - F_b| over the merged support.
+	all := make([]float64, 0, len(as)+len(bs))
+	all = append(all, as...)
+	all = append(all, bs...)
+	sort.Float64s(all)
+
+	var dist float64
+	var ia, ib int
+	for k := 0; k < len(all)-1; k++ {
+		x := all[k]
+		for ia < len(as) && as[ia] <= x {
+			ia++
+		}
+		for ib < len(bs) && bs[ib] <= x {
+			ib++
+		}
+		fa := float64(ia) / float64(len(as))
+		fb := float64(ib) / float64(len(bs))
+		dist += math.Abs(fa-fb) * (all[k+1] - all[k])
+	}
+	return dist
+}

@@ -1,0 +1,94 @@
+package stores
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+)
+
+// Every engine must implement identical get/put/merge/delete semantics.
+// This property test applies random operation sequences to all four
+// engines and compares the final state of every touched key against the
+// memstore oracle.
+func TestEnginesEquivalentToOracle(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  uint16
+	}
+	f := func(seed int64, nOps uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nOps)%2000 + 100
+		ops := make([]op, n)
+		for i := range ops {
+			ops[i] = op{Kind: uint8(rng.Intn(10)), Key: uint16(rng.Intn(200)), Val: uint16(rng.Intn(1 << 16))}
+		}
+
+		oracle := memstore.New()
+		defer oracle.Close()
+		engines := map[string]kv.Store{}
+		for _, name := range []string{"rocksdb", "lethe", "faster", "berkeleydb"} {
+			s, err := Open(Config{
+				Engine: name, Dir: t.TempDir(),
+				MemtableBytes: 16 << 10, CacheBytes: 32 << 10,
+				LogMemBytes: 8 << 20, IndexBuckets: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			engines[name] = s
+		}
+
+		apply := func(s kv.Store, o op) error {
+			key := []byte(fmt.Sprintf("key-%03d", o.Key))
+			val := []byte(fmt.Sprintf("%04x", o.Val))
+			switch o.Kind {
+			case 0:
+				return s.Delete(key)
+			case 1, 2:
+				return s.Merge(key, val)
+			default:
+				return s.Put(key, val)
+			}
+		}
+		for _, o := range ops {
+			if err := apply(oracle, o); err != nil {
+				return false
+			}
+			for name, s := range engines {
+				if err := apply(s, o); err != nil {
+					t.Logf("%s: %v", name, err)
+					return false
+				}
+			}
+		}
+		for k := 0; k < 200; k++ {
+			key := []byte(fmt.Sprintf("key-%03d", k))
+			want, wantErr := oracle.Get(key)
+			for name, s := range engines {
+				got, err := s.Get(key)
+				if errors.Is(wantErr, kv.ErrNotFound) {
+					if !errors.Is(err, kv.ErrNotFound) {
+						t.Logf("%s: key %s should be absent, got %q (err %v)", name, key, got, err)
+						return false
+					}
+					continue
+				}
+				if err != nil || string(got) != string(want) {
+					t.Logf("%s: Get(%s) = %q, %v; want %q", name, key, got, err, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

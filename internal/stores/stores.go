@@ -1,0 +1,87 @@
+// Package stores is the registry of KV engines the harness can drive,
+// keyed by the names used in configuration files and on the command
+// line: "rocksdb" (the LSM engine), "lethe", "faster", "berkeleydb" (the
+// B+Tree engine), and "memstore".
+package stores
+
+import (
+	"fmt"
+	"time"
+
+	"gadget/internal/btree"
+	"gadget/internal/faster"
+	"gadget/internal/kv"
+	"gadget/internal/lethe"
+	"gadget/internal/lsm"
+	"gadget/internal/memstore"
+	"gadget/internal/remote"
+)
+
+// Config selects and sizes an engine. Zero fields fall back to each
+// engine's paper-matching defaults.
+type Config struct {
+	// Engine is one of Engines(); aliases "lsm" and "btree" are accepted.
+	Engine string `json:"engine"`
+	// Dir is the store directory (required for all but memstore).
+	Dir string `json:"dir"`
+	// MemtableBytes sizes LSM write buffers.
+	MemtableBytes int64 `json:"memtable_bytes"`
+	// CacheBytes sizes the LSM block cache or B+Tree buffer pool.
+	CacheBytes int64 `json:"cache_bytes"`
+	// LogMemBytes sizes FASTER's in-memory hybrid log region.
+	LogMemBytes int64 `json:"log_mem_bytes"`
+	// IndexBuckets sizes FASTER's hash index.
+	IndexBuckets int `json:"index_buckets"`
+	// DeleteThresholdMs is Lethe's delete persistence threshold.
+	DeleteThresholdMs int64 `json:"delete_threshold_ms"`
+	// WAL enables the LSM write-ahead log.
+	WAL bool `json:"wal"`
+	// Addr is the server address for the "remote" engine (external
+	// state management, paper §8).
+	Addr string `json:"addr"`
+}
+
+// Engines lists the canonical engine names.
+func Engines() []string {
+	return []string{"rocksdb", "lethe", "faster", "berkeleydb", "memstore", "remote"}
+}
+
+// Open constructs the configured store.
+func Open(cfg Config) (kv.Store, error) {
+	switch cfg.Engine {
+	case "rocksdb", "lsm":
+		return lsm.Open(lsm.Options{
+			Dir:            cfg.Dir,
+			MemtableSize:   cfg.MemtableBytes,
+			BlockCacheSize: cfg.CacheBytes,
+			WAL:            cfg.WAL,
+		})
+	case "lethe":
+		return lethe.Open(lethe.Options{
+			LSM: lsm.Options{
+				Dir:            cfg.Dir,
+				MemtableSize:   cfg.MemtableBytes,
+				BlockCacheSize: cfg.CacheBytes,
+				WAL:            cfg.WAL,
+			},
+			DeleteThreshold: time.Duration(cfg.DeleteThresholdMs) * time.Millisecond,
+		})
+	case "faster":
+		return faster.Open(faster.Options{
+			Dir:          cfg.Dir,
+			LogMemBudget: cfg.LogMemBytes,
+			IndexBuckets: cfg.IndexBuckets,
+		})
+	case "berkeleydb", "btree":
+		return btree.Open(btree.Options{Dir: cfg.Dir, CacheSize: cfg.CacheBytes})
+	case "memstore":
+		return memstore.New(), nil
+	case "remote":
+		if cfg.Addr == "" {
+			return nil, fmt.Errorf("stores: remote engine requires addr")
+		}
+		return remote.Dial(cfg.Addr)
+	default:
+		return nil, fmt.Errorf("stores: unknown engine %q (want one of %v)", cfg.Engine, Engines())
+	}
+}

@@ -1,0 +1,72 @@
+package stores
+
+import (
+	"testing"
+
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+	"gadget/internal/remote"
+)
+
+func TestOpenAllEngines(t *testing.T) {
+	backing := memstore.New()
+	srv, err := remote.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	for _, engine := range append(Engines(), "lsm", "btree") {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			s, err := Open(Config{Engine: engine, Dir: t.TempDir(), Addr: srv.Addr()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Put([]byte("k"), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			v, err := s.Get([]byte("k"))
+			if err != nil || string(v) != "v" {
+				t.Fatalf("Get = %q, %v", v, err)
+			}
+			if err := s.Merge([]byte("k"), []byte("w")); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := s.Get([]byte("k")); string(v) != "vw" {
+				t.Fatalf("merge = %q", v)
+			}
+			if err := s.Delete([]byte("k")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get([]byte("k")); err != kv.ErrNotFound {
+				t.Fatalf("post-delete = %v", err)
+			}
+		})
+	}
+}
+
+func TestOpenUnknownEngine(t *testing.T) {
+	if _, err := Open(Config{Engine: "nope"}); err == nil {
+		t.Fatal("unknown engine should fail")
+	}
+	if _, err := Open(Config{Engine: "remote"}); err == nil {
+		t.Fatal("remote engine without addr should fail")
+	}
+}
+
+func TestCustomSizes(t *testing.T) {
+	s, err := Open(Config{
+		Engine: "lethe", Dir: t.TempDir(),
+		MemtableBytes: 1 << 16, CacheBytes: 1 << 16, DeleteThresholdMs: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f, err := Open(Config{Engine: "faster", Dir: t.TempDir(), LogMemBytes: 8 << 20, IndexBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}

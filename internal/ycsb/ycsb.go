@@ -1,0 +1,150 @@
+// Package ycsb reimplements the YCSB workload generator (Cooper et al.,
+// SoCC '10) over this repository's access-stream vocabulary. It provides
+// the core workloads the paper benchmarks against (A, D, F), arbitrary
+// tuned workloads with any of YCSB's request distributions, and the load
+// phase. YCSB has no delete operation and preloads its keyspace — the two
+// structural mismatches with streaming state access the paper's §4
+// demonstrates.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gadget/internal/dist"
+	"gadget/internal/kv"
+)
+
+// Workload mirrors YCSB's workload property file.
+type Workload struct {
+	// RecordCount is the number of preloaded records.
+	RecordCount uint64
+	// OperationCount is the number of operations in the run phase.
+	OperationCount uint64
+	// Proportions of each operation; they should sum to 1.
+	ReadProportion   float64
+	UpdateProportion float64
+	InsertProportion float64
+	RMWProportion    float64 // read-modify-write
+	// RequestDistribution selects keys for reads/updates/RMW.
+	RequestDistribution dist.Kind
+	// ValueSize is the value length in bytes (default 256, as in the
+	// paper's §6.3 configuration).
+	ValueSize uint32
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.RecordCount == 0 {
+		w.RecordCount = 1000
+	}
+	if w.OperationCount == 0 {
+		w.OperationCount = 10000
+	}
+	if w.RequestDistribution == "" {
+		w.RequestDistribution = dist.Zipfian
+	}
+	if w.ValueSize == 0 {
+		w.ValueSize = 256
+	}
+	return w
+}
+
+// Core workload presets (YCSB's workloads/workload{a,d,f}).
+
+// WorkloadA is update heavy: 50% reads, 50% updates, zipfian.
+func WorkloadA() Workload {
+	return Workload{ReadProportion: 0.5, UpdateProportion: 0.5, RequestDistribution: dist.Zipfian}
+}
+
+// WorkloadD is read latest: 95% reads, 5% inserts, latest distribution.
+func WorkloadD() Workload {
+	return Workload{ReadProportion: 0.95, InsertProportion: 0.05, RequestDistribution: dist.Latest}
+}
+
+// WorkloadF is read-modify-write: 50% reads, 50% RMW, zipfian.
+func WorkloadF() Workload {
+	return Workload{ReadProportion: 0.5, RMWProportion: 0.5, RequestDistribution: dist.Zipfian}
+}
+
+// CoreWorkloads returns the presets used in the paper's Figure 12.
+func CoreWorkloads() map[string]Workload {
+	return map[string]Workload{"A": WorkloadA(), "D": WorkloadD(), "F": WorkloadF()}
+}
+
+// key maps a YCSB record index to a state key.
+func key(i uint64) kv.StateKey { return kv.StateKey{Group: i} }
+
+// LoadTrace returns the load phase: one insert per record.
+func (w Workload) LoadTrace() []kv.Access {
+	ww := w.withDefaults()
+	out := make([]kv.Access, 0, ww.RecordCount)
+	for i := uint64(0); i < ww.RecordCount; i++ {
+		out = append(out, kv.Access{Op: kv.OpPut, Key: key(i), Size: ww.ValueSize, Time: int64(i)})
+	}
+	return out
+}
+
+// RunTrace generates the transaction phase. RMW operations contribute a
+// get-put pair (two accesses), matching how YCSB drivers execute them.
+func (w Workload) RunTrace() ([]kv.Access, error) {
+	ww := w.withDefaults()
+	total := ww.ReadProportion + ww.UpdateProportion + ww.InsertProportion + ww.RMWProportion
+	if total <= 0 {
+		return nil, fmt.Errorf("ycsb: operation proportions sum to %v", total)
+	}
+	rng := rand.New(rand.NewSource(ww.Seed))
+	chooser, err := dist.New(ww.RequestDistribution, ww.RecordCount, rng)
+	if err != nil {
+		return nil, err
+	}
+	latest, _ := chooser.(interface{ Advance() })
+	nextInsert := ww.RecordCount
+	out := make([]kv.Access, 0, ww.OperationCount)
+	for i := uint64(0); i < ww.OperationCount; i++ {
+		t := int64(i)
+		r := rng.Float64() * total
+		switch {
+		case r < ww.ReadProportion:
+			out = append(out, kv.Access{Op: kv.OpGet, Key: key(chooser.Next()), Time: t})
+		case r < ww.ReadProportion+ww.UpdateProportion:
+			out = append(out, kv.Access{Op: kv.OpPut, Key: key(chooser.Next()), Size: ww.ValueSize, Time: t})
+		case r < ww.ReadProportion+ww.UpdateProportion+ww.InsertProportion:
+			out = append(out, kv.Access{Op: kv.OpPut, Key: key(nextInsert), Size: ww.ValueSize, Time: t})
+			nextInsert++
+			if latest != nil {
+				latest.Advance()
+			}
+		default: // read-modify-write
+			k := key(chooser.Next())
+			out = append(out,
+				kv.Access{Op: kv.OpGet, Key: k, Time: t},
+				kv.Access{Op: kv.OpPut, Key: k, Size: ww.ValueSize, Time: t},
+			)
+		}
+	}
+	return out, nil
+}
+
+// Tuned builds the manually tuned YCSB workloads of the paper's §4: the
+// record count, operation count and read/write mix are copied from a
+// real streaming trace, inserts and deletes are zero (YCSB cannot express
+// them usefully), and the caller picks the request distribution (latest
+// for temporal locality, sequential for spatial locality, ...).
+func Tuned(records, ops uint64, readProportion float64, rmw bool, kind dist.Kind, valueSize uint32, seed int64) ([]kv.Access, error) {
+	w := Workload{
+		RecordCount:         records,
+		OperationCount:      ops,
+		ReadProportion:      readProportion,
+		RequestDistribution: kind,
+		ValueSize:           valueSize,
+		Seed:                seed,
+	}
+	if rmw {
+		w.RMWProportion = 1 - readProportion
+	} else {
+		w.UpdateProportion = 1 - readProportion
+	}
+	return w.RunTrace()
+}

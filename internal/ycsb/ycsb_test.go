@@ -1,0 +1,183 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+
+	"gadget/internal/dist"
+	"gadget/internal/kv"
+)
+
+func proportions(trace []kv.Access) map[kv.Op]float64 {
+	counts := map[kv.Op]int{}
+	for _, a := range trace {
+		counts[a.Op]++
+	}
+	out := map[kv.Op]float64{}
+	for op, c := range counts {
+		out[op] = float64(c) / float64(len(trace))
+	}
+	return out
+}
+
+func TestLoadTrace(t *testing.T) {
+	w := Workload{RecordCount: 100}
+	load := w.LoadTrace()
+	if len(load) != 100 {
+		t.Fatalf("load len = %d", len(load))
+	}
+	seen := map[kv.StateKey]bool{}
+	for _, a := range load {
+		if a.Op != kv.OpPut || a.Size == 0 {
+			t.Fatalf("bad load access %+v", a)
+		}
+		seen[a.Key] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("distinct keys = %d", len(seen))
+	}
+}
+
+func TestWorkloadAProportions(t *testing.T) {
+	w := WorkloadA()
+	w.RecordCount = 1000
+	w.OperationCount = 50000
+	trace, err := w.RunTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := proportions(trace)
+	if math.Abs(p[kv.OpGet]-0.5) > 0.02 || math.Abs(p[kv.OpPut]-0.5) > 0.02 {
+		t.Fatalf("proportions = %v", p)
+	}
+	// No deletes, ever (the paper's point).
+	if p[kv.OpDelete] != 0 {
+		t.Fatal("YCSB must not emit deletes")
+	}
+}
+
+func TestWorkloadDInsertsExtendKeyspace(t *testing.T) {
+	w := WorkloadD()
+	w.RecordCount = 1000
+	w.OperationCount = 20000
+	trace, err := w.RunTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxKey := uint64(0)
+	inserts := 0
+	for _, a := range trace {
+		if a.Key.Group > maxKey {
+			maxKey = a.Key.Group
+		}
+		if a.Op == kv.OpPut {
+			inserts++
+		}
+	}
+	if maxKey < 1000 {
+		t.Fatal("inserts did not extend the keyspace")
+	}
+	frac := float64(inserts) / float64(len(trace))
+	if frac < 0.03 || frac > 0.08 {
+		t.Fatalf("insert fraction = %v, want ~0.05", frac)
+	}
+}
+
+func TestWorkloadFRMWPairs(t *testing.T) {
+	w := WorkloadF()
+	w.RecordCount = 500
+	w.OperationCount = 10000
+	trace, err := w.RunTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every put must immediately follow a get on the same key (RMW).
+	for i, a := range trace {
+		if a.Op == kv.OpPut {
+			if i == 0 || trace[i-1].Op != kv.OpGet || trace[i-1].Key != a.Key {
+				t.Fatalf("put at %d is not an RMW pair", i)
+			}
+		}
+	}
+	// ~50% of logical ops are RMW, so puts/gets ratio ~ 1:2.
+	p := proportions(trace)
+	if math.Abs(p[kv.OpPut]/p[kv.OpGet]-0.5) > 0.1 {
+		t.Fatalf("put/get ratio = %v", p[kv.OpPut]/p[kv.OpGet])
+	}
+}
+
+func TestCoreWorkloads(t *testing.T) {
+	ws := CoreWorkloads()
+	for _, name := range []string{"A", "D", "F"} {
+		if _, ok := ws[name]; !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+	}
+}
+
+func TestTunedDistributions(t *testing.T) {
+	for _, kind := range dist.Kinds() {
+		trace, err := Tuned(1000, 5000, 0.5, false, kind, 64, 1)
+		if err != nil {
+			t.Fatalf("Tuned(%s): %v", kind, err)
+		}
+		if len(trace) != 5000 {
+			t.Fatalf("%s: len = %d", kind, len(trace))
+		}
+		p := proportions(trace)
+		if math.Abs(p[kv.OpGet]-0.5) > 0.03 {
+			t.Fatalf("%s: read prop = %v", kind, p[kv.OpGet])
+		}
+	}
+}
+
+func TestTunedRMW(t *testing.T) {
+	trace, err := Tuned(100, 1000, 0.5, true, dist.Latest, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMW doubles some accesses: length > op count.
+	if len(trace) <= 1000 {
+		t.Fatalf("len = %d, want > 1000 due to RMW pairs", len(trace))
+	}
+}
+
+func TestSequentialTunedIsSequential(t *testing.T) {
+	trace, err := Tuned(100, 400, 0, false, dist.Sequential, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 100; i++ {
+		if trace[i].Key.Group != trace[i-1].Key.Group+1 {
+			t.Fatalf("not sequential at %d", i)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	w := WorkloadA()
+	w.Seed = 99
+	w.OperationCount = 1000
+	a, _ := w.RunTrace()
+	b, _ := w.RunTrace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestInvalidProportions(t *testing.T) {
+	w := Workload{OperationCount: 10, RecordCount: 10}
+	if _, err := w.RunTrace(); err == nil {
+		t.Fatal("zero proportions should error")
+	}
+}
+
+func TestBadDistribution(t *testing.T) {
+	w := WorkloadA()
+	w.RequestDistribution = "bogus"
+	if _, err := w.RunTrace(); err == nil {
+		t.Fatal("bad distribution should error")
+	}
+}
