@@ -15,6 +15,9 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment benchmarks are skipped in -short mode")
+	}
 	run, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
@@ -65,7 +68,11 @@ func benchConfig(op gadget.OperatorType, events int) gadget.Config {
 }
 
 func BenchmarkGenerateTumblingTrace(b *testing.B) {
-	w, err := gadget.NewWorkload(benchConfig(gadget.TumblingIncr, 50000))
+	events := 50000
+	if testing.Short() {
+		events = 5000
+	}
+	w, err := gadget.NewWorkload(benchConfig(gadget.TumblingIncr, events))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -87,7 +94,11 @@ func BenchmarkOnlineRun(b *testing.B) {
 			continue // needs a running gadget-server; see internal/remote benches
 		}
 		b.Run(engine, func(b *testing.B) {
-			w, err := gadget.NewWorkload(benchConfig(gadget.TumblingIncr, 20000))
+			events := 20000
+			if testing.Short() {
+				events = 2000
+			}
+			w, err := gadget.NewWorkload(benchConfig(gadget.TumblingIncr, events))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI gate: build, vet, gofmt cleanliness, the full test suite, and the
+# race-enabled run (the concurrent paths — shared-store partitioned
+# runs, concurrent replay, block cache — must stay race-free).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (short)"
+go test -race -short ./...
+
+echo "CI OK"

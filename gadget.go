@@ -174,11 +174,11 @@ func (w *Workload) RunOnline(store Store, opts ReplayOptions) (Result, error) {
 	}
 	c := replay.NewCollector(store, opts)
 	var applyErr error
-	core.Drive(src, op, func(a Access) {
+	core.DriveUntil(src, op, func(a Access) {
 		if applyErr == nil {
 			applyErr = c.Do(a)
 		}
-	})
+	}, func() bool { return applyErr != nil })
 	return c.Finish(), applyErr
 }
 
@@ -299,11 +299,11 @@ func (w *Workload) RunPartitioned(stores []Store, opts ReplayOptions) ([]Result,
 			}
 			c := replay.NewCollector(stores[i], opts)
 			var applyErr error
-			core.Drive(parts[i], inst, func(a Access) {
+			core.DriveUntil(parts[i], inst, func(a Access) {
 				if applyErr == nil {
 					applyErr = c.Do(a)
 				}
-			})
+			}, func() bool { return applyErr != nil })
 			results[i] = c.Finish()
 			errs[i] = applyErr
 		}(i)

@@ -1,7 +1,9 @@
 package gadget
 
 import (
+	"errors"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"gadget/internal/remote"
@@ -222,5 +224,71 @@ func TestRunPartitioned(t *testing.T) {
 	defer shared.Close()
 	if _, err := w.RunPartitioned([]Store{shared, shared}, ReplayOptions{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failingStore errors on every operation, counting the attempts.
+type failingStore struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *failingStore) bump() error {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	return errors.New("injected store failure")
+}
+
+func (f *failingStore) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *failingStore) Get(key []byte) ([]byte, error)  { return nil, f.bump() }
+func (f *failingStore) Put(key, value []byte) error     { return f.bump() }
+func (f *failingStore) Merge(key, operand []byte) error { return f.bump() }
+func (f *failingStore) Delete(key []byte) error         { return f.bump() }
+func (f *failingStore) Close() error                    { return nil }
+
+// A persistently failing store must abort the run early: once the
+// evaluator gives up, event generation stops instead of grinding
+// through the rest of the workload.
+func TestRunOnlineStopsOnFailingStore(t *testing.T) {
+	w, err := NewWorkload(smallCfg(TumblingIncr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &failingStore{}
+	if _, err := w.RunOnline(st, ReplayOptions{}); err == nil {
+		t.Fatal("RunOnline with a failing store should report an error")
+	}
+	// The evaluator tolerates ~100 errors before giving up; after that no
+	// further accesses should be issued.
+	if st.count() >= len(full)/2 {
+		t.Fatalf("run was not cut short: %d of %d accesses issued", st.count(), len(full))
+	}
+}
+
+func TestRunPartitionedStopsOnFailingStore(t *testing.T) {
+	w, err := NewWorkload(smallCfg(TumblingIncr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &failingStore{}
+	if _, err := w.RunPartitioned([]Store{st, st}, ReplayOptions{}); err == nil {
+		t.Fatal("RunPartitioned with a failing store should report an error")
+	}
+	if st.count() >= len(full)/2 {
+		t.Fatalf("run was not cut short: %d of %d accesses issued", st.count(), len(full))
 	}
 }

@@ -11,12 +11,12 @@ package btree
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"gadget/internal/kv"
+	"gadget/internal/vfs"
 )
 
 // Options configures a Store.
@@ -26,6 +26,9 @@ type Options struct {
 	// CacheSize is the buffer pool capacity in bytes (default 256 MiB,
 	// the paper's BerkeleyDB configuration).
 	CacheSize int64
+	// FS is the filesystem the store lives on; nil selects the real
+	// filesystem. Tests inject vfs.MemFS or vfs.FaultFS here.
+	FS vfs.FS
 }
 
 // Store is a B+Tree key-value store implementing kv.Store.
@@ -47,10 +50,11 @@ func Open(opts Options) (*Store, error) {
 	if cache <= 0 {
 		cache = 256 << 20
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fs := vfs.OrDefault(opts.FS)
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	p, err := openPager(filepath.Join(opts.Dir, "btree.db"), cache)
+	p, err := openPager(fs, filepath.Join(opts.Dir, "btree.db"), cache)
 	if err != nil {
 		return nil, err
 	}
@@ -521,6 +525,18 @@ func (s *Store) CacheStats() (reads, writes uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.p.reads, s.p.writes
+}
+
+// Flush checkpoints the store: all dirty pages and the meta page reach
+// the database file and the rollback journal is retired. After Flush
+// returns, a crash recovers to exactly this state.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return kv.ErrClosed
+	}
+	return s.p.flush()
 }
 
 // Close flushes the buffer pool and closes the database file.

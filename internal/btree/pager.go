@@ -3,8 +3,13 @@ package btree
 import (
 	"container/list"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+
+	"gadget/internal/vfs"
 )
 
 // PageSize is the fixed on-disk page size.
@@ -29,8 +34,19 @@ type frame struct {
 // pager provides fixed-size pages backed by a file with an LRU buffer
 // pool. Dirty pages are written back on eviction and on flush. Pinned
 // pages are never evicted.
+//
+// Crash safety uses a rollback journal in the style of SQLite: before a
+// page that existed at the last checkpoint is overwritten in place, its
+// before-image is appended to <db>.journal and the journal is synced.
+// A checkpoint (flush) writes all dirty pages plus the meta page, syncs
+// the database file, and then deletes the journal — the deletion is the
+// commit. If the journal still exists at open, the process died between
+// checkpoints and the journal is rolled back, restoring the database to
+// its last checkpointed state byte for byte.
 type pager struct {
-	f             *os.File
+	fs            vfs.FS
+	f             vfs.File
+	path          string
 	pool          map[uint32]*frame
 	lru           *list.List // front = most recently used
 	capacity      int        // max frames resident
@@ -38,60 +54,188 @@ type pager struct {
 	freeHead      uint32 // head of the free-page list (0 = none)
 	root          uint32
 	reads, writes uint64
+
+	jf        vfs.File        // open journal, nil until first before-image
+	journaled map[uint32]bool // pages with a before-image this epoch
+	baseline  uint32          // pageCount at last checkpoint; pages at or
+	// beyond it did not exist then and need no before-image
 }
 
-func openPager(path string, cacheBytes int64) (*pager, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openPager(fs vfs.FS, path string, cacheBytes int64) (*pager, error) {
+	// A crashed initialization leaves a partial database under the .init
+	// name; it never became the database and is garbage.
+	fs.Remove(path + ".init")
+	if err := rollbackJournal(fs, path); err != nil {
+		return nil, err
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return initPager(fs, path, cacheBytes)
+	}
 	if err != nil {
 		return nil, err
 	}
+	p := newPagerState(fs, f, path, cacheBytes)
+	var meta [PageSize]byte
+	if _, err := f.ReadAt(meta[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(meta[1:]) != pagerMagic {
+		f.Close()
+		return nil, fmt.Errorf("btree: not a btree database file")
+	}
+	p.root = binary.LittleEndian.Uint32(meta[9:])
+	p.pageCount = binary.LittleEndian.Uint32(meta[13:])
+	p.freeHead = binary.LittleEndian.Uint32(meta[17:])
+	p.baseline = p.pageCount
+	return p, nil
+}
+
+func newPagerState(fs vfs.FS, f vfs.File, path string, cacheBytes int64) *pager {
 	cap := int(cacheBytes / PageSize)
 	if cap < 16 {
 		cap = 16
 	}
-	p := &pager{
-		f:        f,
-		pool:     make(map[uint32]*frame),
-		lru:      list.New(),
-		capacity: cap,
+	return &pager{
+		fs:        fs,
+		f:         f,
+		path:      path,
+		pool:      make(map[uint32]*frame),
+		lru:       list.New(),
+		capacity:  cap,
+		journaled: make(map[uint32]bool),
 	}
-	st, err := f.Stat()
+}
+
+// initPager creates a fresh database atomically: the meta page and an
+// empty leaf root are written and synced under a temporary .init name
+// and renamed into place, so a crash during creation leaves either no
+// database or a complete one — never a torn file without a journal to
+// roll back.
+func initPager(fs vfs.FS, path string, cacheBytes int64) (*pager, error) {
+	f, err := fs.OpenFile(path+".init", os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := newPagerState(fs, f, path, cacheBytes)
+	p.pageCount = 1
+	rootFrame, err := p.alloc(pageLeaf)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() == 0 {
-		// Fresh database: write the meta page and an empty leaf root.
-		p.pageCount = 1
-		rootFrame, err := p.alloc(pageLeaf)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		p.root = rootFrame.id
-		p.unpin(rootFrame, true)
-		if err := p.flushMeta(); err != nil {
-			f.Close()
-			return nil, err
-		}
-	} else {
-		var meta [PageSize]byte
-		if _, err := f.ReadAt(meta[:], 0); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if binary.LittleEndian.Uint64(meta[1:]) != pagerMagic {
-			f.Close()
-			return nil, fmt.Errorf("btree: not a btree database file")
-		}
-		p.root = binary.LittleEndian.Uint32(meta[9:])
-		p.pageCount = binary.LittleEndian.Uint32(meta[13:])
-		p.freeHead = binary.LittleEndian.Uint32(meta[17:])
+	p.root = rootFrame.id
+	p.unpin(rootFrame, true)
+	// flush checkpoints the initial state (rollback restores to a
+	// checkpoint, so there must be one before any mutation).
+	if err := p.flush(); err != nil {
+		f.Close()
+		return nil, err
 	}
+	if err := fs.Rename(path+".init", path); err != nil {
+		f.Close()
+		fs.Remove(path + ".init")
+		return nil, err
+	}
+	// The open handle follows the rename (same inode); subsequent I/O
+	// hits the final path's file.
 	return p, nil
 }
 
 const pagerMagic = 0x4741444745544254 // "GADGETBT"
+
+func journalPath(path string) string { return path + ".journal" }
+
+// Journal entries are pageID u32 | PageSize bytes | crc32(id+data) u32.
+const journalEntrySize = 4 + PageSize + 4
+
+// rollbackJournal undoes a crashed epoch: every complete journal entry
+// is written back over the database file. A torn final entry is ignored
+// — the journal append is synced before the corresponding in-place page
+// write, so a torn entry means that overwrite never happened.
+func rollbackJournal(fs vfs.FS, path string) error {
+	jdata, err := vfs.ReadFile(fs, journalPath(path))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	db, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	for len(jdata) >= journalEntrySize {
+		entry := jdata[:journalEntrySize]
+		jdata = jdata[journalEntrySize:]
+		id := binary.LittleEndian.Uint32(entry)
+		want := binary.LittleEndian.Uint32(entry[4+PageSize:])
+		if crc32.ChecksumIEEE(entry[:4+PageSize]) != want {
+			break // torn tail: its page overwrite never happened
+		}
+		if _, err := db.WriteAt(entry[4:4+PageSize], int64(id)*PageSize); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if err := db.Sync(); err != nil {
+		db.Close()
+		return err
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	return fs.Remove(journalPath(path))
+}
+
+// journalPage appends the on-disk before-image of page id to the journal
+// and syncs it, once per epoch. Must run before the first in-place
+// overwrite of the page.
+func (p *pager) journalPage(id uint32) error {
+	if id >= p.baseline || p.journaled[id] {
+		return nil
+	}
+	if p.jf == nil {
+		jf, err := p.fs.OpenFile(journalPath(p.path), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		p.jf = jf
+	}
+	entry := make([]byte, journalEntrySize)
+	binary.LittleEndian.PutUint32(entry, id)
+	if _, err := p.f.ReadAt(entry[4:4+PageSize], int64(id)*PageSize); err != nil {
+		// A short read past EOF means the page never made it to disk at
+		// the last checkpoint — impossible for id < baseline, so treat any
+		// failure as fatal rather than journaling garbage.
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(entry[4+PageSize:], crc32.ChecksumIEEE(entry[:4+PageSize]))
+	if _, err := p.jf.Write(entry); err != nil {
+		return err
+	}
+	if err := p.jf.Sync(); err != nil {
+		return err
+	}
+	p.journaled[id] = true
+	return nil
+}
+
+// writePage journals the before-image if needed, then overwrites the
+// page in place.
+func (p *pager) writePage(id uint32, data []byte) error {
+	if err := p.journalPage(id); err != nil {
+		return err
+	}
+	if _, err := p.f.WriteAt(data, int64(id)*PageSize); err != nil {
+		return err
+	}
+	p.writes++
+	return nil
+}
 
 func (p *pager) flushMeta() error {
 	var meta [PageSize]byte
@@ -100,8 +244,7 @@ func (p *pager) flushMeta() error {
 	binary.LittleEndian.PutUint32(meta[9:], p.root)
 	binary.LittleEndian.PutUint32(meta[13:], p.pageCount)
 	binary.LittleEndian.PutUint32(meta[17:], p.freeHead)
-	_, err := p.f.WriteAt(meta[:], 0)
-	return err
+	return p.writePage(0, meta[:])
 }
 
 // get pins and returns the frame for page id, reading it if not resident.
@@ -197,10 +340,9 @@ func (p *pager) evict() error {
 			return nil // everything pinned; allow temporary overshoot
 		}
 		if victim.dirty {
-			if _, err := p.f.WriteAt(victim.data, int64(victim.id)*PageSize); err != nil {
+			if err := p.writePage(victim.id, victim.data); err != nil {
 				return err
 			}
-			p.writes++
 		}
 		p.lru.Remove(victim.elem)
 		delete(p.pool, victim.id)
@@ -208,22 +350,43 @@ func (p *pager) evict() error {
 	return nil
 }
 
-// flush writes all dirty frames and the meta page.
+// flush checkpoints: all dirty frames plus the meta page reach the
+// database file, the file is synced, and the journal is deleted. The
+// journal deletion is the commit point.
 func (p *pager) flush() error {
 	for _, fr := range p.pool {
 		if fr.dirty {
-			if _, err := p.f.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
+			if err := p.writePage(fr.id, fr.data); err != nil {
 				return err
 			}
 			fr.dirty = false
-			p.writes++
 		}
 	}
-	return p.flushMeta()
+	if err := p.flushMeta(); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	if p.jf != nil {
+		if err := p.jf.Close(); err != nil {
+			return err
+		}
+		p.jf = nil
+		if err := p.fs.Remove(journalPath(p.path)); err != nil {
+			return err
+		}
+	}
+	p.journaled = make(map[uint32]bool)
+	p.baseline = p.pageCount
+	return nil
 }
 
 func (p *pager) close() error {
 	if err := p.flush(); err != nil {
+		if p.jf != nil {
+			p.jf.Close()
+		}
 		p.f.Close()
 		return err
 	}

@@ -1,0 +1,26 @@
+package config
+
+import "testing"
+
+// FuzzParseConfig feeds arbitrary bytes to the JSON configuration
+// parser. Malformed configurations must be rejected with an error,
+// never a panic — configs arrive from the command line and from
+// external tooling.
+func FuzzParseConfig(f *testing.F) {
+	f.Add([]byte(`{"operator": {"type": "aggregation"}}`))
+	f.Add([]byte(`{"source": {"events": 1000, "keys": 10}, "operator": {"type": "tumbling_incr", "window_ms": 1000}, "store": {"engine": "rocksdb", "dir": "/tmp/x"}}`))
+	f.Add([]byte(`{"operator": {"type": "nope"}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"source": {"events": -5}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A config that parses must also survive validation without
+		// panicking (it may still be rejected).
+		cfg.Validate()
+	})
+}

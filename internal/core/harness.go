@@ -25,6 +25,28 @@ func Drive(src eventgen.Source, op Operator, emit Emit) {
 	}
 }
 
+// DriveUntil is Drive with a stop predicate checked between source
+// items: once stop returns true, generation ends early. Online runners
+// use it to halt event generation when the store has started failing
+// instead of grinding through the rest of the workload.
+func DriveUntil(src eventgen.Source, op Operator, emit Emit, stop func() bool) {
+	for {
+		if stop() {
+			return
+		}
+		it, ok := src.Next()
+		if !ok {
+			return
+		}
+		switch it.Kind {
+		case eventgen.ItemEvent:
+			op.OnEvent(it.Event, emit)
+		case eventgen.ItemWatermark:
+			op.OnWatermark(it.WM, emit)
+		}
+	}
+}
+
 // Generate runs Drive in offline mode, materializing the state access
 // stream.
 func Generate(src eventgen.Source, op Operator) []kv.Access {

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"gadget/internal/kv"
+	"gadget/internal/vfs"
 )
 
 // Options configures a Store.
@@ -39,6 +40,9 @@ type Options struct {
 	// MutableFraction is the tail fraction of the in-memory log where
 	// updates happen in place (default 0.9).
 	MutableFraction float64
+	// FS is the filesystem the store lives on; nil selects the real
+	// filesystem. Tests inject vfs.MemFS or vfs.FaultFS here.
+	FS vfs.FS
 }
 
 func (o *Options) withDefaults() Options {
@@ -58,6 +62,7 @@ func (o *Options) withDefaults() Options {
 	if out.MutableFraction <= 0 || out.MutableFraction > 1 {
 		out.MutableFraction = 0.9
 	}
+	out.FS = vfs.OrDefault(out.FS)
 	return out
 }
 
@@ -82,7 +87,7 @@ type Store struct {
 	segs     map[uint64][]byte
 	tail     uint64 // next append address
 	headAddr uint64 // lowest in-memory address
-	file     *os.File
+	file     vfs.File
 	count    int64 // live (non-deleted) keys, approximate
 	closed   bool
 }
@@ -96,10 +101,10 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("faster: Options.Dir is required")
 	}
 	o := opts.withDefaults()
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(o.Dir, "faster.log"), os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := o.FS.OpenFile(filepath.Join(o.Dir, "faster.log"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -118,9 +123,15 @@ func Open(opts Options) (*Store, error) {
 }
 
 // recover rebuilds the index by scanning a previously persisted log.
+// The meta file is written only on clean Close (and atomically), so a
+// bad or inconsistent meta means the process died mid-shutdown — the
+// store recovers empty rather than refusing to open, matching FASTER's
+// "durable only at checkpoints" contract.
 func (s *Store) recover() error {
 	metaPath := filepath.Join(s.opts.Dir, "meta")
-	mb, err := os.ReadFile(metaPath)
+	// A crashed atomic meta write can leave a .tmp behind; it is garbage.
+	s.opts.FS.Remove(metaPath + ".tmp")
+	mb, err := vfs.ReadFile(s.opts.FS, metaPath)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -128,7 +139,8 @@ func (s *Store) recover() error {
 		return err
 	}
 	if len(mb) != 8 {
-		return fmt.Errorf("faster: corrupt meta file")
+		s.opts.FS.Remove(metaPath)
+		return nil // crash artifact, not a clean shutdown
 	}
 	persistedTail := binary.LittleEndian.Uint64(mb)
 	st, err := s.file.Stat()
@@ -136,7 +148,9 @@ func (s *Store) recover() error {
 		return err
 	}
 	if int64(persistedTail) > st.Size() {
-		return fmt.Errorf("faster: meta tail %d beyond log size %d", persistedTail, st.Size())
+		// Meta promises more log than exists: the log flush never finished.
+		s.opts.FS.Remove(metaPath)
+		return nil
 	}
 	// Load the whole persisted log back as in-memory segments, then scan.
 	nSegs := (persistedTail + segSize - 1) / segSize
@@ -181,7 +195,7 @@ func (s *Store) recover() error {
 	s.headAddr = 0
 	s.evictLocked()
 	// Remove stale meta so a crash before the next Close is detected.
-	os.Remove(metaPath)
+	s.opts.FS.Remove(metaPath)
 	return nil
 }
 
@@ -453,9 +467,16 @@ func (s *Store) Close() error {
 			return err
 		}
 	}
+	// Order matters: the log must be durable before the meta that vouches
+	// for it exists, and the meta itself is committed by rename so a crash
+	// mid-shutdown leaves either no meta (recover empty) or a valid one.
+	if err := s.file.Sync(); err != nil {
+		s.file.Close()
+		return err
+	}
 	var mb [8]byte
 	binary.LittleEndian.PutUint64(mb[:], s.tail)
-	if err := os.WriteFile(filepath.Join(s.opts.Dir, "meta"), mb[:], 0o644); err != nil {
+	if err := vfs.WriteFileAtomic(s.opts.FS, filepath.Join(s.opts.Dir, "meta"), mb[:], 0o644); err != nil {
 		s.file.Close()
 		return err
 	}

@@ -3,7 +3,6 @@ package lsm
 import (
 	"bytes"
 	"container/heap"
-	"os"
 	"time"
 
 	"gadget/internal/sstable"
@@ -173,10 +172,17 @@ func (db *DB) compactLocked(req *CompactionRequest) error {
 	db.version.levels[req.Level] = filter(db.version.levels[req.Level])
 	db.version.levels[outLevel] = append(filter(db.version.levels[outLevel]), outputs...)
 	db.version.sortLevels()
+	// Commit the new layout before deleting inputs: a crash between the
+	// manifest rename and the removals leaves the old tables as orphans,
+	// which the next open cleans up; a crash before it leaves the outputs
+	// as orphans instead. Either way exactly one layout survives.
+	if err := db.writeManifestLocked(); err != nil {
+		return err
+	}
 	for _, fm := range inputs {
 		fm.close()
 		db.cache.InvalidateFile(fm.num)
-		os.Remove(fm.path)
+		db.opts.FS.Remove(fm.path)
 	}
 	db.stats.Compactions++
 	db.stats.BytesCompacted += inBytes
@@ -227,9 +233,12 @@ func (db *DB) mergeTables(inputs []*fileMeta, outLevel int, bottommost bool) (ou
 		if b != nil {
 			b.abandon()
 		}
+		// Finished outputs were already renamed to their final names but
+		// never committed to the manifest; remove them eagerly (a crashed
+		// process would instead leave them for loadTables' orphan sweep).
 		for _, fm := range outputs {
 			fm.close()
-			os.Remove(fm.path)
+			db.opts.FS.Remove(fm.path)
 		}
 		return nil, 0, e
 	}

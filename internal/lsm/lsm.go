@@ -12,15 +12,18 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gadget/internal/cache"
 	"gadget/internal/kv"
+	"gadget/internal/vfs"
 )
 
 // Options configures a DB. The zero value is usable: defaults mirror the
@@ -54,6 +57,9 @@ type Options struct {
 	SyncWrites bool
 	// DisableBloom turns off per-table Bloom filters (ablation knob).
 	DisableBloom bool
+	// FS is the filesystem the database lives on; nil selects the real
+	// filesystem. Tests inject vfs.MemFS or vfs.FaultFS here.
+	FS vfs.FS
 }
 
 func (o *Options) withDefaults() Options {
@@ -79,6 +85,7 @@ func (o *Options) withDefaults() Options {
 	if out.Picker == nil {
 		out.Picker = LeveledPicker{}
 	}
+	out.FS = vfs.OrDefault(out.FS)
 	return out
 }
 
@@ -112,14 +119,15 @@ type DB struct {
 
 var _ kv.Store = (*DB)(nil)
 
-// Open opens (or creates) a database in opts.Dir, loading any existing
-// sorted tables and replaying the write-ahead log if one exists.
+// Open opens (or creates) a database in opts.Dir, loading the sorted
+// tables the manifest commits (removing orphans a crash left behind) and
+// replaying the surviving write-ahead log tail.
 func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("lsm: Options.Dir is required")
 	}
 	o := opts.withDefaults()
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	db := &DB{
@@ -132,11 +140,13 @@ func Open(opts Options) (*DB, error) {
 	if err := db.loadTables(); err != nil {
 		return nil, err
 	}
-	if err := db.replayWAL(); err != nil {
+	// Everything at or below db.seq is already durable in tables; the
+	// WAL replays only the unflushed suffix.
+	if err := db.replayWAL(db.seq); err != nil {
 		return nil, err
 	}
 	if o.WAL {
-		w, err := newWALWriter(filepath.Join(o.Dir, "wal.log"), o.SyncWrites)
+		w, err := newWALWriter(o.FS, filepath.Join(o.Dir, walName), o.SyncWrites)
 		if err != nil {
 			return nil, err
 		}
@@ -145,15 +155,33 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// loadTables scans Dir for *.sst files and reinstalls them at the levels
-// recorded in their property blocks.
+// loadTables reinstalls the tables the manifest lists, deleting *.tmp
+// leftovers and orphaned tables from crashed flushes or compactions.
+// Directories without a manifest (pre-manifest layouts) fall back to
+// scanning *.sst files and trusting their property blocks.
 func (db *DB) loadTables() error {
-	entries, err := os.ReadDir(db.opts.Dir)
+	fs := db.opts.FS
+	var listed map[uint64]int
+	mdata, err := vfs.ReadFile(fs, manifestPath(db.opts.Dir))
+	haveManifest := err == nil
+	if haveManifest {
+		if listed, err = parseManifest(mdata); err != nil {
+			return err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	entries, err := fs.ReadDir(db.opts.Dir)
 	if err != nil {
 		return err
 	}
+	found := make(map[uint64]bool, len(listed))
 	for _, e := range entries {
 		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			fs.Remove(filepath.Join(db.opts.Dir, name))
+			continue
+		}
 		if !strings.HasSuffix(name, ".sst") {
 			continue
 		}
@@ -161,20 +189,39 @@ func (db *DB) loadTables() error {
 		if _, err := fmt.Sscanf(name, "%06d.sst", &num); err != nil {
 			continue
 		}
-		fm, err := openTable(filepath.Join(db.opts.Dir, name), num, db.cache)
+		if num >= db.nextNum {
+			// Never reuse a crashed table's number: a stale cache entry
+			// or half-deleted file must not collide with new tables.
+			db.nextNum = num + 1
+		}
+		lvl := 0
+		if haveManifest {
+			var ok bool
+			if lvl, ok = listed[num]; !ok {
+				// Orphan: the table was written but its manifest commit
+				// never happened (or it was compacted away).
+				fs.Remove(filepath.Join(db.opts.Dir, name))
+				continue
+			}
+		}
+		fm, err := openTable(fs, filepath.Join(db.opts.Dir, name), num, db.cache)
 		if err != nil {
 			return fmt.Errorf("lsm: loading %s: %w", name, err)
 		}
-		lvl := 0
-		if v, ok := fm.reader.Property(propLevel); ok && int(v) < numLevels {
-			lvl = int(v)
+		if !haveManifest {
+			if v, ok := fm.reader.Property(propLevel); ok && int(v) < numLevels {
+				lvl = int(v)
+			}
 		}
+		found[num] = true
 		db.version.levels[lvl] = append(db.version.levels[lvl], fm)
 		if maxSeq, ok := fm.reader.Property(propMaxSeq); ok && maxSeq > db.seq {
 			db.seq = maxSeq
 		}
-		if num >= db.nextNum {
-			db.nextNum = num + 1
+	}
+	for num := range listed {
+		if !found[num] {
+			return fmt.Errorf("lsm: manifest lists table %06d but the file is missing", num)
 		}
 	}
 	db.version.sortLevels()
@@ -249,7 +296,9 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	if db.closed {
 		return nil, kv.ErrClosed
 	}
-	db.stats.Gets++
+	// Gets is bumped under the read lock, so it must be atomic: many
+	// readers may race on it. Every other counter mutates under mu.
+	atomic.AddUint64(&db.stats.Gets, 1)
 	var operands [][]byte
 
 	v, res := db.mem.get(key, &operands)
@@ -361,7 +410,17 @@ func (db *DB) CacheStats() (hits, misses uint64) {
 func (db *DB) StatsSnapshot() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.stats
+	return Stats{
+		Flushes:           db.stats.Flushes,
+		Compactions:       db.stats.Compactions,
+		BytesFlushed:      db.stats.BytesFlushed,
+		BytesCompacted:    db.stats.BytesCompacted,
+		TombstonesDropped: db.stats.TombstonesDropped,
+		Gets:              atomic.LoadUint64(&db.stats.Gets),
+		Puts:              db.stats.Puts,
+		Merges:            db.stats.Merges,
+		Deletes:           db.stats.Deletes,
+	}
 }
 
 // ApproximateSize returns the total bytes in sorted tables plus memtables.
@@ -410,7 +469,7 @@ func (db *DB) Close() error {
 	if db.wal != nil {
 		db.wal.close()
 		// The memtable was flushed; the log is stale.
-		os.Remove(filepath.Join(db.opts.Dir, "wal.log"))
+		db.opts.FS.Remove(filepath.Join(db.opts.Dir, walName))
 	}
 	var firstErr error
 	for _, lvl := range db.version.levels {

@@ -3,12 +3,12 @@ package lsm
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 
 	"gadget/internal/cache"
 	"gadget/internal/sstable"
+	"gadget/internal/vfs"
 )
 
 // Numeric properties persisted in every table.
@@ -33,7 +33,7 @@ type fileMeta struct {
 	// delete persistence threshold.
 	tombstoneAt time.Time
 	reader      *sstable.Reader
-	file        *os.File
+	file        vfs.File
 	path        string
 }
 
@@ -90,8 +90,8 @@ func tablePath(dir string, num uint64) string {
 }
 
 // openTable opens an existing table file and builds its metadata.
-func openTable(path string, num uint64, c *cache.Cache) (*fileMeta, error) {
-	f, err := os.Open(path)
+func openTable(fs vfs.FS, path string, num uint64, c *cache.Cache) (*fileMeta, error) {
+	f, err := vfs.Open(fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -128,11 +128,15 @@ func openTable(path string, num uint64, c *cache.Cache) (*fileMeta, error) {
 // Bloom lookups by user key work regardless of sequence numbers.
 func filterUserKey(ikey []byte) []byte { return ikeyUserPrefix(ikey) }
 
-// tableBuilder wraps an sstable.Writer with tombstone bookkeeping.
+// tableBuilder wraps an sstable.Writer with tombstone bookkeeping. The
+// table is built under a .tmp name and renamed into place only after a
+// sync, so a crash mid-build leaves no partial .sst for Open to choke
+// on — only a .tmp that loadTables deletes.
 type tableBuilder struct {
+	fs      vfs.FS
 	w       *sstable.Writer
-	f       *os.File
-	path    string
+	f       vfs.File
+	path    string // final *.sst path; the build happens at path+".tmp"
 	num     uint64
 	deletes uint64
 	maxSeq  uint64
@@ -143,7 +147,7 @@ func (db *DB) newTableBuilder() (*tableBuilder, error) {
 	num := db.nextNum
 	db.nextNum++
 	path := tablePath(db.opts.Dir, num)
-	f, err := os.Create(path)
+	f, err := vfs.Create(db.opts.FS, path+".tmp")
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +156,7 @@ func (db *DB) newTableBuilder() (*tableBuilder, error) {
 	if db.opts.DisableBloom {
 		w.BloomBitsPerKey = -1
 	}
-	return &tableBuilder{w: w, f: f, path: path, num: num}, nil
+	return &tableBuilder{fs: db.opts.FS, w: w, f: f, path: path, num: num}, nil
 }
 
 func (b *tableBuilder) add(ikey, value []byte, tombAt time.Time) error {
@@ -182,18 +186,28 @@ func (b *tableBuilder) finish(db *DB, level int) (*fileMeta, error) {
 		b.w.SetProperty(propTombstoneNanos, uint64(b.tombAt.UnixNano()))
 	}
 	if err := b.w.Close(); err != nil {
+		b.abandon()
+		return nil, err
+	}
+	if err := b.f.Sync(); err != nil {
+		b.abandon()
 		return nil, err
 	}
 	if err := b.f.Close(); err != nil {
+		b.fs.Remove(b.path + ".tmp")
 		return nil, err
 	}
-	return openTable(b.path, b.num, db.cache)
+	if err := b.fs.Rename(b.path+".tmp", b.path); err != nil {
+		b.fs.Remove(b.path + ".tmp")
+		return nil, err
+	}
+	return openTable(b.fs, b.path, b.num, db.cache)
 }
 
 // abandon removes a partially written table.
 func (b *tableBuilder) abandon() {
 	b.f.Close()
-	os.Remove(b.path)
+	b.fs.Remove(b.path + ".tmp")
 }
 
 // flushOldestLocked writes the oldest immutable memtable to a new L0
@@ -223,5 +237,7 @@ func (db *DB) flushOldestLocked() error {
 	db.version.levels[0] = append([]*fileMeta{fm}, db.version.levels[0]...)
 	db.stats.Flushes++
 	db.stats.BytesFlushed += uint64(fm.size)
-	return nil
+	// Commit point: the table is visible to future opens only once the
+	// manifest naming it lands.
+	return db.writeManifestLocked()
 }

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"gadget/internal/vfs"
 )
 
 // The write-ahead log is a sequence of framed records:
@@ -16,16 +18,20 @@ import (
 //	payload = ikeyLen u32 | ikey | value
 //
 // Replay stops at the first torn or corrupt record, which is the correct
-// recovery semantics for a crash during append.
+// recovery semantics for a crash during append, and truncates the file
+// there so that new records appended after recovery are never shadowed
+// by stale torn bytes.
+
+const walName = "wal.log"
 
 type walWriter struct {
-	f    *os.File
+	f    vfs.File
 	buf  *bufio.Writer
 	sync bool
 }
 
-func newWALWriter(path string, syncWrites bool) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func newWALWriter(fs vfs.FS, path string, syncWrites bool) (*walWriter, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -70,11 +76,15 @@ func (w *walWriter) close() error {
 	return w.f.Close()
 }
 
-// replayWAL loads surviving log records into the memtable. Torn tails are
-// tolerated; everything before them is recovered.
-func (db *DB) replayWAL() error {
-	path := filepath.Join(db.opts.Dir, "wal.log")
-	f, err := os.Open(path)
+// replayWAL loads surviving log records into the memtable. Torn tails
+// are truncated; everything before them is recovered. Records with
+// sequence numbers at or below minSeq are already persisted in sorted
+// tables (the manifest outlives the log) and are skipped — without the
+// skip, a crash between a flush and log truncation would replay merge
+// operands twice and double-count them.
+func (db *DB) replayWAL(minSeq uint64) error {
+	path := filepath.Join(db.opts.Dir, walName)
+	f, err := db.opts.FS.OpenFile(path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -82,37 +92,54 @@ func (db *DB) replayWAL() error {
 		return err
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
 	r := bufio.NewReaderSize(f, 64<<10)
+	validEnd := int64(0)
+	// truncTail drops everything after the last whole record so appends
+	// after recovery land on a clean tail.
+	truncTail := func() error {
+		if validEnd < st.Size() {
+			return f.Truncate(validEnd)
+		}
+		return nil
+	}
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // EOF or torn header: recovery complete
+			return truncTail() // EOF or torn header: recovery complete
 		}
 		wantCRC := binary.LittleEndian.Uint32(hdr[0:])
 		payloadLen := binary.LittleEndian.Uint32(hdr[4:])
 		if payloadLen < 4 || payloadLen > 1<<30 {
-			return nil
+			return truncTail()
 		}
 		payload := make([]byte, payloadLen)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn record
+			return truncTail() // torn record
 		}
 		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return nil // corrupt tail
+			return truncTail() // corrupt tail
 		}
 		ikeyLen := binary.LittleEndian.Uint32(payload[:4])
 		if 4+ikeyLen > payloadLen {
-			return nil
+			return truncTail()
 		}
 		ikey := payload[4 : 4+ikeyLen]
 		value := payload[4+ikeyLen:]
 		_, seq, kind, err := parseIKey(ikey)
 		if err != nil {
-			return nil
+			return truncTail()
 		}
-		db.mem.add(ikey, value, kind)
+		validEnd += 8 + int64(payloadLen)
 		if seq > db.seq {
 			db.seq = seq
 		}
+		if seq <= minSeq {
+			continue // already durable in a sorted table
+		}
+		db.mem.add(ikey, value, kind)
 	}
 }

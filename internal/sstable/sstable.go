@@ -200,9 +200,16 @@ func (w *Writer) Close() error {
 	return w.w.Flush()
 }
 
+// ReadableFile is the random access a Reader needs from its backing
+// file; *os.File and vfs.File both satisfy it.
+type ReadableFile interface {
+	io.ReaderAt
+	Stat() (os.FileInfo, error)
+}
+
 // Reader serves lookups and scans over one SSTable file.
 type Reader struct {
-	f      *os.File
+	f      ReadableFile
 	id     uint64 // cache namespace
 	cache  *cache.Cache
 	filter *bloom.Filter
@@ -216,7 +223,7 @@ type Reader struct {
 
 // Open opens the table in file f. id must be unique per live file and is
 // used to namespace blocks in c. c may be nil to disable caching.
-func Open(f *os.File, id uint64, c *cache.Cache) (*Reader, error) {
+func Open(f ReadableFile, id uint64, c *cache.Cache) (*Reader, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

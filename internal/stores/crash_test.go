@@ -1,0 +1,368 @@
+package stores
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gadget/internal/btree"
+	"gadget/internal/faster"
+	"gadget/internal/kv"
+	"gadget/internal/lethe"
+	"gadget/internal/lsm"
+	"gadget/internal/memstore"
+	"gadget/internal/vfs"
+)
+
+// The crash-consistency suite: run a deterministic workload against each
+// durable engine on a fault-injecting in-memory filesystem, "crash" at a
+// swept fault point, reopen from the surviving files, and differentially
+// verify the recovered state against memstore oracles replaying workload
+// prefixes.
+//
+// The durability contract verified per engine (also in DESIGN.md):
+//
+//   - rocksdb/lethe with WAL+SyncWrites: every acknowledged op is
+//     durable; recovery lands on exactly the acknowledged prefix, except
+//     that the single in-flight op at the crash may have persisted.
+//   - berkeleydb (B+Tree): recovery lands on the last successful
+//     checkpoint (Flush); ops after it are lost, never torn.
+//   - faster: durable only across a clean Close; a crash while open
+//     recovers the last closed state or empty.
+//
+// In every case the reopen must succeed — a crash must never brick the
+// store — and the store must accept new writes afterwards.
+
+const (
+	crashOps        = 160
+	crashBarrier    = 20 // ops between durability barriers
+	crashKeys       = 24
+	crashProbeValue = "post-recovery-probe"
+)
+
+type crashOp struct {
+	kind byte // 0 delete, 1..2 merge, else put
+	key  int
+	val  string
+}
+
+func makeCrashOps(seed int64) []crashOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]crashOp, crashOps)
+	for i := range ops {
+		ops[i] = crashOp{
+			kind: byte(rng.Intn(8)),
+			key:  rng.Intn(crashKeys),
+			val:  fmt.Sprintf("v%03d-%04x", i, rng.Intn(1<<16)),
+		}
+	}
+	return ops
+}
+
+func crashKey(i int) []byte { return []byte(fmt.Sprintf("key-%02d", i)) }
+
+func applyCrashOp(s kv.Store, o crashOp) error {
+	switch o.kind {
+	case 0:
+		return s.Delete(crashKey(o.key))
+	case 1, 2:
+		return s.Merge(crashKey(o.key), []byte(o.val))
+	default:
+		return s.Put(crashKey(o.key), []byte(o.val))
+	}
+}
+
+// oracleAfter replays the first n ops into a fresh memstore.
+func oracleAfter(ops []crashOp, n int) *memstore.Store {
+	m := memstore.New()
+	for _, o := range ops[:n] {
+		applyCrashOp(m, o)
+	}
+	return m
+}
+
+// sameState reports whether store and oracle agree on every key in the
+// workload's keyspace.
+func sameState(s, oracle kv.Store) bool {
+	for k := 0; k < crashKeys; k++ {
+		want, wantErr := oracle.Get(crashKey(k))
+		got, err := s.Get(crashKey(k))
+		if errors.Is(wantErr, kv.ErrNotFound) {
+			if !errors.Is(err, kv.ErrNotFound) {
+				return false
+			}
+			continue
+		}
+		if err != nil || string(got) != string(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// crashEngine describes one durable engine under test. barrier is the
+// engine's durability point; it may replace the store (faster's barrier
+// is a clean close-and-reopen). strict engines (WAL + sync) additionally
+// guarantee per-op durability between barriers.
+type crashEngine struct {
+	name    string
+	strict  bool
+	open    func(fsys vfs.FS, dir string) (kv.Store, error)
+	barrier func(fsys vfs.FS, dir string, s kv.Store) (kv.Store, error)
+}
+
+func lsmBarrier(fsys vfs.FS, dir string, s kv.Store) (kv.Store, error) {
+	db := s.(*lsm.DB)
+	if err := db.Flush(); err != nil {
+		return s, err
+	}
+	return s, db.Compact()
+}
+
+func crashEngines() []crashEngine {
+	return []crashEngine{
+		{
+			name:   "rocksdb-wal-sync",
+			strict: true,
+			open: func(fsys vfs.FS, dir string) (kv.Store, error) {
+				// Memtable large enough that flushes happen only at
+				// barriers, keeping barrier states exact prefixes.
+				return lsm.Open(lsm.Options{
+					Dir: dir, FS: fsys, WAL: true, SyncWrites: true,
+					MemtableSize: 1 << 30, L0CompactionTrigger: 2,
+				})
+			},
+			barrier: lsmBarrier,
+		},
+		{
+			name:   "lethe-wal-sync",
+			strict: true,
+			open: func(fsys vfs.FS, dir string) (kv.Store, error) {
+				return lethe.Open(lethe.Options{LSM: lsm.Options{
+					Dir: dir, FS: fsys, WAL: true, SyncWrites: true,
+					MemtableSize: 1 << 30, L0CompactionTrigger: 2,
+				}})
+			},
+			barrier: lsmBarrier,
+		},
+		{
+			name: "berkeleydb",
+			open: func(fsys vfs.FS, dir string) (kv.Store, error) {
+				// Tiny pool so evictions exercise the rollback journal
+				// between checkpoints.
+				return btree.Open(btree.Options{Dir: dir, FS: fsys, CacheSize: 16 * 4096})
+			},
+			barrier: func(fsys vfs.FS, dir string, s kv.Store) (kv.Store, error) {
+				return s, s.(*btree.Store).Flush()
+			},
+		},
+		{
+			name: "faster",
+			open: func(fsys vfs.FS, dir string) (kv.Store, error) {
+				return faster.Open(faster.Options{Dir: dir, FS: fsys, LogMemBudget: 8 << 20, IndexBuckets: 64})
+			},
+			barrier: func(fsys vfs.FS, dir string, s kv.Store) (kv.Store, error) {
+				if err := s.Close(); err != nil {
+					return s, err
+				}
+				return faster.Open(faster.Options{Dir: dir, FS: fsys, LogMemBudget: 8 << 20, IndexBuckets: 64})
+			},
+		},
+	}
+}
+
+// runToCrash drives the workload on a faulty filesystem until the first
+// injected error (or completion), then simulates the crash. It returns
+// how many data ops were acknowledged, how many were attempted, and the
+// op counts of successful barriers.
+func runToCrash(eng crashEngine, ffs *vfs.FaultFS, dir string, ops []crashOp) (done, tried int, barriers []int, openFailed bool) {
+	s, err := eng.open(ffs, dir)
+	if err != nil {
+		ffs.Crash()
+		return 0, 0, nil, true
+	}
+	barriers = []int{0}
+	for i, o := range ops {
+		if i > 0 && i%crashBarrier == 0 {
+			s, err = eng.barrier(ffs, dir, s)
+			if err != nil {
+				break
+			}
+			barriers = append(barriers, i)
+		}
+		if err = applyCrashOp(s, o); err != nil {
+			tried = done + 1
+			break
+		}
+		done++
+	}
+	if tried == 0 {
+		tried = done
+	}
+	// The crash: every buffer that never reached the filesystem is lost,
+	// and nothing can be written from here on. The store is abandoned
+	// without Close, like a killed process.
+	ffs.Crash()
+	return done, tried, barriers, false
+}
+
+// verifyRecovery reopens the surviving files on a clean filesystem and
+// checks the recovered state against the admissible oracle prefixes.
+func verifyRecovery(t *testing.T, eng crashEngine, base vfs.FS, dir string, ops []crashOp, done, tried int, barriers []int) {
+	t.Helper()
+	r, err := eng.open(base, dir)
+	if err != nil {
+		t.Fatalf("%s: reopen after crash failed (store bricked): %v", eng.name, err)
+	}
+	defer r.Close()
+
+	var candidates []int
+	if eng.strict {
+		candidates = []int{done, tried}
+	} else {
+		candidates = append(candidates, 0) // faster may recover empty
+		candidates = append(candidates, barriers...)
+	}
+	matched := -1
+	for _, n := range candidates {
+		oracle := oracleAfter(ops, n)
+		ok := sameState(r, oracle)
+		oracle.Close()
+		if ok {
+			matched = n
+			break
+		}
+	}
+	if matched < 0 {
+		t.Fatalf("%s: recovered state matches no admissible prefix (done=%d tried=%d barriers=%v)",
+			eng.name, done, tried, barriers)
+	}
+
+	// The store must stay usable after recovery.
+	probe := []byte("probe-key")
+	if err := r.Put(probe, []byte(crashProbeValue)); err != nil {
+		t.Fatalf("%s: put after recovery: %v", eng.name, err)
+	}
+	got, err := r.Get(probe)
+	if err != nil || string(got) != crashProbeValue {
+		t.Fatalf("%s: get after recovery = %q, %v", eng.name, got, err)
+	}
+}
+
+// TestCleanShutdownDurability is the baseline: with no faults, a closed
+// store must reopen to exactly the full workload state.
+func TestCleanShutdownDurability(t *testing.T) {
+	ops := makeCrashOps(1)
+	for _, eng := range crashEngines() {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			base := vfs.NewMemFS()
+			s, err := eng.open(base, "db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range ops {
+				if err := applyCrashOp(s, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := eng.open(base, "db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			oracle := oracleAfter(ops, len(ops))
+			defer oracle.Close()
+			if !sameState(r, oracle) {
+				t.Fatal("clean close+reopen lost data")
+			}
+		})
+	}
+}
+
+// TestCrashConsistency sweeps fault points across five fault kinds for
+// every durable engine: failed writes, torn writes, failed fsyncs,
+// failed renames, and disk-full. Because the sweep covers every write,
+// sync, and rename the workload issues, faults land inside WAL appends,
+// memtable flushes, compactions, checkpoint page writes, journal
+// appends, and metadata commits alike.
+func TestCrashConsistency(t *testing.T) {
+	ops := makeCrashOps(1)
+	for _, eng := range crashEngines() {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			// Fault-free calibration run counts the I/O the workload
+			// performs; the sweeps below target each counted operation.
+			calib := vfs.NewFaultFS(vfs.NewMemFS(), vfs.FaultPlan{})
+			done, _, _, openFailed := runToCrash(eng, calib, "db", ops)
+			if openFailed || done != len(ops) {
+				t.Fatalf("calibration run failed: done=%d openFailed=%v", done, openFailed)
+			}
+			writes, syncs, renames := calib.Writes(), calib.Syncs(), calib.Renames()
+			bytes := calib.BytesWritten()
+			if writes == 0 || syncs == 0 {
+				t.Fatalf("calibration: no writes/syncs counted (writes=%d syncs=%d)", writes, syncs)
+			}
+
+			sweep := func(kind string, count int, plan func(n int) vfs.FaultPlan) {
+				if count == 0 {
+					if kind == "rename" {
+						return // engine performs no renames in this workload
+					}
+					t.Fatalf("%s: nothing to sweep", kind)
+				}
+				stride := 1
+				if testing.Short() {
+					stride = count/8 + 1
+				} else if count > 64 {
+					stride = count/64 + 1
+				}
+				for n := 1; n <= count; n += stride {
+					p := plan(n)
+					p.CrashAfterFault = true
+					ffs := vfs.NewFaultFS(vfs.NewMemFS(), p)
+					d, tr, barriers, openFailed := runToCrash(eng, ffs, "db", ops)
+					if !ffs.Faulted() {
+						continue // fault point past what this run needed
+					}
+					if openFailed {
+						d, tr, barriers = 0, 0, []int{0}
+					}
+					verifyRecovery(t, eng, ffs.Inner(), "db", ops, d, tr, barriers)
+				}
+			}
+
+			sweep("write-fail", writes, func(n int) vfs.FaultPlan {
+				return vfs.FaultPlan{FailWriteN: n}
+			})
+			sweep("torn-write", writes, func(n int) vfs.FaultPlan {
+				return vfs.FaultPlan{FailWriteN: n, Torn: true, Seed: int64(n)}
+			})
+			sweep("sync-fail", syncs, func(n int) vfs.FaultPlan {
+				return vfs.FaultPlan{FailSyncN: n}
+			})
+			sweep("rename-fail", renames, func(n int) vfs.FaultPlan {
+				return vfs.FaultPlan{FailRenameN: n}
+			})
+			// Disk-full: cut the budget at a spread of fractions of the
+			// calibrated total so the device fills mid-workload.
+			fracs := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+			for _, f := range fracs {
+				budget := bytes * f / 100
+				ffs := vfs.NewFaultFS(vfs.NewMemFS(), vfs.FaultPlan{DiskFullBytes: budget, CrashAfterFault: true})
+				d, tr, barriers, openFailed := runToCrash(eng, ffs, "db", ops)
+				if !ffs.Faulted() {
+					continue
+				}
+				if openFailed {
+					d, tr, barriers = 0, 0, []int{0}
+				}
+				verifyRecovery(t, eng, ffs.Inner(), "db", ops, d, tr, barriers)
+			}
+		})
+	}
+}

@@ -92,3 +92,121 @@ func TestEnginesEquivalentToOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEnginesEquivalentAcrossReopen extends the differential test with
+// restarts: durable engines are closed and reopened from their on-disk
+// state mid-sequence, and reads are verified against the oracle both
+// during the run and at the end. This is the clean-shutdown counterpart
+// of the crash suite in crash_test.go.
+func TestEnginesEquivalentAcrossReopen(t *testing.T) {
+	type op struct {
+		kind byte
+		key  int
+		val  string
+	}
+	seeds := []int64{7, 42, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const nOps, nKeys = 1500, 120
+			ops := make([]op, nOps)
+			for i := range ops {
+				ops[i] = op{
+					kind: byte(rng.Intn(12)),
+					key:  rng.Intn(nKeys),
+					val:  fmt.Sprintf("s%d-%04d-%04x", seed, i, rng.Intn(1<<16)),
+				}
+			}
+
+			oracle := memstore.New()
+			defer oracle.Close()
+			durable := []string{"rocksdb", "lethe", "faster", "berkeleydb"}
+			cfgs := map[string]Config{}
+			engines := map[string]kv.Store{}
+			for _, name := range durable {
+				cfg := Config{
+					Engine: name, Dir: t.TempDir(),
+					MemtableBytes: 16 << 10, CacheBytes: 32 << 10,
+					LogMemBytes: 8 << 20, IndexBuckets: 64,
+					WAL: true,
+				}
+				s, err := Open(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfgs[name] = cfg
+				engines[name] = s
+			}
+			defer func() {
+				for _, s := range engines {
+					s.Close()
+				}
+			}()
+
+			key := func(k int) []byte { return []byte(fmt.Sprintf("key-%03d", k)) }
+			apply := func(s kv.Store, o op) error {
+				switch o.kind {
+				case 0, 1:
+					return s.Delete(key(o.key))
+				case 2, 3, 4:
+					return s.Merge(key(o.key), []byte(o.val))
+				case 5, 6, 7, 8:
+					return s.Put(key(o.key), []byte(o.val))
+				default:
+					return nil // read slot; handled below
+				}
+			}
+			checkKey := func(k int, when string) {
+				t.Helper()
+				want, wantErr := oracle.Get(key(k))
+				for name, s := range engines {
+					got, err := s.Get(key(k))
+					if errors.Is(wantErr, kv.ErrNotFound) {
+						if !errors.Is(err, kv.ErrNotFound) {
+							t.Fatalf("%s %s: key %03d should be absent, got %q (err %v)", name, when, k, got, err)
+						}
+						continue
+					}
+					if err != nil || string(got) != string(want) {
+						t.Fatalf("%s %s: Get(key-%03d) = %q, %v; want %q", name, when, k, got, err, want)
+					}
+				}
+			}
+
+			for i, o := range ops {
+				if o.kind >= 9 {
+					checkKey(o.key, fmt.Sprintf("op %d", i))
+					continue
+				}
+				if err := apply(oracle, o); err != nil {
+					t.Fatal(err)
+				}
+				for name, s := range engines {
+					if err := apply(s, o); err != nil {
+						t.Fatalf("%s: op %d: %v", name, i, err)
+					}
+				}
+				// Periodically restart every durable engine from disk.
+				if i > 0 && i%400 == 0 {
+					for name, s := range engines {
+						if err := s.Close(); err != nil {
+							t.Fatalf("%s: close at op %d: %v", name, i, err)
+						}
+						r, err := Open(cfgs[name])
+						if err != nil {
+							t.Fatalf("%s: reopen at op %d: %v", name, i, err)
+						}
+						engines[name] = r
+					}
+				}
+			}
+			for k := 0; k < nKeys; k++ {
+				checkKey(k, "final")
+			}
+		})
+	}
+}

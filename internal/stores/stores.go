@@ -15,6 +15,7 @@ import (
 	"gadget/internal/lsm"
 	"gadget/internal/memstore"
 	"gadget/internal/remote"
+	"gadget/internal/vfs"
 )
 
 // Config selects and sizes an engine. Zero fields fall back to each
@@ -36,9 +37,15 @@ type Config struct {
 	DeleteThresholdMs int64 `json:"delete_threshold_ms"`
 	// WAL enables the LSM write-ahead log.
 	WAL bool `json:"wal"`
+	// SyncWrites fsyncs the LSM WAL on every write.
+	SyncWrites bool `json:"sync_writes"`
 	// Addr is the server address for the "remote" engine (external
 	// state management, paper §8).
 	Addr string `json:"addr"`
+	// FS injects a filesystem for the durable engines (tests use
+	// vfs.MemFS/vfs.FaultFS); nil means the real filesystem. Not part of
+	// the JSON configuration surface.
+	FS vfs.FS `json:"-"`
 }
 
 // Engines lists the canonical engine names.
@@ -55,6 +62,8 @@ func Open(cfg Config) (kv.Store, error) {
 			MemtableSize:   cfg.MemtableBytes,
 			BlockCacheSize: cfg.CacheBytes,
 			WAL:            cfg.WAL,
+			SyncWrites:     cfg.SyncWrites,
+			FS:             cfg.FS,
 		})
 	case "lethe":
 		return lethe.Open(lethe.Options{
@@ -63,6 +72,8 @@ func Open(cfg Config) (kv.Store, error) {
 				MemtableSize:   cfg.MemtableBytes,
 				BlockCacheSize: cfg.CacheBytes,
 				WAL:            cfg.WAL,
+				SyncWrites:     cfg.SyncWrites,
+				FS:             cfg.FS,
 			},
 			DeleteThreshold: time.Duration(cfg.DeleteThresholdMs) * time.Millisecond,
 		})
@@ -71,9 +82,10 @@ func Open(cfg Config) (kv.Store, error) {
 			Dir:          cfg.Dir,
 			LogMemBudget: cfg.LogMemBytes,
 			IndexBuckets: cfg.IndexBuckets,
+			FS:           cfg.FS,
 		})
 	case "berkeleydb", "btree":
-		return btree.Open(btree.Options{Dir: cfg.Dir, CacheSize: cfg.CacheBytes})
+		return btree.Open(btree.Options{Dir: cfg.Dir, CacheSize: cfg.CacheBytes, FS: cfg.FS})
 	case "memstore":
 		return memstore.New(), nil
 	case "remote":

@@ -11,11 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 
 	"gadget/internal/kv"
+	"gadget/internal/vfs"
 )
 
 const (
@@ -161,9 +161,14 @@ func (tr *Reader) Next() (kv.Access, error) {
 	}, nil
 }
 
-// WriteFile writes a full trace to path.
+// WriteFile writes a full trace to path on the real filesystem.
 func WriteFile(path string, accesses []kv.Access) error {
-	f, err := os.Create(path)
+	return WriteFileFS(vfs.Default(), path, accesses)
+}
+
+// WriteFileFS writes a full trace to path on fsys.
+func WriteFileFS(fsys vfs.FS, path string, accesses []kv.Access) error {
+	f, err := vfs.Create(fsys, path)
 	if err != nil {
 		return err
 	}
@@ -181,9 +186,14 @@ func WriteFile(path string, accesses []kv.Access) error {
 	return f.Close()
 }
 
-// ReadFile loads a full trace from path.
+// ReadFile loads a full trace from path on the real filesystem.
 func ReadFile(path string) ([]kv.Access, error) {
-	f, err := os.Open(path)
+	return ReadFileFS(vfs.Default(), path)
+}
+
+// ReadFileFS loads a full trace from path on fsys.
+func ReadFileFS(fsys vfs.FS, path string) ([]kv.Access, error) {
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,252 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// Errors produced by FaultFS. Engines must propagate them unchanged so
+// the crash suite can tell an injected fault from a real bug.
+var (
+	// ErrInjected is returned by the operation a FaultPlan targets.
+	ErrInjected = errors.New("vfs: injected fault")
+	// ErrDiskFull is returned once the plan's byte budget is exhausted.
+	ErrDiskFull = errors.New("vfs: injected disk full")
+	// ErrCrashed is returned by every mutation after the simulated crash:
+	// the process is considered dead, nothing further reaches the disk.
+	ErrCrashed = errors.New("vfs: simulated crash")
+)
+
+// FaultPlan describes one deterministic failure to inject. Counters are
+// 1-based and global across all files of the FaultFS: FailWriteN == 3
+// fails the third write issued anywhere. A zero field disables that
+// fault.
+type FaultPlan struct {
+	// Seed drives the torn-write split point.
+	Seed int64
+	// FailWriteN fails the Nth Write/WriteAt call.
+	FailWriteN int
+	// Torn makes the failing write persist a seeded prefix of its buffer
+	// before reporting failure — a torn page/record.
+	Torn bool
+	// FailSyncN fails the Nth Sync call. The data written before the
+	// sync stays durable (MemFS has no cache), matching a disk that
+	// acknowledged writes but failed the flush barrier.
+	FailSyncN int
+	// FailRenameN fails the Nth Rename call.
+	FailRenameN int
+	// DiskFullBytes bounds the cumulative bytes written; the write that
+	// would exceed it persists up to the budget and fails with
+	// ErrDiskFull.
+	DiskFullBytes int64
+	// CrashAfterFault makes every mutation after the first injected
+	// fault fail with ErrCrashed, simulating process death at the fault.
+	CrashAfterFault bool
+}
+
+// FaultFS wraps another FS and injects the faults of one FaultPlan.
+type FaultFS struct {
+	inner FS
+	plan  FaultPlan
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	renames int
+	bytes   int64
+	faulted bool
+	crashed bool
+}
+
+// NewFaultFS wraps inner with the given plan.
+func NewFaultFS(inner FS, plan FaultPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Writes returns the number of write calls observed so far.
+func (f *FaultFS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
+
+// Syncs returns the number of sync calls observed so far.
+func (f *FaultFS) Syncs() int { f.mu.Lock(); defer f.mu.Unlock(); return f.syncs }
+
+// Renames returns the number of rename calls observed so far.
+func (f *FaultFS) Renames() int { f.mu.Lock(); defer f.mu.Unlock(); return f.renames }
+
+// BytesWritten returns the cumulative bytes written so far.
+func (f *FaultFS) BytesWritten() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.bytes }
+
+// Faulted reports whether the plan's fault has fired.
+func (f *FaultFS) Faulted() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.faulted }
+
+// Crashed reports whether the simulated crash is in effect.
+func (f *FaultFS) Crashed() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.crashed }
+
+// Crash forces the crashed state directly (crash without a prior fault).
+func (f *FaultFS) Crash() { f.mu.Lock(); f.crashed = true; f.mu.Unlock() }
+
+// Inner returns the wrapped filesystem — the state that "survives" the
+// simulated crash, which recovery tests reopen without fault injection.
+func (f *FaultFS) Inner() FS { return f.inner }
+
+// fault records that the plan fired and arms the crash state.
+func (f *FaultFS) fault() {
+	f.faulted = true
+	if f.plan.CrashAfterFault {
+		f.crashed = true
+	}
+}
+
+// checkWrite charges one write of n bytes against the plan. It returns
+// the number of bytes that should still be persisted and the error to
+// report (nil = the write proceeds normally).
+func (f *FaultFS) checkWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.writes++
+	if f.plan.FailWriteN > 0 && f.writes == f.plan.FailWriteN {
+		f.fault()
+		if f.plan.Torn && n > 0 {
+			keep := f.rng.Intn(n) // strictly shorter than the full buffer
+			f.bytes += int64(keep)
+			return keep, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	if f.plan.DiskFullBytes > 0 && f.bytes+int64(n) > f.plan.DiskFullBytes {
+		keep := int(f.plan.DiskFullBytes - f.bytes)
+		if keep < 0 {
+			keep = 0
+		}
+		f.fault()
+		f.bytes += int64(keep)
+		return keep, ErrDiskFull
+	}
+	f.bytes += int64(n)
+	return n, nil
+}
+
+func (f *FaultFS) checkSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.plan.FailSyncN > 0 && f.syncs == f.plan.FailSyncN {
+		f.fault()
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) checkMutation() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_RDWR|os.O_APPEND) != 0 {
+		if err := f.checkMutation(); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.renames++
+	if f.plan.FailRenameN > 0 && f.renames == f.plan.FailRenameN {
+		f.fault()
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	f.mu.Unlock()
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.checkMutation(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.checkMutation(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+// faultFile wraps one open file, routing writes and syncs through the
+// plan. Reads pass through untouched.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error)              { return ff.inner.Read(p) }
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) { return ff.inner.ReadAt(p, off) }
+func (ff *faultFile) Stat() (os.FileInfo, error)              { return ff.inner.Stat() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	keep, err := ff.fs.checkWrite(len(p))
+	if err != nil {
+		if keep > 0 {
+			ff.inner.Write(p[:keep])
+		}
+		return keep, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	keep, err := ff.fs.checkWrite(len(p))
+	if err != nil {
+		if keep > 0 {
+			ff.inner.WriteAt(p[:keep], off)
+		}
+		return keep, err
+	}
+	return ff.inner.WriteAt(p, off)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.checkSync(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.fs.checkMutation(); err != nil {
+		return err
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

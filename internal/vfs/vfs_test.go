@@ -1,0 +1,228 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// implementations under test; OsFS is rooted in a temp dir by prefixing
+// paths, MemFS uses the same paths directly.
+func testFSes(t *testing.T) map[string]struct {
+	fs   FS
+	path func(string) string
+} {
+	t.Helper()
+	dir := t.TempDir()
+	return map[string]struct {
+		fs   FS
+		path func(string) string
+	}{
+		"os":  {OsFS{}, func(p string) string { return filepath.Join(dir, p) }},
+		"mem": {NewMemFS(), func(p string) string { return "root/" + p }},
+	}
+}
+
+func TestFSRoundTrip(t *testing.T) {
+	for name, tc := range testFSes(t) {
+		t.Run(name, func(t *testing.T) {
+			fsys, at := tc.fs, tc.path
+			if err := fsys.MkdirAll(at("sub"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFile(fsys, at("sub/a.txt"), []byte("hello"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(fsys, at("sub/a.txt"))
+			if err != nil || string(got) != "hello" {
+				t.Fatalf("ReadFile = %q, %v", got, err)
+			}
+			st, err := fsys.Stat(at("sub/a.txt"))
+			if err != nil || st.Size() != 5 {
+				t.Fatalf("Stat = %v, %v", st, err)
+			}
+			// ReadDir sees the file.
+			ents, err := fsys.ReadDir(at("sub"))
+			if err != nil || len(ents) != 1 || ents[0].Name() != "a.txt" {
+				t.Fatalf("ReadDir = %v, %v", ents, err)
+			}
+			// Rename then remove.
+			if err := fsys.Rename(at("sub/a.txt"), at("sub/b.txt")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadFile(fsys, at("sub/a.txt")); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("want ErrNotExist after rename, got %v", err)
+			}
+			if err := fsys.Remove(at("sub/b.txt")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.Remove(at("sub/b.txt")); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("double remove: want ErrNotExist, got %v", err)
+			}
+		})
+	}
+}
+
+func TestFileSemantics(t *testing.T) {
+	for name, tc := range testFSes(t) {
+		t.Run(name, func(t *testing.T) {
+			fsys, at := tc.fs, tc.path
+			fsys.MkdirAll(at("."), 0o755)
+			// Append mode.
+			f, err := fsys.OpenFile(at("log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte("ab"))
+			f.Write([]byte("cd"))
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			f, err = fsys.OpenFile(at("log"), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte("ef"))
+			f.Close()
+			got, _ := ReadFile(fsys, at("log"))
+			if string(got) != "abcdef" {
+				t.Fatalf("append: got %q", got)
+			}
+			// WriteAt extends; ReadAt reads at offset; Truncate cuts.
+			rw, err := fsys.OpenFile(at("pages"), os.O_CREATE|os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rw.WriteAt([]byte("xyz"), 4); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 3)
+			if _, err := rw.ReadAt(buf, 4); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "xyz" {
+				t.Fatalf("ReadAt = %q", buf)
+			}
+			if st, _ := rw.Stat(); st.Size() != 7 {
+				t.Fatalf("size after WriteAt = %d", st.Size())
+			}
+			if err := rw.Truncate(2); err != nil {
+				t.Fatal(err)
+			}
+			if st, _ := rw.Stat(); st.Size() != 2 {
+				t.Fatalf("size after Truncate = %d", st.Size())
+			}
+			rw.Close()
+			// Open of a missing file fails with ErrNotExist.
+			if _, err := Open(fsys, at("missing")); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("want ErrNotExist, got %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	mem := NewMemFS()
+	if err := WriteFileAtomic(mem, "dir/meta", []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadFile(mem, "dir/meta")
+	if string(got) != "v1" {
+		t.Fatalf("got %q", got)
+	}
+	// A rename failure leaves the old content intact and no tmp file.
+	ffs := NewFaultFS(mem, FaultPlan{FailRenameN: 1})
+	if err := WriteFileAtomic(ffs, "dir/meta", []byte("v2"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	got, _ = ReadFile(mem, "dir/meta")
+	if string(got) != "v1" {
+		t.Fatalf("after failed atomic write: got %q", got)
+	}
+	for _, p := range mem.Paths() {
+		if p == "dir/meta.tmp" {
+			t.Fatal("tmp file left behind")
+		}
+	}
+}
+
+func TestFaultFSWriteFault(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{FailWriteN: 2, CrashAfterFault: true})
+	f, err := Create(ffs, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !ffs.Faulted() || !ffs.Crashed() {
+		t.Fatal("fault should arm the crash state")
+	}
+	// Every further mutation fails with ErrCrashed.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if err := ffs.Rename("f", "g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if _, err := Create(ffs, "h"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// The surviving bytes are exactly the pre-fault writes.
+	got, _ := ReadFile(mem, "f")
+	if string(got) != "one" {
+		t.Fatalf("surviving bytes = %q", got)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{Seed: 7, FailWriteN: 1, Torn: true})
+	f, _ := Create(ffs, "f")
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n >= 10 {
+		t.Fatalf("torn write persisted the whole buffer (n=%d)", n)
+	}
+	got, _ := ReadFile(mem, "f")
+	if len(got) != n || string(got) != "0123456789"[:n] {
+		t.Fatalf("surviving prefix = %q, n = %d", got, n)
+	}
+}
+
+func TestFaultFSSyncAndDiskFull(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{FailSyncN: 1})
+	f, _ := Create(ffs, "f")
+	f.Write([]byte("data"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected on sync, got %v", err)
+	}
+	// Data written before the failed barrier is still on the disk.
+	if got, _ := ReadFile(mem, "f"); string(got) != "data" {
+		t.Fatalf("got %q", got)
+	}
+
+	mem2 := NewMemFS()
+	full := NewFaultFS(mem2, FaultPlan{DiskFullBytes: 5})
+	g, _ := Create(full, "g")
+	if _, err := g.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Write([]byte("5678"))
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("want ErrDiskFull, got %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("short write should persist up to the budget, n=%d", n)
+	}
+}
