@@ -11,6 +11,7 @@ import (
 
 	"gadget"
 	"gadget/internal/experiments"
+	"gadget/internal/memstore"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -84,6 +85,59 @@ func BenchmarkGenerateTumblingTrace(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(tr)), "accesses")
+	}
+}
+
+// BenchmarkResilientOverhead measures the happy-path cost of the
+// resilience middleware: the same op mix against a raw memstore and a
+// ResilientStore wrapping it with a zero fault rate. The wrapped run
+// must stay within a few percent of raw (see results/bench-baseline.txt).
+func BenchmarkResilientOverhead(b *testing.B) {
+	for _, wrapped := range []bool{false, true} {
+		name := "raw"
+		if wrapped {
+			name = "resilient"
+		}
+		b.Run(name, func(b *testing.B) {
+			var store gadget.Store = memstore.New()
+			defer store.Close()
+			if wrapped {
+				var err error
+				store, err = gadget.NewResilientStore(store, gadget.ResilienceOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			key := make([]byte, 16)
+			val := make([]byte, 64)
+			// Pre-populate the working set so the map size, and with it
+			// the per-op cost, is stable across the timed loop.
+			for i := 0; i < 1<<16; i++ {
+				key[0], key[1] = byte(i), byte(i>>8)
+				if err := store.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				key[0], key[1] = byte(i), byte(i>>8)
+				switch i % 4 {
+				case 0, 1:
+					if _, err := store.Get(key); err != nil && err != gadget.ErrNotFound {
+						b.Fatal(err)
+					}
+				case 2:
+					if err := store.Put(key, val); err != nil {
+						b.Fatal(err)
+					}
+				default:
+					if err := store.Delete(key); err != nil && err != gadget.ErrNotFound {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

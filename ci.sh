@@ -21,9 +21,13 @@ echo "== go build"
 go build ./...
 
 echo "== go test"
-go test ./...
+go test -timeout 10m ./...
 
 echo "== go test -race (short)"
-go test -race -short ./...
+go test -race -short -timeout 10m ./...
+
+echo "== fuzz remote protocol framing (short)"
+go test -run '^$' -fuzz '^FuzzServerFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
+go test -run '^$' -fuzz '^FuzzClientFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 
 echo "CI OK"

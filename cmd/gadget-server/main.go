@@ -35,16 +35,11 @@ func main() {
 		defer os.RemoveAll(tmp)
 		storeDir = tmp
 	}
-	store, err := gadget.OpenStore(gadget.StoreConfig{Engine: *engine, Dir: storeDir})
+	srv, store, err := serve(*engine, storeDir, *addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer store.Close()
-
-	srv, err := remote.Serve(store, *addr)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("gadget-server: serving %s on %s (dir %s)\n", *engine, srv.Addr(), storeDir)
 
 	sig := make(chan os.Signal, 1)
@@ -52,6 +47,20 @@ func main() {
 	<-sig
 	fmt.Println("gadget-server: shutting down")
 	srv.Close()
+}
+
+// serve opens the configured engine and exposes it on addr.
+func serve(engine, dir, addr string) (*remote.Server, gadget.Store, error) {
+	store, err := gadget.OpenStore(gadget.StoreConfig{Engine: engine, Dir: dir})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := remote.Serve(store, addr)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return srv, store, nil
 }
 
 func fatal(err error) {

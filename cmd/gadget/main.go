@@ -13,10 +13,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"gadget"
 	"gadget/internal/datasets"
@@ -96,15 +98,19 @@ func cmdRun(args []string) error {
 	}
 	defer store.Close()
 	res, err := w.RunOnline(store, gadget.ReplayOptions{
-		ServiceRate: cfg.Run.ServiceRate,
-		SampleEvery: cfg.Run.SampleEvery,
+		ServiceRate:  cfg.Run.ServiceRate,
+		SampleEvery:  cfg.Run.SampleEvery,
+		StallTimeout: time.Duration(cfg.Run.StallTimeoutMs) * time.Millisecond,
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, gadget.ErrStalled) {
 		return err
 	}
 	fmt.Printf("operator   %s\n", cfg.Operator.Operator)
 	fmt.Printf("engine     %s\n", cfg.Store.Engine)
 	printResult(res)
+	if errors.Is(err, gadget.ErrStalled) {
+		return fmt.Errorf("run stalled after %d ops (partial results above)", res.Ops)
+	}
 	return nil
 }
 
@@ -147,6 +153,7 @@ func cmdReplay(args []string) error {
 	dir := fs.String("dir", "", "store directory (temp dir when empty)")
 	rate := fs.Float64("rate", 0, "service rate in ops/second (0 = unthrottled)")
 	conc := fs.Int("concurrency", 1, "concurrent replayers sharing the store")
+	stall := fs.Duration("stall-timeout", 0, "abort the run if no progress for this long (0 = off)")
 	fs.Parse(args)
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
@@ -169,7 +176,7 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	defer store.Close()
-	opts := gadget.ReplayOptions{ServiceRate: *rate}
+	opts := gadget.ReplayOptions{ServiceRate: *rate, StallTimeout: *stall}
 	if *conc <= 1 {
 		res, err := gadget.Replay(store, tr, opts)
 		if err != nil {
@@ -237,6 +244,16 @@ func cmdList() error {
 
 func printResult(res gadget.Result) {
 	fmt.Printf("operations %d (misses %d, errors %d)\n", res.Ops, res.Misses, res.Errors)
+	if res.Errors > 0 {
+		fmt.Printf("errors     transient=%d fatal=%d\n", res.TransientErrors, res.FatalErrors)
+	}
+	if res.Retries > 0 || res.Timeouts > 0 || res.BreakerTrips > 0 || res.DegradedOps > 0 {
+		fmt.Printf("resilience retries=%d timeouts=%d breaker_trips=%d degraded_ops=%d\n",
+			res.Retries, res.Timeouts, res.BreakerTrips, res.DegradedOps)
+	}
+	if res.Degraded {
+		fmt.Println("DEGRADED   partial result: run aborted before completion")
+	}
 	fmt.Printf("duration   %v\n", res.Duration.Round(1e6))
 	fmt.Printf("throughput %.0f ops/s\n", res.Throughput)
 	fmt.Printf("latency    mean=%.2fus p99=%.2fus p99.9=%.2fus\n",

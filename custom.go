@@ -44,15 +44,27 @@ func GenerateCustom(src EventSource, op Operator) []Access {
 
 // RunCustomOnline drives a custom operator over src, issuing every state
 // access to store and measuring latency and throughput (online mode).
+// With ReplayOptions.StallTimeout set, a stalled run returns its partial
+// Result (Degraded=true) with ErrStalled instead of hanging.
 func RunCustomOnline(src EventSource, op Operator, store Store, opts ReplayOptions) (Result, error) {
-	c := replay.NewCollector(store, opts)
+	c, err := replay.NewCollector(store, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
 	var applyErr error
-	core.Drive(src, op, func(a Access) {
-		if applyErr == nil {
-			applyErr = c.Do(a)
-		}
+	stalled := replay.Guard(opts.StallTimeout, []*replay.Collector{c}, func() {
+		core.Drive(src, op, func(a Access) {
+			if applyErr == nil {
+				applyErr = c.Do(a)
+			}
+		})
+		res = c.Finish()
 	})
-	return c.Finish(), applyErr
+	if stalled {
+		return c.Snapshot(), ErrStalled
+	}
+	return res, applyErr
 }
 
 // Watermark items and event kinds, re-exported for custom sources and

@@ -103,8 +103,42 @@ const (
 	OpFGet   = kv.OpFGet
 )
 
-// ErrNotFound is returned by Store.Get for missing keys.
-var ErrNotFound = kv.ErrNotFound
+// Common errors re-exported for callers of the public API.
+var (
+	// ErrNotFound is returned by Store.Get for missing keys.
+	ErrNotFound = kv.ErrNotFound
+	// ErrStalled is returned by watchdog-guarded runs that were aborted
+	// because a worker stopped making progress; the accompanying Result
+	// is partial and tagged Degraded.
+	ErrStalled = replay.ErrStalled
+	// ErrBreakerOpen is returned by a ResilientStore rejecting operations
+	// while its circuit breaker is open.
+	ErrBreakerOpen = kv.ErrBreakerOpen
+)
+
+// Resilience layer re-exports: deterministic fault injection and the
+// retry/backoff/circuit-breaker middleware (see DESIGN.md §8).
+type (
+	// ChaosPlan schedules deterministic operation-level faults.
+	ChaosPlan = kv.ChaosPlan
+	// ChaosStore injects a ChaosPlan's faults into a wrapped store.
+	ChaosStore = kv.ChaosStore
+	// ResilienceOptions tunes retries, deadlines, and the breaker.
+	ResilienceOptions = kv.ResilienceOptions
+	// ResilienceCounters reports retry/timeout/breaker activity.
+	ResilienceCounters = kv.ResilienceCounters
+	// ResilientStore wraps a store with the resilience middleware.
+	ResilientStore = kv.ResilientStore
+)
+
+// NewChaosStore wraps a store with deterministic fault injection.
+func NewChaosStore(inner Store, plan ChaosPlan) *ChaosStore { return kv.NewChaosStore(inner, plan) }
+
+// NewResilientStore wraps a store with per-op deadlines, bounded retry
+// with exponential backoff, and a circuit breaker.
+func NewResilientStore(inner Store, opts ResilienceOptions) (*ResilientStore, error) {
+	return kv.NewResilientStore(inner, opts)
+}
 
 // OperatorTypes lists the predefined workloads.
 func OperatorTypes() []OperatorType { return core.OperatorTypes() }
@@ -162,7 +196,9 @@ func (w *Workload) Generate() ([]Access, error) {
 }
 
 // RunOnline generates the workload and issues every state access to the
-// store as it is produced, measuring latency and throughput.
+// store as it is produced, measuring latency and throughput. With
+// ReplayOptions.StallTimeout set, a stalled run returns its partial
+// Result (Degraded=true) with ErrStalled instead of hanging.
 func (w *Workload) RunOnline(store Store, opts ReplayOptions) (Result, error) {
 	src, err := w.cfg.BuildSource()
 	if err != nil {
@@ -172,14 +208,24 @@ func (w *Workload) RunOnline(store Store, opts ReplayOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	c := replay.NewCollector(store, opts)
+	c, err := replay.NewCollector(store, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
 	var applyErr error
-	core.DriveUntil(src, op, func(a Access) {
-		if applyErr == nil {
-			applyErr = c.Do(a)
-		}
-	}, func() bool { return applyErr != nil })
-	return c.Finish(), applyErr
+	stalled := replay.Guard(opts.StallTimeout, []*replay.Collector{c}, func() {
+		core.DriveUntil(src, op, func(a Access) {
+			if applyErr == nil {
+				applyErr = c.Do(a)
+			}
+		}, func() bool { return applyErr != nil })
+		res = c.Finish()
+	})
+	if stalled {
+		return c.Snapshot(), ErrStalled
+	}
+	return res, applyErr
 }
 
 // CollectReferenceTrace executes the workload on the reference engine
@@ -285,30 +331,49 @@ func (w *Workload) RunPartitioned(stores []Store, opts ReplayOptions) ([]Result,
 	}
 	op := w.cfg.Operator
 	parts := eventgen.Partition(src, len(stores))
+	cols := make([]*replay.Collector, len(parts))
+	for i := range parts {
+		c, err := replay.NewCollector(stores[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
 	results := make([]Result, len(parts))
 	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i := range parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			inst, err := core.New(op)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			c := replay.NewCollector(stores[i], opts)
-			var applyErr error
-			core.DriveUntil(parts[i], inst, func(a Access) {
-				if applyErr == nil {
-					applyErr = c.Do(a)
+	stalled := replay.Guard(opts.StallTimeout, cols, func() {
+		var wg sync.WaitGroup
+		for i := range parts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				inst, err := core.New(op)
+				if err != nil {
+					errs[i] = err
+					return
 				}
-			}, func() bool { return applyErr != nil })
-			results[i] = c.Finish()
-			errs[i] = applyErr
-		}(i)
+				c := cols[i]
+				var applyErr error
+				core.DriveUntil(parts[i], inst, func(a Access) {
+					if applyErr == nil {
+						applyErr = c.Do(a)
+					}
+				}, func() bool { return applyErr != nil })
+				results[i] = c.Finish()
+				errs[i] = applyErr
+			}(i)
+		}
+		wg.Wait()
+	})
+	if stalled {
+		// Abandoned workers may still write results/errs as they unwind;
+		// snapshot into a fresh slice instead.
+		partial := make([]Result, len(cols))
+		for i, c := range cols {
+			partial[i] = c.Snapshot()
+		}
+		return partial, ErrStalled
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return results, err

@@ -62,6 +62,10 @@ type RunConfig struct {
 	ServiceRate float64 `json:"service_rate"`
 	// SampleEvery records latency for every Nth op (default 1).
 	SampleEvery int `json:"sample_every"`
+	// StallTimeoutMs arms the run watchdog: a run whose workers make no
+	// progress for this long is aborted and returns its partial result
+	// tagged degraded (0 = watchdog off).
+	StallTimeoutMs int64 `json:"stall_timeout_ms"`
 }
 
 // Load reads and validates a configuration file.
@@ -122,6 +126,16 @@ func (c *Config) Validate() error {
 	if c.Store.Engine == "" {
 		c.Store.Engine = "memstore"
 	}
+	if c.Store.Chaos != nil {
+		if err := c.Store.Chaos.Plan().Validate(); err != nil {
+			return fmt.Errorf("config: store.chaos: %w", err)
+		}
+	}
+	if c.Store.Resilience != nil {
+		if err := c.Store.Resilience.Options().Validate(); err != nil {
+			return fmt.Errorf("config: store.resilience: %w", err)
+		}
+	}
 	switch c.Run.Mode {
 	case "", "online":
 		c.Run.Mode = "online"
@@ -131,6 +145,15 @@ func (c *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("config: unknown run mode %q", c.Run.Mode)
+	}
+	if c.Run.ServiceRate < 0 {
+		return fmt.Errorf("config: run.service_rate must be non-negative, got %v", c.Run.ServiceRate)
+	}
+	if c.Run.SampleEvery < 0 {
+		return fmt.Errorf("config: run.sample_every must be non-negative, got %d", c.Run.SampleEvery)
+	}
+	if c.Run.StallTimeoutMs < 0 {
+		return fmt.Errorf("config: run.stall_timeout_ms must be non-negative, got %d", c.Run.StallTimeoutMs)
 	}
 	return nil
 }

@@ -1,0 +1,186 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosPlan describes a deterministic, seeded schedule of operation-level
+// faults — the network/engine twin of vfs.FaultPlan, which injects faults
+// at the filesystem layer. All randomness derives from Seed, so a plan
+// replays the identical fault schedule on every run with the same
+// operation sequence.
+//
+// Injected errors follow a fail-before-apply contract: when ChaosStore
+// returns ErrInjectedFault the wrapped operation was NOT executed, so a
+// retry can never duplicate an effect. Latency spikes and stalls delay
+// the operation but still execute it.
+type ChaosPlan struct {
+	// Seed drives the per-operation fault lottery.
+	Seed int64
+	// ErrorRate is the probability (0..1) that an operation fails with a
+	// transient ErrInjectedFault instead of executing.
+	ErrorRate float64
+	// LatencyRate is the probability (0..1) that an operation is delayed
+	// by Latency before executing.
+	LatencyRate float64
+	// Latency is the injected delay for a latency spike.
+	Latency time.Duration
+	// StallEvery stalls every Nth operation for Stall before executing
+	// (0 disables). Stalls model a store that stops answering: pair with
+	// a per-op deadline or a run watchdog.
+	StallEvery int
+	// Stall is the stall duration.
+	Stall time.Duration
+	// OutageAfterOps starts a full outage once this many operations have
+	// reached the store (0 disables): every operation in the outage
+	// window fails with ErrInjectedFault without executing.
+	OutageAfterOps int
+	// OutageOps is the length of the outage window in operations that
+	// reach the store (each failed probe advances the window).
+	OutageOps int
+}
+
+// Validate rejects rates outside [0,1] and negative schedule fields.
+func (p ChaosPlan) Validate() error {
+	if p.ErrorRate < 0 || p.ErrorRate > 1 {
+		return fmt.Errorf("kv: chaos error_rate %v outside [0,1]", p.ErrorRate)
+	}
+	if p.LatencyRate < 0 || p.LatencyRate > 1 {
+		return fmt.Errorf("kv: chaos latency_rate %v outside [0,1]", p.LatencyRate)
+	}
+	if p.Latency < 0 || p.Stall < 0 {
+		return fmt.Errorf("kv: chaos durations must be non-negative")
+	}
+	if p.StallEvery < 0 || p.OutageAfterOps < 0 || p.OutageOps < 0 {
+		return fmt.Errorf("kv: chaos schedule fields must be non-negative")
+	}
+	return nil
+}
+
+// ChaosCounters reports what a ChaosStore has injected so far.
+type ChaosCounters struct {
+	// Ops is the number of operations that reached the store.
+	Ops uint64
+	// InjectedErrors is the number of operations failed with ErrInjectedFault.
+	InjectedErrors uint64
+	// LatencySpikes is the number of delayed operations.
+	LatencySpikes uint64
+	// Stalls is the number of stalled operations.
+	Stalls uint64
+}
+
+// ChaosStore wraps a Store and injects the faults of one ChaosPlan.
+// It is safe for concurrent use; the fault lottery is serialized so the
+// schedule stays deterministic for a deterministic operation order.
+type ChaosStore struct {
+	inner Store
+	plan  ChaosPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	c   ChaosCounters
+}
+
+var _ Store = (*ChaosStore)(nil)
+
+// NewChaosStore wraps inner with plan. It panics on an invalid plan
+// (callers should Validate first when the plan comes from user input).
+func NewChaosStore(inner Store, plan ChaosPlan) *ChaosStore {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &ChaosStore{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Counters returns a snapshot of the injection counters.
+func (s *ChaosStore) Counters() ChaosCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// Inner returns the wrapped store.
+func (s *ChaosStore) Inner() Store { return s.inner }
+
+// Caps delegates to the wrapped store.
+func (s *ChaosStore) Caps() Capabilities { return CapsOf(s.inner) }
+
+// before runs the fault lottery for one operation. It returns a non-nil
+// error when the operation must fail without executing, and otherwise a
+// delay to impose before executing.
+func (s *ChaosStore) before() (time.Duration, error) {
+	s.mu.Lock()
+	s.c.Ops++
+	op := s.c.Ops
+	if s.plan.OutageAfterOps > 0 && op > uint64(s.plan.OutageAfterOps) &&
+		op <= uint64(s.plan.OutageAfterOps+s.plan.OutageOps) {
+		s.c.InjectedErrors++
+		s.mu.Unlock()
+		return 0, ErrInjectedFault
+	}
+	if s.plan.ErrorRate > 0 && s.rng.Float64() < s.plan.ErrorRate {
+		s.c.InjectedErrors++
+		s.mu.Unlock()
+		return 0, ErrInjectedFault
+	}
+	var delay time.Duration
+	if s.plan.StallEvery > 0 && op%uint64(s.plan.StallEvery) == 0 {
+		s.c.Stalls++
+		delay += s.plan.Stall
+	}
+	if s.plan.LatencyRate > 0 && s.rng.Float64() < s.plan.LatencyRate {
+		s.c.LatencySpikes++
+		delay += s.plan.Latency
+	}
+	s.mu.Unlock()
+	return delay, nil
+}
+
+func (s *ChaosStore) admit() error {
+	delay, err := s.before()
+	if err != nil {
+		return err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *ChaosStore) Get(key []byte) ([]byte, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(key)
+}
+
+// Put implements Store.
+func (s *ChaosStore) Put(key, value []byte) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	return s.inner.Put(key, value)
+}
+
+// Merge implements Store.
+func (s *ChaosStore) Merge(key, operand []byte) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	return s.inner.Merge(key, operand)
+}
+
+// Delete implements Store.
+func (s *ChaosStore) Delete(key []byte) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	return s.inner.Delete(key)
+}
+
+// Close closes the wrapped store (never injected).
+func (s *ChaosStore) Close() error { return s.inner.Close() }

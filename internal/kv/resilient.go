@@ -1,0 +1,389 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ResilienceOptions configures a ResilientStore. The zero value enables
+// retries with the default budget and backoff but no per-op deadline and
+// the default breaker; fields set to -1 disable the corresponding
+// mechanism where noted.
+type ResilienceOptions struct {
+	// OpTimeout is the per-operation deadline (0 = none). An attempt that
+	// exceeds it fails with ErrDeadlineExceeded; the in-flight call is
+	// abandoned (it may still complete against the underlying store, so
+	// the outcome is unknown and merges are not retried past it).
+	OpTimeout time.Duration
+	// MaxRetries bounds retry attempts after the first try
+	// (0 = default 3, -1 = no retries).
+	MaxRetries int
+	// BackoffBase is the first retry delay; each further retry doubles it
+	// (0 = default 100µs).
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay (0 = default 20ms).
+	BackoffMax time.Duration
+	// JitterSeed seeds the ±50% backoff jitter, keeping schedules
+	// reproducible across runs.
+	JitterSeed int64
+	// BreakerThreshold is the number of consecutive failed operations
+	// that opens the circuit breaker (0 = default 16, -1 = breaker
+	// disabled). While open, operations fail fast with ErrBreakerOpen
+	// until BreakerCooldown elapses; then a single half-open probe is
+	// admitted, and its outcome closes or re-opens the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing
+	// (0 = default 50ms).
+	BreakerCooldown time.Duration
+}
+
+// Defaults applied by NewResilientStore for zero-valued options.
+const (
+	defaultMaxRetries       = 3
+	defaultBackoffBase      = 100 * time.Microsecond
+	defaultBackoffMax       = 20 * time.Millisecond
+	defaultBreakerThreshold = 16
+	defaultBreakerCooldown  = 50 * time.Millisecond
+)
+
+// Validate rejects nonsensical option values (anything below the -1
+// disable sentinels or negative durations).
+func (o ResilienceOptions) Validate() error {
+	if o.OpTimeout < 0 {
+		return fmt.Errorf("kv: resilience op_timeout must be non-negative, got %v", o.OpTimeout)
+	}
+	if o.MaxRetries < -1 {
+		return fmt.Errorf("kv: resilience max_retries must be >= -1, got %d", o.MaxRetries)
+	}
+	if o.BackoffBase < 0 || o.BackoffMax < 0 {
+		return fmt.Errorf("kv: resilience backoff durations must be non-negative")
+	}
+	if o.BreakerThreshold < -1 {
+		return fmt.Errorf("kv: resilience breaker_threshold must be >= -1, got %d", o.BreakerThreshold)
+	}
+	if o.BreakerCooldown < 0 {
+		return fmt.Errorf("kv: resilience breaker_cooldown must be non-negative, got %v", o.BreakerCooldown)
+	}
+	return nil
+}
+
+func (o ResilienceOptions) withDefaults() ResilienceOptions {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = defaultBackoffBase
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = defaultBackoffMax
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = defaultBreakerThreshold
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = defaultBreakerCooldown
+	}
+	return o
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// ResilientStore wraps a Store with per-operation deadlines, bounded
+// retry with exponential backoff and jitter, and a circuit breaker with
+// half-open probing. Retries obey RetrySafe: only transient errors are
+// retried, and Merge is never retried past an outcome-unknown failure.
+// It is safe for concurrent use.
+type ResilientStore struct {
+	inner Store
+	opts  ResilienceOptions
+	// slowAlways forces the full pipeline for every op (set when a per-op
+	// deadline is configured, since that needs the attempt goroutine).
+	slowAlways bool
+
+	retries      atomic.Uint64
+	timeouts     atomic.Uint64
+	breakerTrips atomic.Uint64
+	fastFails    atomic.Uint64
+	degraded     atomic.Uint64
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	// Breaker state: written only under bmu, read lock-free on the fast
+	// path (state and consecFails are atomics for that reason).
+	bmu         sync.Mutex
+	state       atomic.Int32
+	consecFails atomic.Int32
+	openedAt    time.Time
+	probing     bool
+}
+
+var (
+	_ Store              = (*ResilientStore)(nil)
+	_ ResilienceReporter = (*ResilientStore)(nil)
+)
+
+// NewResilientStore wraps inner with opts (validated, then defaulted).
+func NewResilientStore(inner Store, opts ResilienceOptions) (*ResilientStore, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	return &ResilientStore{
+		inner:      inner,
+		opts:       o,
+		slowAlways: o.OpTimeout > 0,
+		rng:        rand.New(rand.NewSource(o.JitterSeed)),
+	}, nil
+}
+
+// fastOK reports whether an op may skip the resilience pipeline: no
+// per-op deadline, breaker closed, and no failure streak in progress.
+// In that state a successful first attempt needs no bookkeeping at all,
+// which keeps the happy-path overhead to two atomic loads.
+func (r *ResilientStore) fastOK() bool {
+	return !r.slowAlways && r.state.Load() == breakerClosed && r.consecFails.Load() == 0
+}
+
+// ResilienceCounters implements ResilienceReporter.
+func (r *ResilientStore) ResilienceCounters() ResilienceCounters {
+	return ResilienceCounters{
+		Retries:      r.retries.Load(),
+		Timeouts:     r.timeouts.Load(),
+		BreakerTrips: r.breakerTrips.Load(),
+		FastFails:    r.fastFails.Load(),
+		Degraded:     r.degraded.Load(),
+	}
+}
+
+// Inner returns the wrapped store.
+func (r *ResilientStore) Inner() Store { return r.inner }
+
+// Caps delegates to the wrapped store.
+func (r *ResilientStore) Caps() Capabilities { return CapsOf(r.inner) }
+
+// allow consults the breaker before an attempt. It returns ErrBreakerOpen
+// (transient: the store may recover) when the attempt must fail fast, and
+// otherwise reports whether this attempt is the half-open probe.
+func (r *ResilientStore) allow() (probe bool, err error) {
+	if r.opts.BreakerThreshold < 0 {
+		return false, nil
+	}
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	switch r.state.Load() {
+	case breakerClosed:
+		return false, nil
+	case breakerOpen:
+		if time.Since(r.openedAt) >= r.opts.BreakerCooldown {
+			r.state.Store(breakerHalfOpen)
+			r.probing = true
+			return true, nil
+		}
+	case breakerHalfOpen:
+		if !r.probing {
+			r.probing = true
+			return true, nil
+		}
+	}
+	r.fastFails.Add(1)
+	return false, ErrBreakerOpen
+}
+
+// record feeds an attempt's outcome back into the breaker.
+func (r *ResilientStore) record(ok, probe bool) {
+	if r.opts.BreakerThreshold < 0 {
+		return
+	}
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	if probe {
+		r.probing = false
+	}
+	if ok {
+		r.state.Store(breakerClosed)
+		r.consecFails.Store(0)
+		return
+	}
+	fails := r.consecFails.Add(1)
+	if r.state.Load() == breakerHalfOpen || int(fails) >= r.opts.BreakerThreshold {
+		if r.state.Load() != breakerOpen {
+			r.breakerTrips.Add(1)
+		}
+		r.state.Store(breakerOpen)
+		r.openedAt = time.Now()
+		r.consecFails.Store(0)
+	}
+}
+
+// backoff returns the jittered delay before retry attempt n (1-based).
+func (r *ResilientStore) backoff(n int) time.Duration {
+	d := r.opts.BackoffBase << uint(n-1)
+	if d > r.opts.BackoffMax || d <= 0 {
+		d = r.opts.BackoffMax
+	}
+	r.jmu.Lock()
+	// ±50% jitter, deterministic under JitterSeed.
+	f := 0.5 + r.rng.Float64()
+	r.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+type opResult struct {
+	v   []byte
+	err error
+}
+
+// attempt runs f, bounding it by OpTimeout when configured. On timeout
+// the call is abandoned: its goroutine finishes against the buffered
+// channel and its result is dropped.
+func (r *ResilientStore) attempt(f func() ([]byte, error)) ([]byte, error) {
+	if r.opts.OpTimeout <= 0 {
+		return f()
+	}
+	ch := make(chan opResult, 1)
+	go func() {
+		v, err := f()
+		ch <- opResult{v, err}
+	}()
+	t := time.NewTimer(r.opts.OpTimeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		return res.v, res.err
+	case <-t.C:
+		r.timeouts.Add(1)
+		return nil, fmt.Errorf("%w after %v", ErrDeadlineExceeded, r.opts.OpTimeout)
+	}
+}
+
+// do runs f with the full resilience pipeline for operation type op.
+func (r *ResilientStore) do(op Op, f func() ([]byte, error)) ([]byte, error) {
+	attempts := 1 + r.opts.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var v []byte
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if !RetrySafe(op, err) {
+				break
+			}
+			r.retries.Add(1)
+			time.Sleep(r.backoff(i))
+		}
+		probe, allowErr := r.allow()
+		if allowErr != nil {
+			err = allowErr
+			continue // the cooldown may elapse during the next backoff
+		}
+		v, err = r.attempt(f)
+		// Contract outcomes (miss, unsupported merge) are successes as far
+		// as the breaker and retry budget are concerned.
+		ok := err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrMergeUnsupported)
+		r.record(ok, probe)
+		if ok {
+			return v, err
+		}
+	}
+	r.degraded.Add(1)
+	return nil, err
+}
+
+// doRetry continues the pipeline after a failed fast-path first attempt:
+// it records that failure with the breaker, then runs the remaining
+// retry budget exactly as do would.
+func (r *ResilientStore) doRetry(op Op, err error, f func() ([]byte, error)) ([]byte, error) {
+	r.record(false, false)
+	attempts := 1 + r.opts.MaxRetries
+	var v []byte
+	for i := 1; i < attempts; i++ {
+		if !RetrySafe(op, err) {
+			break
+		}
+		r.retries.Add(1)
+		time.Sleep(r.backoff(i))
+		probe, allowErr := r.allow()
+		if allowErr != nil {
+			err = allowErr
+			continue
+		}
+		v, err = r.attempt(f)
+		ok := err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrMergeUnsupported)
+		r.record(ok, probe)
+		if ok {
+			return v, err
+		}
+	}
+	r.degraded.Add(1)
+	return nil, err
+}
+
+// Get implements Store.
+func (r *ResilientStore) Get(key []byte) ([]byte, error) {
+	if r.fastOK() {
+		v, err := r.inner.Get(key)
+		if err == nil || errors.Is(err, ErrNotFound) {
+			return v, err
+		}
+		return r.doRetry(OpGet, err, func() ([]byte, error) { return r.inner.Get(key) })
+	}
+	return r.do(OpGet, func() ([]byte, error) { return r.inner.Get(key) })
+}
+
+// Put implements Store.
+func (r *ResilientStore) Put(key, value []byte) error {
+	if r.fastOK() {
+		err := r.inner.Put(key, value)
+		if err == nil {
+			return nil
+		}
+		_, err = r.doRetry(OpPut, err, func() ([]byte, error) { return nil, r.inner.Put(key, value) })
+		return err
+	}
+	_, err := r.do(OpPut, func() ([]byte, error) { return nil, r.inner.Put(key, value) })
+	return err
+}
+
+// Merge implements Store. A merge is retried only while RetrySafe holds:
+// after an outcome-unknown failure (deadline, lost connection) the error
+// surfaces instead, because replaying the operand could duplicate it.
+func (r *ResilientStore) Merge(key, operand []byte) error {
+	if r.fastOK() {
+		err := r.inner.Merge(key, operand)
+		if err == nil || errors.Is(err, ErrMergeUnsupported) {
+			return err
+		}
+		_, err = r.doRetry(OpMerge, err, func() ([]byte, error) { return nil, r.inner.Merge(key, operand) })
+		return err
+	}
+	_, err := r.do(OpMerge, func() ([]byte, error) { return nil, r.inner.Merge(key, operand) })
+	return err
+}
+
+// Delete implements Store.
+func (r *ResilientStore) Delete(key []byte) error {
+	if r.fastOK() {
+		err := r.inner.Delete(key)
+		if err == nil || errors.Is(err, ErrNotFound) {
+			return err
+		}
+		_, err = r.doRetry(OpDelete, err, func() ([]byte, error) { return nil, r.inner.Delete(key) })
+		return err
+	}
+	_, err := r.do(OpDelete, func() ([]byte, error) { return nil, r.inner.Delete(key) })
+	return err
+}
+
+// Close closes the wrapped store directly (no retries, no deadline).
+func (r *ResilientStore) Close() error { return r.inner.Close() }

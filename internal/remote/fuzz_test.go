@@ -1,0 +1,136 @@
+package remote
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gadget/internal/memstore"
+)
+
+// FuzzServerFrame throws raw bytes at a live server connection. The
+// server must never panic or hang, and must keep serving well-formed
+// clients afterward.
+func FuzzServerFrame(f *testing.F) {
+	// Seed corpus: valid hello, valid hello + valid request, truncated
+	// frames, oversized length fields, stale sequence numbers.
+	hello := make([]byte, helloLen)
+	binary.LittleEndian.PutUint32(hello[0:4], protoMagic)
+	hello[4] = protoVersion
+	binary.LittleEndian.PutUint64(hello[5:13], 42)
+	f.Add(hello)
+	f.Add(hello[:7])
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+
+	req := make([]byte, reqHdrLen+1+1)
+	binary.LittleEndian.PutUint64(req[0:8], 1) // seq
+	req[8] = opPut
+	binary.LittleEndian.PutUint32(req[9:13], 1)  // keyLen
+	binary.LittleEndian.PutUint32(req[13:17], 1) // valLen
+	req[17], req[18] = 'k', 'v'
+	f.Add(append(append([]byte{}, hello...), req...))
+
+	huge := make([]byte, reqHdrLen)
+	binary.LittleEndian.PutUint64(huge[0:8], 2)
+	huge[8] = opGet
+	binary.LittleEndian.PutUint32(huge[9:13], 0xFFFFFFFF)
+	f.Add(append(append([]byte{}, hello...), huge...))
+
+	backing := memstore.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close(); backing.Close() })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Skip("dial failed")
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		conn.Write(data)
+		// Drain whatever the server answers until it closes or stalls;
+		// the only requirement is that it neither panics nor hangs.
+		io.Copy(io.Discard, conn)
+		conn.Close()
+
+		// The server must still serve a healthy client.
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatalf("server unusable after fuzz input %x: %v", data, err)
+		}
+		if err := cli.Put([]byte("k"), []byte("v")); err != nil {
+			t.Fatalf("server poisoned by fuzz input %x: %v", data, err)
+		}
+		cli.Close()
+	})
+}
+
+// FuzzClientFrame feeds arbitrary bytes to the client as server
+// responses. The client must never panic, hang, or over-read.
+func FuzzClientFrame(f *testing.F) {
+	// Seed corpus: OK response, not-found, error with message, transient,
+	// truncated header, oversized payload length.
+	ok := make([]byte, rspHdrLen)
+	ok[0] = statusOK
+	f.Add(ok)
+	nf := make([]byte, rspHdrLen)
+	nf[0] = statusNotFound
+	f.Add(nf)
+	msg := make([]byte, rspHdrLen+4)
+	msg[0] = statusError
+	binary.LittleEndian.PutUint32(msg[1:5], 4)
+	copy(msg[5:], "boom")
+	f.Add(msg)
+	tr := make([]byte, rspHdrLen)
+	tr[0] = statusTransient
+	f.Add(tr)
+	f.Add(ok[:2])
+	huge := make([]byte, rspHdrLen)
+	huge[0] = statusOK
+	binary.LittleEndian.PutUint32(huge[1:5], 0xFFFFFFFF)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		server, clientSide := net.Pipe()
+		dialer := func(addr string) (net.Conn, error) { return clientSide, nil }
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer server.Close()
+			server.SetDeadline(time.Now().Add(2 * time.Second))
+			// Consume the hello and one request, then answer with the
+			// fuzz bytes and hang up.
+			hello := make([]byte, helloLen)
+			if _, err := io.ReadFull(server, hello); err != nil {
+				return
+			}
+			hdr := make([]byte, reqHdrLen)
+			if _, err := io.ReadFull(server, hdr); err != nil {
+				return
+			}
+			kl := binary.LittleEndian.Uint32(hdr[9:13])
+			vl := binary.LittleEndian.Uint32(hdr[13:17])
+			if kl < maxFrame && vl < maxFrame {
+				io.CopyN(io.Discard, server, int64(kl)+int64(vl))
+			}
+			server.Write(data)
+		}()
+
+		cli, err := DialOptions("fuzz", ClientOptions{
+			Dialer:  dialer,
+			Redials: -1, // the pipe can only be dialed once
+			Timeout: 500 * time.Millisecond,
+		})
+		if err == nil {
+			// Any outcome is fine as long as it returns.
+			cli.Get([]byte("k"))
+			cli.Close()
+		}
+		clientSide.Close()
+		<-done
+	})
+}

@@ -5,22 +5,34 @@
 // evaluate a decoupled compute/state deployment (multiple workload
 // generator instances against one shared remote store).
 //
-// Protocol (all integers little-endian):
+// Protocol v2 (all integers little-endian):
 //
-//	request:  op u8 | keyLen u32 | valLen u32 | key | val
+//	hello:    magic u32 | version u8 | sessionID u64
+//	request:  seq u64 | op u8 | keyLen u32 | valLen u32 | key | val
 //	response: status u8 | valLen u32 | val
 //
-// status: 0 = ok, 1 = not found, 2 = error (val holds the message).
+// status: 0 = ok, 1 = not found, 2 = error (val holds the message),
+// 3 = transient error (retry-safe: the store did not apply the op).
+//
+// The session/sequence layer makes reconnect replay exactly-once: the
+// client re-dials a broken connection, re-sends its hello with the same
+// session ID, and replays the in-flight request with the same sequence
+// number; the server deduplicates by sequence and answers replays from a
+// cached response instead of re-applying them. A request the client
+// ultimately cannot confirm surfaces as a transient, outcome-unknown
+// error, which the kv resilience layer retries only for idempotent ops.
 package remote
 
 import (
 	"bufio"
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"gadget/internal/kv"
 )
@@ -31,12 +43,44 @@ const (
 	opMerge
 	opDelete
 
-	statusOK       byte = 0
-	statusNotFound byte = 1
-	statusError    byte = 2
+	statusOK        byte = 0
+	statusNotFound  byte = 1
+	statusError     byte = 2
+	statusTransient byte = 3
 
+	protoMagic   uint32 = 0x74676467 // "gdgt"
+	protoVersion byte   = 2
+
+	helloLen  = 13
+	reqHdrLen = 17
+	rspHdrLen = 5
+
+	// maxFrame bounds key, value, and response payload length; both ends
+	// enforce it symmetrically with ErrFrameTooLarge.
 	maxFrame = 64 << 20
+
+	// maxSessions bounds the server's reconnect-replay session table.
+	maxSessions = 4096
 )
+
+// Typed protocol errors.
+var (
+	// ErrFrameTooLarge reports a key, value, or response exceeding
+	// maxFrame. On the client it fails the operation before anything is
+	// sent; on the server the oversized payload is drained and refused.
+	ErrFrameTooLarge = fmt.Errorf("remote: frame exceeds %d-byte protocol limit", maxFrame)
+	// ErrProtocol reports a malformed or version-mismatched peer.
+	ErrProtocol = errors.New("remote: protocol error")
+)
+
+// session is the server-side replay state of one client session: the
+// last applied sequence number and its cached response.
+type session struct {
+	mu       sync.Mutex
+	lastSeq  uint64
+	lastRsp  []byte // status byte + payload
+	lastUsed time.Time
+}
 
 // Server serves a kv.Store over TCP.
 type Server struct {
@@ -46,6 +90,9 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
+
+	smu      sync.Mutex
+	sessions map[uint64]*session
 }
 
 // Serve starts serving store on addr (e.g. "127.0.0.1:0") and returns
@@ -55,7 +102,12 @@ func Serve(store kv.Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		store:    store,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[uint64]*session),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -84,6 +136,81 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// getSession returns (creating if needed) the session for id, evicting
+// the least-recently-used session when the table is full.
+func (s *Server) getSession(id uint64) *session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if sess, ok := s.sessions[id]; ok {
+		sess.lastUsed = time.Now()
+		return sess
+	}
+	if len(s.sessions) >= maxSessions {
+		var oldestID uint64
+		var oldest time.Time
+		first := true
+		for id, sess := range s.sessions {
+			if first || sess.lastUsed.Before(oldest) {
+				first = false
+				oldestID, oldest = id, sess.lastUsed
+			}
+		}
+		delete(s.sessions, oldestID)
+	}
+	sess := &session{lastUsed: time.Now()}
+	s.sessions[id] = sess
+	return sess
+}
+
+// apply executes one decoded request against the backing store with
+// per-request panic recovery: a panicking engine fails the request, not
+// the connection.
+func (s *Server) apply(op byte, key, val []byte) (status byte, out []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			status, out = statusError, []byte(fmt.Sprintf("store panic: %v", p))
+		}
+	}()
+	switch op {
+	case opGet:
+		v, err := s.store.Get(key)
+		switch {
+		case err == nil:
+			return statusOK, v
+		case errors.Is(err, kv.ErrNotFound):
+			return statusNotFound, nil
+		default:
+			return errStatus(err), []byte(err.Error())
+		}
+	case opPut:
+		if err := s.store.Put(key, val); err != nil {
+			return errStatus(err), []byte(err.Error())
+		}
+	case opMerge:
+		if err := s.store.Merge(key, val); err != nil {
+			return errStatus(err), []byte(err.Error())
+		}
+	case opDelete:
+		if err := s.store.Delete(key); err != nil {
+			return errStatus(err), []byte(err.Error())
+		}
+	default:
+		return statusError, []byte("unknown op")
+	}
+	return statusOK, nil
+}
+
+// errStatus maps a backend error to a wire status, preserving the
+// transient classification so the client's resilience layer can retry.
+// Transient backend failures follow the fail-before-apply contract
+// (kv.ErrInjectedFault and friends), so replaying them is safe.
+func errStatus(err error) byte {
+	if kv.Transient(err) {
+		return statusTransient
+	}
+	return statusError
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -94,16 +221,35 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
-	var hdr [9]byte
+
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(r, hello[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hello[0:4]) != protoMagic || hello[4] != protoVersion {
+		return // wrong magic or version: not a v2 client
+	}
+	sess := s.getSession(binary.LittleEndian.Uint64(hello[5:13]))
+
+	var hdr [reqHdrLen]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
 		}
-		op := hdr[0]
-		keyLen := binary.LittleEndian.Uint32(hdr[1:])
-		valLen := binary.LittleEndian.Uint32(hdr[5:])
+		seq := binary.LittleEndian.Uint64(hdr[0:8])
+		op := hdr[8]
+		keyLen := binary.LittleEndian.Uint32(hdr[9:13])
+		valLen := binary.LittleEndian.Uint32(hdr[13:17])
 		if keyLen > maxFrame || valLen > maxFrame {
-			return
+			// Symmetric maxFrame enforcement: drain the declared payload
+			// and refuse the request, keeping the connection usable.
+			if _, err := io.CopyN(io.Discard, r, int64(keyLen)+int64(valLen)); err != nil {
+				return
+			}
+			if !writeResponse(w, statusError, []byte(ErrFrameTooLarge.Error())) {
+				return
+			}
+			continue
 		}
 		buf := make([]byte, keyLen+valLen)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -111,47 +257,43 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		key, val := buf[:keyLen], buf[keyLen:]
 
+		sess.mu.Lock()
 		var status byte
 		var out []byte
-		switch op {
-		case opGet:
-			v, err := s.store.Get(key)
-			switch {
-			case err == nil:
-				out = v
-			case errors.Is(err, kv.ErrNotFound):
-				status = statusNotFound
-			default:
-				status, out = statusError, []byte(err.Error())
-			}
-		case opPut:
-			if err := s.store.Put(key, val); err != nil {
-				status, out = statusError, []byte(err.Error())
-			}
-		case opMerge:
-			if err := s.store.Merge(key, val); err != nil {
-				status, out = statusError, []byte(err.Error())
-			}
-		case opDelete:
-			if err := s.store.Delete(key); err != nil {
-				status, out = statusError, []byte(err.Error())
-			}
+		switch {
+		case seq == sess.lastSeq && seq != 0:
+			// Reconnect replay of the in-flight request: answer from the
+			// cache without re-applying (exactly-once).
+			status, out = sess.lastRsp[0], sess.lastRsp[1:]
+		case seq < sess.lastSeq:
+			status, out = statusError, []byte("remote: stale sequence number")
 		default:
-			status, out = statusError, []byte("unknown op")
+			status, out = s.apply(op, key, val)
+			sess.lastSeq = seq
+			rsp := make([]byte, 1+len(out))
+			rsp[0] = status
+			copy(rsp[1:], out)
+			sess.lastRsp = rsp
 		}
-		var rhdr [5]byte
-		rhdr[0] = status
-		binary.LittleEndian.PutUint32(rhdr[1:], uint32(len(out)))
-		if _, err := w.Write(rhdr[:]); err != nil {
-			return
-		}
-		if _, err := w.Write(out); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
+		sess.mu.Unlock()
+
+		if !writeResponse(w, status, out) {
 			return
 		}
 	}
+}
+
+func writeResponse(w *bufio.Writer, status byte, out []byte) bool {
+	var rhdr [rspHdrLen]byte
+	rhdr[0] = status
+	binary.LittleEndian.PutUint32(rhdr[1:], uint32(len(out)))
+	if _, err := w.Write(rhdr[:]); err != nil {
+		return false
+	}
+	if _, err := w.Write(out); err != nil {
+		return false
+	}
+	return w.Flush() == nil
 }
 
 // Close stops the listener, closes live connections, and waits for
@@ -168,71 +310,216 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ClientOptions tunes the client's transport resilience.
+type ClientOptions struct {
+	// Timeout bounds each network round trip (connection deadline per
+	// request/response exchange; 0 = none).
+	Timeout time.Duration
+	// Redials is how many reconnect-and-replay attempts each operation
+	// may spend after a transport failure (0 = default 2, -1 = none).
+	Redials int
+	// Dialer overrides the transport dialer (tests inject flaky
+	// connections here); nil uses net.Dial("tcp", addr).
+	Dialer func(addr string) (net.Conn, error)
+}
+
 // Client is a kv.Store backed by a remote Server. It is safe for
 // concurrent use; requests are serialized over one connection (the
-// dataflow model's single-writer-per-task discipline).
+// dataflow model's single-writer-per-task discipline). Transport
+// failures do not poison the client: the connection is dropped and
+// re-dialed, and the in-flight request is replayed under its original
+// sequence number, which the server deduplicates.
 type Client struct {
+	addr      string
+	opts      ClientOptions
+	sessionID uint64
+
 	mu     sync.Mutex
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
+	seq    uint64
 	closed bool
 }
 
 var _ kv.Store = (*Client)(nil)
 
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Dial connects to a Server with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
+
+// DialOptions connects to a Server. The initial connection is
+// established eagerly so configuration errors surface immediately.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	if opts.Redials == 0 {
+		opts.Redials = 2
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
-	}, nil
+	if opts.Redials < 0 {
+		opts.Redials = 0
+	}
+	var idBuf [8]byte
+	if _, err := rand.Read(idBuf[:]); err != nil {
+		return nil, fmt.Errorf("remote: session id: %w", err)
+	}
+	c := &Client{
+		addr:      addr,
+		opts:      opts,
+		sessionID: binary.LittleEndian.Uint64(idBuf[:]),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The initial connect shares the redial budget: a transient blip at
+	// dial time should not fail client construction when redials are on.
+	var err error
+	for attempt := 0; attempt <= opts.Redials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
+		}
+		if err = c.connectLocked(); err == nil {
+			return c, nil
+		}
+		c.dropConnLocked()
+	}
+	return nil, err
 }
 
 // Caps mirrors a store with native merge (the server translates).
 func (c *Client) Caps() kv.Capabilities { return kv.Capabilities{NativeMerge: true} }
 
+func (c *Client) dial() (net.Conn, error) {
+	if c.opts.Dialer != nil {
+		return c.opts.Dialer(c.addr)
+	}
+	return net.Dial("tcp", c.addr)
+}
+
+// connectLocked dials and sends the session hello. Caller holds c.mu.
+func (c *Client) connectLocked() error {
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	var hello [helloLen]byte
+	binary.LittleEndian.PutUint32(hello[0:4], protoMagic)
+	hello[4] = protoVersion
+	binary.LittleEndian.PutUint64(hello[5:13], c.sessionID)
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// dropConnLocked discards a connection in an unknown state; the next
+// operation re-dials. Caller holds c.mu.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.r, c.w = nil, nil
+	}
+}
+
+// exchangeLocked performs one framed request/response on the current
+// connection. Caller holds c.mu and guarantees c.conn != nil.
+func (c *Client) exchangeLocked(seq uint64, op byte, key, val []byte) ([]byte, byte, error) {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	var hdr [reqHdrLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	hdr[8] = op
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[13:17], uint32(len(val)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if _, err := c.w.Write(key); err != nil {
+		return nil, 0, err
+	}
+	if _, err := c.w.Write(val); err != nil {
+		return nil, 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, 0, err
+	}
+	var rhdr [rspHdrLen]byte
+	if _, err := io.ReadFull(c.r, rhdr[:]); err != nil {
+		return nil, 0, err
+	}
+	status := rhdr[0]
+	n := binary.LittleEndian.Uint32(rhdr[1:])
+	if n > maxFrame {
+		// A peer violating the frame limit cannot be resynchronized.
+		return nil, 0, fmt.Errorf("%w: %d-byte response", ErrFrameTooLarge, n)
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(c.r, out); err != nil {
+		return nil, 0, err
+	}
+	return out, status, nil
+}
+
+// roundTrip sends one request, reconnecting and replaying it under the
+// same sequence number on transport failure. Errors it returns after
+// exhausting the redial budget are transient and outcome-unknown: the
+// request may or may not have been applied.
 func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, statusError, kv.ErrClosed
 	}
-	var hdr [9]byte
-	hdr[0] = op
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(key)))
-	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(val)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return nil, statusError, err
+	if len(key) > maxFrame || len(val) > maxFrame {
+		return nil, statusError, ErrFrameTooLarge
 	}
-	if _, err := c.w.Write(key); err != nil {
-		return nil, statusError, err
+	c.seq++
+	seq := c.seq
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Redials; attempt++ {
+		if attempt > 0 {
+			// Brief pause so redials don't spin against a down server;
+			// longer backoff belongs to the kv resilience layer above.
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
+		}
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		out, status, err := c.exchangeLocked(seq, op, key, val)
+		if err == nil {
+			return out, status, nil
+		}
+		lastErr = err
+		c.dropConnLocked()
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Protocol violation, not a transport blip: don't replay.
+			return nil, statusError, err
+		}
 	}
-	if _, err := c.w.Write(val); err != nil {
-		return nil, statusError, err
+	return nil, statusError, kv.UnknownOutcomeError(kv.TransientError(
+		fmt.Errorf("remote: request %d failed after %d attempts: %w", seq, c.opts.Redials+1, lastErr)))
+}
+
+// remoteError converts a non-OK wire status into a typed error.
+func remoteError(status byte, out []byte) error {
+	if status == statusTransient {
+		// The server's store refused the op before applying it; safe to
+		// retry, including merges.
+		return kv.TransientError(fmt.Errorf("remote: %s", out))
 	}
-	if err := c.w.Flush(); err != nil {
-		return nil, statusError, err
-	}
-	var rhdr [5]byte
-	if _, err := io.ReadFull(c.r, rhdr[:]); err != nil {
-		return nil, statusError, err
-	}
-	status := rhdr[0]
-	n := binary.LittleEndian.Uint32(rhdr[1:])
-	if n > maxFrame {
-		return nil, statusError, fmt.Errorf("remote: oversized response (%d bytes)", n)
-	}
-	out := make([]byte, n)
-	if _, err := io.ReadFull(c.r, out); err != nil {
-		return nil, statusError, err
-	}
-	return out, status, nil
+	return fmt.Errorf("remote: %s", out)
 }
 
 // Get implements kv.Store.
@@ -247,7 +534,7 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 	case statusNotFound:
 		return nil, kv.ErrNotFound
 	default:
-		return nil, fmt.Errorf("remote: %s", out)
+		return nil, remoteError(status, out)
 	}
 }
 
@@ -266,7 +553,7 @@ func (c *Client) write(op byte, key, val []byte) error {
 		return err
 	}
 	if status != statusOK {
-		return fmt.Errorf("remote: %s", out)
+		return remoteError(status, out)
 	}
 	return nil
 }
@@ -279,5 +566,8 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
 }

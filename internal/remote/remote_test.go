@@ -3,8 +3,11 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"gadget/internal/core"
 	"gadget/internal/eventgen"
@@ -197,6 +200,284 @@ func TestExternalStateWorkload(t *testing.T) {
 		if res.Ops == 0 || res.Errors != 0 {
 			t.Fatalf("instance %d: %+v", i, res)
 		}
+	}
+}
+
+// flakyConn wraps a net.Conn and fails after a byte budget is spent
+// across reads and writes, closing the underlying connection mid-frame.
+type flakyConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int // bytes until injected failure; <0 = healthy
+}
+
+var errFlaky = errors.New("flaky conn: injected failure")
+
+func (f *flakyConn) spend(n int) (allowed int, failed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.budget < 0 {
+		return n, false
+	}
+	if n <= f.budget {
+		f.budget -= n
+		return n, false
+	}
+	allowed = f.budget
+	f.budget = 0
+	return allowed, true
+}
+
+func (f *flakyConn) Write(p []byte) (int, error) {
+	allowed, failed := f.spend(len(p))
+	if !failed {
+		return f.Conn.Write(p)
+	}
+	// Mid-frame disconnect: part of the frame reaches the peer, then the
+	// connection dies.
+	if allowed > 0 {
+		f.Conn.Write(p[:allowed])
+	}
+	f.Conn.Close()
+	return allowed, errFlaky
+}
+
+func (f *flakyConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	budget := f.budget
+	f.mu.Unlock()
+	if budget < 0 {
+		return f.Conn.Read(p)
+	}
+	if budget == 0 {
+		f.Conn.Close()
+		return 0, errFlaky
+	}
+	// Serve at most the remaining budget so the failure lands mid-frame.
+	if len(p) > budget {
+		p = p[:budget]
+	}
+	n, err := f.Conn.Read(p)
+	f.spend(n)
+	return n, err
+}
+
+// flakyDialer returns a Dialer whose first len(budgets) connections fail
+// after the given byte budgets; later connections are healthy.
+func flakyDialer(budgets []int) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	i := 0
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		budget := -1
+		if i < len(budgets) {
+			budget = budgets[i]
+			i++
+		}
+		return &flakyConn{Conn: conn, budget: budget}, nil
+	}
+}
+
+// A single I/O error must not poison the connection: the client redials
+// and the operation stream continues.
+func TestClientSurvivesMidFrameDisconnect(t *testing.T) {
+	backing := memstore.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+
+	// Budgets chosen to kill connections at assorted points: during the
+	// hello, mid-request-header, mid-payload, and mid-response.
+	cli, err := DialOptions(srv.Addr(), ClientOptions{
+		Dialer:  flakyDialer([]int{5, 20, 40, 70, 150}),
+		Redials: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if err := cli.Put(k, []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		if v, err := cli.Get(k); err != nil || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("Get %d = %q, %v", i, v, err)
+		}
+	}
+}
+
+// Reconnect replay must be exactly-once: merges driven through failing
+// connections appear in the backing store exactly once each.
+func TestReconnectReplayExactlyOnceMerges(t *testing.T) {
+	backing := memstore.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+
+	// Fail every other connection after a small budget, so many ops are
+	// interrupted after the request was (fully or partially) sent.
+	budgets := make([]int, 40)
+	for i := range budgets {
+		budgets[i] = 30 + 13*i%90
+	}
+	cli, err := DialOptions(srv.Addr(), ClientOptions{Dialer: flakyDialer(budgets), Redials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	oracle := map[string]string{}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("m%d", i%7)) }
+	for i := 0; i < 300; i++ {
+		operand := fmt.Sprintf("<%d>", i)
+		if err := cli.Merge(key(i), []byte(operand)); err != nil {
+			t.Fatalf("Merge %d: %v", i, err)
+		}
+		k := string(key(i))
+		oracle[k] += operand
+	}
+	for k, want := range oracle {
+		got, err := backing.Get([]byte(k))
+		if err != nil || string(got) != want {
+			t.Fatalf("key %s: got %q, %v; want %q (duplicate or dropped merge)", k, got, err, want)
+		}
+	}
+}
+
+// Transient backend errors must cross the wire as retry-safe transient
+// errors, and fatal ones as fatal.
+func TestTransientStatusPropagation(t *testing.T) {
+	backing := kv.NewChaosStore(memstore.New(), kv.ChaosPlan{Seed: 3, ErrorRate: 1.0})
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	err = cli.Put([]byte("k"), []byte("v"))
+	if err == nil {
+		t.Fatal("chaos fault should surface")
+	}
+	if !kv.Transient(err) {
+		t.Fatalf("injected fault crossed the wire as fatal: %v", err)
+	}
+	if kv.OutcomeUnknown(err) {
+		t.Fatalf("statusTransient is fail-before-apply, not outcome-unknown: %v", err)
+	}
+}
+
+// panicStore panics on Merge — the server must fail the request, not the
+// connection.
+type panicStore struct{ *memstore.Store }
+
+func (p *panicStore) Merge(key, operand []byte) error { panic("merge exploded") }
+
+func TestServerPanicRecovery(t *testing.T) {
+	backing := &panicStore{memstore.New()}
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Merge([]byte("k"), []byte("x")); err == nil {
+		t.Fatal("panicking op should error")
+	}
+	// The connection must still work.
+	if err := cli.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("connection poisoned by panic: %v", err)
+	}
+	if v, err := cli.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+// Oversized frames are refused symmetrically with a typed error, without
+// killing the connection on the client side.
+func TestFrameTooLarge(t *testing.T) {
+	_, cli, _ := startPair(t)
+	big := make([]byte, maxFrame+1)
+	if err := cli.Put([]byte("k"), big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized Put = %v, want ErrFrameTooLarge", err)
+	}
+	// The client never sent anything; the connection is fine.
+	if err := cli.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("connection unusable after refused frame: %v", err)
+	}
+}
+
+// A v1/garbage client must be rejected without disturbing the server.
+func TestServerRejectsBadHello(t *testing.T) {
+	srv, cli, _ := startPair(t)
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("GET / HTTP/1.1\r\n\r\n garbage garbage"))
+	buf := make([]byte, 16)
+	raw.SetReadDeadline(time.Now().Add(time.Second))
+	if n, _ := raw.Read(buf); n != 0 {
+		t.Fatalf("server answered a bad hello with %d bytes", n)
+	}
+	raw.Close()
+	// Real clients are unaffected.
+	if err := cli.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The client deadline turns a hung server connection into a transient,
+// outcome-unknown error instead of hanging forever.
+func TestClientTimeout(t *testing.T) {
+	// A listener that accepts and then never answers (after the hello).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn) // swallow everything, answer nothing
+		}
+	}()
+	cli, err := DialOptions(ln.Addr().String(), ClientOptions{Timeout: 20 * time.Millisecond, Redials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	err = cli.Put([]byte("k"), []byte("v"))
+	if err == nil {
+		t.Fatal("hung server should time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("timeout too slow: %v", time.Since(start))
+	}
+	if !kv.Transient(err) || !kv.OutcomeUnknown(err) {
+		t.Fatalf("timeout misclassified: transient=%v unknown=%v (%v)", kv.Transient(err), kv.OutcomeUnknown(err), err)
 	}
 }
 

@@ -9,11 +9,19 @@
 // LSM engines execute merge natively, while the FASTER- and B+Tree-style
 // engines implement Merge as read-modify-write, exactly the mapping the
 // paper applies (merge -> rmw / read+update).
+//
+// The evaluator is failure-aware: store errors are classified transient
+// vs fatal (kv.Transient), resilience counters of a wrapped store
+// (kv.ResilienceReporter) are reported as per-run deltas, and a run
+// watchdog (Options.StallTimeout) aborts stalled runs with partial
+// results tagged Degraded instead of hanging.
 package replay
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gadget/internal/kv"
@@ -23,22 +31,81 @@ import (
 // Options configures a replay run.
 type Options struct {
 	// ServiceRate limits the replay to this many ops/second (0 = replay
-	// as fast as the store allows).
+	// as fast as the store allows). Negative rates are invalid.
 	ServiceRate float64
-	// SampleEvery records latency for every Nth operation (default 1,
-	// i.e. every operation).
+	// SampleEvery records latency for every Nth operation (0 = every
+	// operation). Negative values are invalid.
 	SampleEvery int
+	// StallTimeout arms the run watchdog: when no operation completes
+	// for this long, the run is aborted and its partial Result is
+	// returned tagged Degraded with ErrStalled (0 = watchdog disabled).
+	// Must comfortably exceed the pacing gap implied by ServiceRate.
+	StallTimeout time.Duration
 }
+
+// Validate rejects option values that earlier versions silently
+// "corrected": negative service rates, negative sampling intervals, and
+// negative watchdog timeouts. Zero values select the documented default.
+func (o Options) Validate() error {
+	if o.ServiceRate < 0 {
+		return fmt.Errorf("replay: service rate must be non-negative, got %v", o.ServiceRate)
+	}
+	if o.SampleEvery < 0 {
+		return fmt.Errorf("replay: sample interval must be non-negative, got %d", o.SampleEvery)
+	}
+	if o.StallTimeout < 0 {
+		return fmt.Errorf("replay: stall timeout must be non-negative, got %v", o.StallTimeout)
+	}
+	if o.ServiceRate > 0 && o.StallTimeout > 0 {
+		if gap := time.Duration(float64(time.Second) / o.ServiceRate); gap >= o.StallTimeout {
+			return fmt.Errorf("replay: stall timeout %v must exceed the %v pacing gap of service rate %v",
+				o.StallTimeout, gap, o.ServiceRate)
+		}
+	}
+	return nil
+}
+
+// fatalErrorLimit aborts a run once this many fatal (non-transient)
+// store errors have accumulated.
+const fatalErrorLimit = 100
+
+// transientStreakLimit aborts a run once this many transient errors
+// arrive with no success in between. Scattered transient failures are
+// tolerated in any quantity (retry middleware and chaos tests depend on
+// that), but an unbroken streak means the store is down — a dead remote
+// server, say — and the run must stop promptly instead of grinding
+// through the remaining trace.
+const transientStreakLimit = 1000
 
 // Result aggregates a replay run's measurements.
 type Result struct {
 	// Ops is the number of operations applied.
 	Ops uint64
 	// Misses counts reads of absent keys (expected in streaming traces:
-	// first access of every window is a miss).
+	// first access of every window is a miss). Misses are never errors.
 	Misses uint64
-	// Errors counts unexpected store errors.
+	// Errors counts unexpected store errors
+	// (Errors == TransientErrors + FatalErrors).
 	Errors uint64
+	// TransientErrors counts errors classified retryable (kv.Transient):
+	// injected faults, timeouts, open-breaker rejections surfacing after
+	// the store's own retry budget.
+	TransientErrors uint64
+	// FatalErrors counts non-transient errors; more than fatalErrorLimit
+	// of them aborts the run.
+	FatalErrors uint64
+	// Retries, Timeouts, BreakerTrips, DegradedOps are the per-run deltas
+	// of the store's resilience counters when the store implements
+	// kv.ResilienceReporter (zero otherwise). When several concurrent
+	// runs share one store, each delta covers the whole store, not one
+	// runner.
+	Retries      uint64
+	Timeouts     uint64
+	BreakerTrips uint64
+	DegradedOps  uint64
+	// Degraded marks a partial result: the run was aborted (watchdog
+	// stall, error limit) before the source drained.
+	Degraded bool
 	// Duration is the wall time of the run.
 	Duration time.Duration
 	// Throughput is Ops divided by Duration, in ops/second.
@@ -59,8 +126,15 @@ func (r Result) P99Micros() float64 { return float64(r.Latency.Quantile(0.99)) /
 func (r Result) MeanMicros() float64 { return r.Latency.Mean() / 1e3 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("ops=%d thr=%.0f/s mean=%.2fus p99=%.2fus p99.9=%.2fus",
+	s := fmt.Sprintf("ops=%d thr=%.0f/s mean=%.2fus p99=%.2fus p99.9=%.2fus",
 		r.Ops, r.Throughput, r.MeanMicros(), r.P99Micros(), r.P999Micros())
+	if r.Errors > 0 || r.Retries > 0 || r.BreakerTrips > 0 {
+		s += fmt.Sprintf(" errs=%d(transient=%d) retries=%d trips=%d", r.Errors, r.TransientErrors, r.Retries, r.BreakerTrips)
+	}
+	if r.Degraded {
+		s += " DEGRADED"
+	}
+	return s
 }
 
 // valuePool provides deterministic pseudo-random value bytes without
@@ -95,7 +169,7 @@ func Apply(store kv.Store, a kv.Access, keyBuf []byte) (bool, error) {
 	switch a.Op {
 	case kv.OpGet, kv.OpFGet:
 		_, err := store.Get(key)
-		if err == kv.ErrNotFound {
+		if errors.Is(err, kv.ErrNotFound) {
 			return true, nil
 		}
 		return false, err
@@ -138,38 +212,73 @@ func Run(store kv.Store, trace []kv.Access, opts Options) (Result, error) {
 	return RunSource(store, NewSliceSource(trace), opts)
 }
 
-// RunSource replays a streaming access source against store.
+// RunSource replays a streaming access source against store. With
+// Options.StallTimeout set, a stalled run returns its partial Result
+// (Degraded=true) and ErrStalled instead of hanging.
 func RunSource(store kv.Store, src Source, opts Options) (Result, error) {
-	c := NewCollector(store, opts)
-	for {
-		a, ok := src.Next()
-		if !ok {
-			break
-		}
-		if err := c.Do(a); err != nil {
-			return c.Finish(), err
-		}
+	c, err := NewCollector(store, opts)
+	if err != nil {
+		return Result{}, err
 	}
-	return c.Finish(), nil
+	var res Result
+	var runErr error
+	stalled := Guard(opts.StallTimeout, []*Collector{c}, func() {
+		for {
+			a, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := c.Do(a); err != nil {
+				runErr = err
+				break
+			}
+		}
+		res = c.Finish()
+	})
+	if stalled {
+		return c.Snapshot(), ErrStalled
+	}
+	return res, runErr
 }
 
 // Collector measures accesses applied one at a time — the online mode of
 // the harness, where the workload generator issues requests to the store
-// as it produces them.
+// as it produces them. Counter updates are atomic so a Watchdog can
+// Snapshot a collector owned by another (possibly stuck) goroutine.
 type Collector struct {
 	store  kv.Store
 	opts   Options
 	sample uint64
 	res    Result
 	keyBuf [kv.KeyLen]byte
-	i      uint64
 	start  time.Time
+
+	i               atomic.Uint64
+	misses          atomic.Uint64
+	transientErr    atomic.Uint64
+	transientStreak atomic.Uint64 // consecutive transient errors, reset on success
+	fatalErr        atomic.Uint64
+	lastProgress    atomic.Int64 // UnixNano of the last completed op
+	aborted         atomic.Bool
+	finished        atomic.Bool
+
+	base    kv.ResilienceCounters
+	rep     kv.ResilienceReporter
+	degrade atomic.Bool
+
+	// sealMu serializes Finish and Snapshot: a watchdog may snapshot a
+	// collector whose worker is concurrently finishing.
+	sealMu sync.Mutex
 }
 
-// NewCollector starts a measured run against store.
-func NewCollector(store kv.Store, opts Options) *Collector {
+// NewCollector starts a measured run against store. It rejects invalid
+// options instead of silently correcting them.
+func NewCollector(store kv.Store, opts Options) (*Collector, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	sample := opts.SampleEvery
-	if sample <= 0 {
+	if sample == 0 {
 		sample = 1
 	}
 	c := &Collector{store: store, opts: opts, sample: uint64(sample), start: time.Now()}
@@ -177,20 +286,40 @@ func NewCollector(store kv.Store, opts Options) *Collector {
 	for i := range c.res.PerOp {
 		c.res.PerOp[i] = stats.NewHistogram()
 	}
-	return c
+	if rep, ok := store.(kv.ResilienceReporter); ok {
+		c.rep = rep
+		c.base = rep.ResilienceCounters()
+	}
+	c.lastProgress.Store(time.Now().UnixNano())
+	return c, nil
+}
+
+// ErrAborted is returned by Do after the collector was aborted (by the
+// run watchdog or an explicit Abort call).
+var ErrAborted = errors.New("replay: run aborted")
+
+// Abort makes every subsequent Do fail with ErrAborted and tags the
+// result Degraded. Safe to call from any goroutine.
+func (c *Collector) Abort() {
+	c.aborted.Store(true)
+	c.degrade.Store(true)
 }
 
 // Do applies and measures one access. It returns an error only after the
-// store has failed persistently.
+// store has failed persistently or the run was aborted.
 func (c *Collector) Do(a kv.Access) error {
+	if c.aborted.Load() {
+		return ErrAborted
+	}
+	i := c.i.Load()
 	if c.opts.ServiceRate > 0 {
 		// Pace the replay: operation i is due at start + i/rate.
-		due := c.start.Add(time.Duration(float64(c.i) / c.opts.ServiceRate * float64(time.Second)))
+		due := c.start.Add(time.Duration(float64(i) / c.opts.ServiceRate * float64(time.Second)))
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
 	}
-	measure := c.i%c.sample == 0
+	measure := i%c.sample == 0
 	var t0 time.Time
 	if measure {
 		t0 = time.Now()
@@ -202,43 +331,120 @@ func (c *Collector) Do(a kv.Access) error {
 		c.res.PerOp[a.Op].Record(lat)
 	}
 	if missed {
-		c.res.Misses++
+		c.misses.Add(1)
 	}
-	c.i++
+	c.i.Add(1)
+	c.lastProgress.Store(time.Now().UnixNano())
 	if err != nil {
-		c.res.Errors++
-		if c.res.Errors > 100 {
-			return fmt.Errorf("replay: too many store errors, last: %w", err)
+		if kv.Transient(err) {
+			c.transientErr.Add(1)
+			if streak := c.transientStreak.Add(1); streak >= transientStreakLimit {
+				c.degrade.Store(true)
+				return fmt.Errorf("replay: store persistently failing (%d consecutive transient errors), last: %w", streak, err)
+			}
+		} else if fatal := c.fatalErr.Add(1); fatal > fatalErrorLimit {
+			c.degrade.Store(true)
+			return fmt.Errorf("replay: too many fatal store errors (%d), last: %w", fatal, err)
 		}
+	} else if c.transientStreak.Load() != 0 {
+		c.transientStreak.Store(0)
 	}
 	return nil
 }
 
+// fill copies the atomic counters into a Result.
+func (c *Collector) fill(res *Result) {
+	res.Ops = c.i.Load()
+	res.Misses = c.misses.Load()
+	res.TransientErrors = c.transientErr.Load()
+	res.FatalErrors = c.fatalErr.Load()
+	res.Errors = res.TransientErrors + res.FatalErrors
+	res.Degraded = c.degrade.Load()
+	if c.rep != nil {
+		d := c.rep.ResilienceCounters().Sub(c.base)
+		res.Retries = d.Retries
+		res.Timeouts = d.Timeouts
+		res.BreakerTrips = d.BreakerTrips
+		res.DegradedOps = d.Degraded
+	}
+	res.Duration = time.Since(c.start)
+	if res.Duration > 0 {
+		res.Throughput = float64(res.Ops) / res.Duration.Seconds()
+	}
+}
+
 // Finish seals the run and returns its measurements.
 func (c *Collector) Finish() Result {
-	c.res.Ops = c.i
-	c.res.Duration = time.Since(c.start)
-	if c.res.Duration > 0 {
-		c.res.Throughput = float64(c.res.Ops) / c.res.Duration.Seconds()
-	}
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
+	c.finished.Store(true)
+	c.fill(&c.res)
 	return c.res
+}
+
+// Snapshot returns a point-in-time copy of the measurements without
+// sealing the run. Safe to call concurrently with Do; the histograms are
+// copied.
+func (c *Collector) Snapshot() Result {
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
+	res := c.res
+	res.Latency = stats.NewHistogram()
+	res.Latency.Merge(c.res.Latency)
+	for i := range res.PerOp {
+		res.PerOp[i] = stats.NewHistogram()
+		res.PerOp[i].Merge(c.res.PerOp[i])
+	}
+	c.fill(&res)
+	return res
 }
 
 // RunConcurrent replays several traces against one shared store, one
 // goroutine per trace — the paper's concurrent-operators experiment
 // (§6.4: multiple Gadget instances configured to access the same store).
+// With Options.StallTimeout set, one stalled worker aborts the whole run:
+// every worker's partial Result comes back Degraded with ErrStalled.
 func RunConcurrent(store kv.Store, traces [][]kv.Access, opts Options) ([]Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	cols := make([]*Collector, len(traces))
+	for i := range traces {
+		c, err := NewCollector(store, opts)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
 	results := make([]Result, len(traces))
 	errs := make([]error, len(traces))
-	var wg sync.WaitGroup
-	for i, tr := range traces {
-		wg.Add(1)
-		go func(i int, tr []kv.Access) {
-			defer wg.Done()
-			results[i], errs[i] = Run(store, tr, opts)
-		}(i, tr)
+	stalled := Guard(opts.StallTimeout, cols, func() {
+		var wg sync.WaitGroup
+		for i, tr := range traces {
+			wg.Add(1)
+			go func(i int, tr []kv.Access) {
+				defer wg.Done()
+				c := cols[i]
+				for _, a := range tr {
+					if err := c.Do(a); err != nil {
+						errs[i] = err
+						break
+					}
+				}
+				results[i] = c.Finish()
+			}(i, tr)
+		}
+		wg.Wait()
+	})
+	if stalled {
+		// Abandoned workers may still write results/errs as they unwind;
+		// snapshot into a fresh slice instead.
+		partial := make([]Result, len(cols))
+		for i, c := range cols {
+			partial[i] = c.Snapshot()
+		}
+		return partial, ErrStalled
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return results, err

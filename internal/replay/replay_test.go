@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -160,5 +161,192 @@ func TestEmptyTrace(t *testing.T) {
 	res, err := Run(st, nil, Options{})
 	if err != nil || res.Ops != 0 {
 		t.Fatalf("res = %+v, %v", res, err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	bad := []Options{
+		{ServiceRate: -1},
+		{SampleEvery: -5},
+		{StallTimeout: -time.Second},
+		// Stall timeout inside the pacing gap would always fire.
+		{ServiceRate: 10, StallTimeout: 50 * time.Millisecond},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d should be invalid: %+v", i, o)
+		}
+		if _, err := Run(st, mkTrace(), o); err == nil {
+			t.Errorf("Run accepted invalid options %d", i)
+		}
+	}
+	good := []Options{
+		{},
+		{ServiceRate: 1e6, SampleEvery: 10},
+		{ServiceRate: 1e4, StallTimeout: time.Second},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("options %d should be valid: %v", i, err)
+		}
+	}
+}
+
+// stallStore blocks one designated op until released; other ops hit the
+// wrapped memstore.
+type stallStore struct {
+	*memstore.Store
+	stallAt int64
+	n       atomic.Int64
+	release chan struct{}
+}
+
+func (s *stallStore) Put(key, value []byte) error {
+	if s.n.Add(1) == s.stallAt {
+		<-s.release
+	}
+	return s.Store.Put(key, value)
+}
+
+func TestWatchdogAbortsStalledRun(t *testing.T) {
+	st := &stallStore{Store: memstore.New(), stallAt: 50, release: make(chan struct{})}
+	defer st.Close()
+	defer close(st.release)
+	trace := make([]kv.Access, 1000)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}, Size: 8}
+	}
+	start := time.Now()
+	res, err := Run(st, trace, Options{StallTimeout: 30 * time.Millisecond})
+	if err != ErrStalled {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("watchdog too slow")
+	}
+	if !res.Degraded {
+		t.Fatal("partial result not tagged Degraded")
+	}
+	if res.Ops != 49 {
+		t.Fatalf("partial ops = %d, want 49", res.Ops)
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	trace := make([]kv.Access, 500)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}, Size: 8}
+	}
+	res, err := Run(st, trace, Options{StallTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Ops != 500 {
+		t.Fatalf("healthy run degraded: %+v", res)
+	}
+}
+
+func TestRunConcurrentWatchdog(t *testing.T) {
+	st := &stallStore{Store: memstore.New(), stallAt: 100, release: make(chan struct{})}
+	defer st.Close()
+	defer close(st.release)
+	mk := func(group uint64) []kv.Access {
+		out := make([]kv.Access, 5000)
+		for i := range out {
+			out[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: group, Sub: uint64(i)}, Size: 8}
+		}
+		return out
+	}
+	results, err := RunConcurrent(st, [][]kv.Access{mk(1), mk(2)}, Options{StallTimeout: 50 * time.Millisecond})
+	if err != ErrStalled {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if !r.Degraded {
+			t.Fatalf("worker %d result not Degraded", i)
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	// A chaos-wrapped store with retries disabled surfaces transient
+	// errors, which must be classified as such and not abort the run.
+	st := kv.NewChaosStore(memstore.New(), kv.ChaosPlan{Seed: 7, ErrorRate: 0.3})
+	defer st.Close()
+	trace := make([]kv.Access, 1000)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}, Size: 8}
+	}
+	res, err := Run(st, trace, Options{})
+	if err != nil {
+		t.Fatalf("transient errors must not abort: %v", err)
+	}
+	if res.TransientErrors == 0 || res.FatalErrors != 0 {
+		t.Fatalf("classification: %+v", res)
+	}
+	if res.Errors != res.TransientErrors {
+		t.Fatalf("Errors %d != TransientErrors %d", res.Errors, res.TransientErrors)
+	}
+}
+
+// A store that fails every op transiently (a dead remote server) must
+// abort the run promptly once the unbroken streak hits the limit,
+// instead of grinding through the whole trace.
+func TestConsecutiveTransientErrorsAbort(t *testing.T) {
+	st := kv.NewChaosStore(memstore.New(), kv.ChaosPlan{Seed: 3, ErrorRate: 1.0})
+	defer st.Close()
+	trace := make([]kv.Access, 10*transientStreakLimit)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i)}, Size: 8}
+	}
+	res, err := Run(st, trace, Options{})
+	if err == nil {
+		t.Fatal("persistently failing store must abort the run")
+	}
+	if !res.Degraded {
+		t.Fatalf("aborted run not tagged degraded: %+v", res)
+	}
+	if res.Ops > transientStreakLimit+1 {
+		t.Fatalf("run ground through %d ops past the streak limit", res.Ops)
+	}
+}
+
+func TestResultReportsResilienceCounters(t *testing.T) {
+	chaos := kv.NewChaosStore(memstore.New(), kv.ChaosPlan{Seed: 11, ErrorRate: 0.1})
+	rs, err := kv.NewResilientStore(chaos, kv.ResilienceOptions{
+		MaxRetries: 8, BackoffBase: 5 * time.Microsecond, BackoffMax: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	trace := make([]kv.Access, 2000)
+	for i := range trace {
+		trace[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i % 50)}, Size: 8}
+	}
+	res, err := Run(rs, trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("retries not reported: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("retries should have absorbed all faults: %+v", res)
+	}
+	// A second run reports only its own delta.
+	res2, err := Run(rs, trace[:100], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Retries >= res.Retries+100 {
+		t.Fatalf("second run delta implausible: %d after %d", res2.Retries, res.Retries)
 	}
 }

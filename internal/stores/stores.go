@@ -46,6 +46,85 @@ type Config struct {
 	// vfs.MemFS/vfs.FaultFS); nil means the real filesystem. Not part of
 	// the JSON configuration surface.
 	FS vfs.FS `json:"-"`
+	// Chaos, when set, wraps the engine in a deterministic fault
+	// injector (kv.ChaosStore).
+	Chaos *ChaosConfig `json:"chaos,omitempty"`
+	// Resilience, when set, wraps the (possibly chaotic) engine in
+	// retry/deadline/circuit-breaker middleware (kv.ResilientStore).
+	Resilience *ResilienceConfig `json:"resilience,omitempty"`
+}
+
+// ChaosConfig is the JSON surface of kv.ChaosPlan: deterministic,
+// seeded fault injection at the store boundary.
+type ChaosConfig struct {
+	// Seed drives the per-operation fault lottery.
+	Seed int64 `json:"seed"`
+	// ErrorRate is the probability (0..1) of a transient injected error.
+	ErrorRate float64 `json:"error_rate"`
+	// LatencyRate is the probability (0..1) of a latency spike.
+	LatencyRate float64 `json:"latency_rate"`
+	// LatencyUs is the spike duration in microseconds.
+	LatencyUs int64 `json:"latency_us"`
+	// StallEvery stalls every Nth operation (0 disables).
+	StallEvery int `json:"stall_every"`
+	// StallMs is the stall duration in milliseconds.
+	StallMs int64 `json:"stall_ms"`
+	// OutageAfterOps opens a full outage window after N operations
+	// (0 disables).
+	OutageAfterOps int `json:"outage_after_ops"`
+	// OutageOps is the outage window length in operations.
+	OutageOps int `json:"outage_ops"`
+}
+
+// Plan converts the JSON form to a kv.ChaosPlan.
+func (c ChaosConfig) Plan() kv.ChaosPlan {
+	return kv.ChaosPlan{
+		Seed:           c.Seed,
+		ErrorRate:      c.ErrorRate,
+		LatencyRate:    c.LatencyRate,
+		Latency:        time.Duration(c.LatencyUs) * time.Microsecond,
+		StallEvery:     c.StallEvery,
+		Stall:          time.Duration(c.StallMs) * time.Millisecond,
+		OutageAfterOps: c.OutageAfterOps,
+		OutageOps:      c.OutageOps,
+	}
+}
+
+// ResilienceConfig is the JSON surface of kv.ResilienceOptions:
+// per-op deadlines, bounded retry with backoff, and a circuit breaker.
+type ResilienceConfig struct {
+	// OpTimeoutMs is the per-operation deadline in milliseconds
+	// (0 = none).
+	OpTimeoutMs int64 `json:"op_timeout_ms"`
+	// MaxRetries bounds retries after the first attempt
+	// (0 = default 3, -1 = no retries).
+	MaxRetries int `json:"max_retries"`
+	// BackoffBaseUs is the first retry delay in microseconds
+	// (0 = default 100).
+	BackoffBaseUs int64 `json:"backoff_base_us"`
+	// BackoffMaxMs caps the retry delay in milliseconds (0 = default 20).
+	BackoffMaxMs int64 `json:"backoff_max_ms"`
+	// JitterSeed seeds the backoff jitter for reproducible schedules.
+	JitterSeed int64 `json:"jitter_seed"`
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker (0 = default 16, -1 = breaker disabled).
+	BreakerThreshold int `json:"breaker_threshold"`
+	// BreakerCooldownMs is the open-state cooldown before a half-open
+	// probe, in milliseconds (0 = default 50).
+	BreakerCooldownMs int64 `json:"breaker_cooldown_ms"`
+}
+
+// Options converts the JSON form to kv.ResilienceOptions.
+func (c ResilienceConfig) Options() kv.ResilienceOptions {
+	return kv.ResilienceOptions{
+		OpTimeout:        time.Duration(c.OpTimeoutMs) * time.Millisecond,
+		MaxRetries:       c.MaxRetries,
+		BackoffBase:      time.Duration(c.BackoffBaseUs) * time.Microsecond,
+		BackoffMax:       time.Duration(c.BackoffMaxMs) * time.Millisecond,
+		JitterSeed:       c.JitterSeed,
+		BreakerThreshold: c.BreakerThreshold,
+		BreakerCooldown:  time.Duration(c.BreakerCooldownMs) * time.Millisecond,
+	}
 }
 
 // Engines lists the canonical engine names.
@@ -53,8 +132,35 @@ func Engines() []string {
 	return []string{"rocksdb", "lethe", "faster", "berkeleydb", "memstore", "remote"}
 }
 
-// Open constructs the configured store.
+// Open constructs the configured store. With Chaos and/or Resilience
+// set, the engine is wrapped as resilient(chaos(engine)): injected
+// faults land between the middleware and the engine, so retries can
+// recover them.
 func Open(cfg Config) (kv.Store, error) {
+	s, err := openEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Chaos != nil {
+		plan := cfg.Chaos.Plan()
+		if err := plan.Validate(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("stores: %w", err)
+		}
+		s = kv.NewChaosStore(s, plan)
+	}
+	if cfg.Resilience != nil {
+		r, err := kv.NewResilientStore(s, cfg.Resilience.Options())
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("stores: %w", err)
+		}
+		s = r
+	}
+	return s, nil
+}
+
+func openEngine(cfg Config) (kv.Store, error) {
 	switch cfg.Engine {
 	case "rocksdb", "lsm":
 		return lsm.Open(lsm.Options{
