@@ -8,10 +8,14 @@ package gadget_test
 
 import (
 	"testing"
+	"time"
 
 	"gadget"
 	"gadget/internal/experiments"
+	"gadget/internal/kv"
 	"gadget/internal/memstore"
+	"gadget/internal/obs"
+	"gadget/internal/replay"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -136,6 +140,65 @@ func BenchmarkResilientOverhead(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the per-op cost of the full telemetry
+// rig — registry with a store collector, /metrics HTTP listener, and a
+// 50ms sampler snapshotting the live collector — against the identical
+// bare run. The sampler is pull-based, so the hot path should stay
+// within a few percent of bare (see results/bench-baseline.txt).
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, observed := range []bool{false, true} {
+		name := "bare"
+		if observed {
+			name = "observed"
+		}
+		b.Run(name, func(b *testing.B) {
+			store := memstore.New()
+			defer store.Close()
+			c, err := replay.NewCollector(store, replay.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sampler *obs.Sampler
+			if observed {
+				reg := obs.NewRegistry()
+				obs.RegisterStoreCollector(reg, store)
+				srv, err := obs.Serve("127.0.0.1:0", reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				sampler, err = obs.StartSampler(obs.SamplerOptions{
+					Interval: 50 * time.Millisecond,
+					Snapshot: c.Snapshot,
+					Store:    store,
+					Registry: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := kv.Access{Key: kv.StateKey{Group: 1, Sub: uint64(i % (1 << 16))}, Size: 64}
+				if i%2 == 0 {
+					a.Op = kv.OpPut
+				} else {
+					a.Op = kv.OpGet
+				}
+				if err := c.Do(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			final := c.Finish()
+			if sampler != nil {
+				sampler.Stop(final)
 			}
 		})
 	}

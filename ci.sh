@@ -30,4 +30,45 @@ echo "== fuzz remote protocol framing (short)"
 go test -run '^$' -fuzz '^FuzzServerFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 go test -run '^$' -fuzz '^FuzzClientFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 
+echo "== bench drift guard"
+# Re-run the overhead-sensitive micro-benchmarks and compare ns/op
+# against results/bench-baseline.txt, failing on >25% regression. The
+# threshold is wide because CI boxes vary; it catches structural
+# regressions (an accidental lock on the hot path), not noise.
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
+go test -run '^$' -bench 'BenchmarkStripedHistogramRecordParallel|BenchmarkHistogramRecordParallel' -benchtime 0.5s -timeout 5m ./internal/stats/ | tee -a "$bench_out"
+awk '
+    # Collect ns/op per benchmark name (strip the -N GOMAXPROCS suffix),
+    # averaging duplicate counts, from both baseline and fresh output.
+    FNR == NR && $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        base_sum[name] += $3; base_n[name]++
+        next
+    }
+    FNR != NR && $1 ~ /^Benchmark/ && $4 == "ns/op" {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        new_sum[name] += $3; new_n[name]++
+    }
+    END {
+        failed = 0
+        for (name in new_sum) {
+            if (!(name in base_sum)) {
+                printf "bench-drift: %s has no baseline (refresh results/bench-baseline.txt)\n", name
+                continue
+            }
+            base = base_sum[name] / base_n[name]
+            new = new_sum[name] / new_n[name]
+            ratio = new / base
+            printf "bench-drift: %-50s %10.1f -> %10.1f ns/op (%+.1f%%)\n", name, base, new, (ratio - 1) * 100
+            if (ratio > 1.25) {
+                printf "bench-drift: FAIL %s regressed %.1f%% (>25%% threshold)\n", name, (ratio - 1) * 100
+                failed = 1
+            }
+        }
+        exit failed
+    }
+' results/bench-baseline.txt "$bench_out"
+
 echo "CI OK"

@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"gadget"
+	"gadget/internal/obs"
 	"gadget/internal/remote"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	engine := flag.String("engine", "rocksdb", "backing store engine")
 	dir := flag.String("dir", "", "store directory (temp dir when empty)")
 	addr := flag.String("addr", "127.0.0.1:7101", "listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
 	flag.Parse()
 
 	storeDir := *dir
@@ -41,6 +43,18 @@ func main() {
 	}
 	defer store.Close()
 	fmt.Printf("gadget-server: serving %s on %s (dir %s)\n", *engine, srv.Addr(), storeDir)
+	if *metricsAddr != "" {
+		// The collector introspects the remote.Server, which merges its
+		// wire counters with the backing engine's metrics.
+		reg := obs.NewRegistry()
+		obs.RegisterStoreCollector(reg, srv)
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("gadget-server: metrics on http://%s/metrics\n", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -75,6 +75,8 @@ func loadConfig(path string) (gadget.Config, error) {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	cfgPath := fs.String("config", "", "JSON configuration file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (overrides obs.metrics_addr)")
+	reportPath := fs.String("report", "", "write a JSON run report to this path (overrides obs.report_path)")
 	fs.Parse(args)
 	cfg, err := loadConfig(*cfgPath)
 	if err != nil {
@@ -97,13 +99,22 @@ func cmdRun(args []string) error {
 		return err
 	}
 	defer store.Close()
+	tel, err := startTelemetry(*metricsAddr, *reportPath, cfg.Obs, store, cfg.Store.Engine)
+	if err != nil {
+		return err
+	}
 	res, err := w.RunOnline(store, gadget.ReplayOptions{
 		ServiceRate:  cfg.Run.ServiceRate,
 		SampleEvery:  cfg.Run.SampleEvery,
 		StallTimeout: time.Duration(cfg.Run.StallTimeoutMs) * time.Millisecond,
+		Observer:     tel.observer(),
 	})
 	if err != nil && !errors.Is(err, gadget.ErrStalled) {
+		tel.finish(res, cfg)
 		return err
+	}
+	if ferr := tel.finish(res, cfg); ferr != nil {
+		return ferr
 	}
 	fmt.Printf("operator   %s\n", cfg.Operator.Operator)
 	fmt.Printf("engine     %s\n", cfg.Store.Engine)
@@ -154,6 +165,8 @@ func cmdReplay(args []string) error {
 	rate := fs.Float64("rate", 0, "service rate in ops/second (0 = unthrottled)")
 	conc := fs.Int("concurrency", 1, "concurrent replayers sharing the store")
 	stall := fs.Duration("stall-timeout", 0, "abort the run if no progress for this long (0 = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+	reportPath := fs.String("report", "", "write a JSON run report to this path")
 	fs.Parse(args)
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
@@ -176,11 +189,23 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	defer store.Close()
-	opts := gadget.ReplayOptions{ServiceRate: *rate, StallTimeout: *stall}
+	tel, err := startTelemetry(*metricsAddr, *reportPath, nil, store, *engine)
+	if err != nil {
+		return err
+	}
+	configEcho := map[string]any{
+		"trace": *tracePath, "engine": *engine, "rate": *rate,
+		"concurrency": *conc, "stall_timeout_ms": stall.Milliseconds(),
+	}
+	opts := gadget.ReplayOptions{ServiceRate: *rate, StallTimeout: *stall, Observer: tel.observer()}
 	if *conc <= 1 {
 		res, err := gadget.Replay(store, tr, opts)
 		if err != nil {
+			tel.finish(res, configEcho)
 			return err
+		}
+		if ferr := tel.finish(res, configEcho); ferr != nil {
+			return ferr
 		}
 		printResult(res)
 		return nil
@@ -190,8 +215,13 @@ func cmdReplay(args []string) error {
 		traces[i] = tr
 	}
 	results, err := gadget.ReplayConcurrent(store, traces, opts)
+	merged := gadget.MergeResults(results)
 	if err != nil {
+		tel.finish(merged, configEcho)
 		return err
+	}
+	if ferr := tel.finish(merged, configEcho); ferr != nil {
+		return ferr
 	}
 	for i, res := range results {
 		fmt.Printf("replayer %d:\n", i)

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"gadget"
+	"gadget/internal/obs"
+	"gadget/internal/replay"
+)
+
+// defaultSampleInterval is the telemetry sampler period when no
+// obs.sample_interval_ms is configured.
+const defaultSampleInterval = time.Second
+
+// telemetry bundles one run's observability surfaces: the metrics
+// listener, the run sampler, and the report writer. A nil *telemetry is
+// valid and inert, so call sites don't need to branch on whether any
+// surface was requested.
+type telemetry struct {
+	reg     *obs.Registry
+	srv     *obs.MetricsServer
+	sampler *obs.Sampler
+	store   gadget.Store
+
+	engine      string
+	reportPath  string
+	engineStart map[string]int64
+
+	mu   sync.Mutex
+	cols []*replay.Collector
+}
+
+// startTelemetry assembles the observability rig for a run against
+// store. metricsAddr and reportPath are the flag values; when empty they
+// fall back to the config's obs section (which may be nil). Returns nil
+// when no surface is active (no listener, no report, not a terminal).
+func startTelemetry(metricsAddr, reportPath string, obsCfg *gadget.ObsConfig, store gadget.Store, engine string) (*telemetry, error) {
+	interval := defaultSampleInterval
+	if obsCfg != nil {
+		interval = time.Duration(obsCfg.SampleIntervalMs) * time.Millisecond
+		if metricsAddr == "" {
+			metricsAddr = obsCfg.MetricsAddr
+		}
+		if reportPath == "" {
+			reportPath = obsCfg.ReportPath
+		}
+	}
+	progress := progressWriter()
+	if metricsAddr == "" && reportPath == "" && progress == nil {
+		return nil, nil
+	}
+	t := &telemetry{
+		store:       store,
+		engine:      engine,
+		reportPath:  reportPath,
+		engineStart: gadget.StoreMetrics(store),
+	}
+	if metricsAddr != "" {
+		t.reg = obs.NewRegistry()
+		obs.RegisterStoreCollector(t.reg, store)
+		srv, err := obs.Serve(metricsAddr, t.reg)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		t.srv = srv
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", srv.Addr())
+	}
+	sampler, err := obs.StartSampler(obs.SamplerOptions{
+		Interval: interval,
+		Snapshot: t.snapshot,
+		Store:    store,
+		Progress: progress,
+		Registry: t.reg,
+	})
+	if err != nil {
+		if t.srv != nil {
+			t.srv.Close()
+		}
+		return nil, err
+	}
+	t.sampler = sampler
+	return t, nil
+}
+
+// progressWriter returns os.Stderr when it is a terminal, else nil (no
+// live progress lines into pipes or logs).
+func progressWriter() io.Writer {
+	fi, err := os.Stderr.Stat()
+	if err != nil || fi.Mode()&os.ModeCharDevice == 0 {
+		return nil
+	}
+	return os.Stderr
+}
+
+// observer is the replay.Options.Observer hook: it registers every
+// collector the run creates so snapshot can fold them.
+func (t *telemetry) observer() func(*replay.Collector) {
+	if t == nil {
+		return nil
+	}
+	return func(c *replay.Collector) {
+		t.mu.Lock()
+		t.cols = append(t.cols, c)
+		t.mu.Unlock()
+	}
+}
+
+// snapshot merges the live collectors' measurements.
+func (t *telemetry) snapshot() replay.Result {
+	t.mu.Lock()
+	cols := append([]*replay.Collector(nil), t.cols...)
+	t.mu.Unlock()
+	results := make([]replay.Result, len(cols))
+	for i, c := range cols {
+		results[i] = c.Snapshot()
+	}
+	return replay.MergeResults(results)
+}
+
+// finish seals the run: it stops the sampler with the final result,
+// writes the report if one was requested, and shuts the listener down.
+// configEcho is embedded in the report's config field.
+func (t *telemetry) finish(final gadget.Result, configEcho any) error {
+	if t == nil {
+		return nil
+	}
+	series := t.sampler.Stop(final)
+	if t.srv != nil {
+		defer t.srv.Close()
+	}
+	if t.reportPath == "" {
+		return nil
+	}
+	engineEnd := gadget.StoreMetrics(t.store)
+	rep := &obs.Report{
+		Store:       t.engine,
+		Config:      configEcho,
+		Result:      obs.Summarize(final),
+		EngineStart: t.engineStart,
+		EngineEnd:   engineEnd,
+		EngineDelta: final.Engine,
+		Series:      series,
+	}
+	if err := obs.WriteReport(t.reportPath, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "report written to %s\n", t.reportPath)
+	return nil
+}

@@ -61,6 +61,9 @@ type (
 	SourceConfig = config.SourceConfig
 	// RunConfig describes run mode and replay options.
 	RunConfig = config.RunConfig
+	// ObsConfig tunes the observability layer (sampler interval,
+	// metrics listener, report path).
+	ObsConfig = config.ObsConfig
 	// OperatorConfig parameterizes a streaming operator.
 	OperatorConfig = core.Config
 	// OperatorType names one of the eleven predefined workloads.
@@ -129,7 +132,18 @@ type (
 	ResilienceCounters = kv.ResilienceCounters
 	// ResilientStore wraps a store with the resilience middleware.
 	ResilientStore = kv.ResilientStore
+	// Introspector is the capability interface engines implement to
+	// expose internal counters (see DESIGN.md §9).
+	Introspector = kv.Introspector
 )
+
+// StoreMetrics returns a store's introspection counters, or nil when
+// the store does not implement Introspector.
+func StoreMetrics(s Store) map[string]int64 { return kv.MetricsOf(s) }
+
+// MergeResults folds per-worker Results into one run-wide view (see
+// replay.MergeResults for the delta-merging rules).
+func MergeResults(results []Result) Result { return replay.MergeResults(results) }
 
 // NewChaosStore wraps a store with deterministic fault injection.
 func NewChaosStore(inner Store, plan ChaosPlan) *ChaosStore { return kv.NewChaosStore(inner, plan) }

@@ -527,6 +527,21 @@ func (s *Store) CacheStats() (reads, writes uint64) {
 	return s.p.reads, s.p.writes
 }
 
+// Metrics implements kv.Introspector: engine counters under "btree.*".
+// Page reads count frames faulted in from the database file (buffer pool
+// misses); page writes count frames written back.
+func (s *Store) Metrics() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return map[string]int64{
+		"btree.page_reads":  int64(s.p.reads),
+		"btree.page_writes": int64(s.p.writes),
+		"btree.pages":       int64(s.p.pageCount),
+		"btree.keys":        s.count,
+		"btree.size_bytes":  int64(s.p.pageCount) * PageSize,
+	}
+}
+
 // Flush checkpoints the store: all dirty pages and the meta page reach
 // the database file and the rollback journal is retired. After Flush
 // returns, a crash recovers to exactly this state.

@@ -22,6 +22,30 @@ type Config struct {
 	Operator core.Config   `json:"operator"`
 	Store    stores.Config `json:"store"`
 	Run      RunConfig     `json:"run"`
+	Obs      *ObsConfig    `json:"obs,omitempty"`
+}
+
+// ObsConfig tunes the observability layer. Absent (nil) means defaults:
+// telemetry sampling at 1s, no metrics listener, no report file. The
+// CLI's -metrics-addr and -report flags override these fields.
+type ObsConfig struct {
+	// SampleIntervalMs is the telemetry sampler period. Must be positive
+	// when the section is present (0 would mean a busy-looping sampler;
+	// it is rejected at parse time, like store.resilience's knobs).
+	SampleIntervalMs int64 `json:"sample_interval_ms"`
+	// MetricsAddr, when non-empty, starts an HTTP listener serving
+	// /metrics, /debug/vars, and /debug/pprof.
+	MetricsAddr string `json:"metrics_addr"`
+	// ReportPath, when non-empty, writes the JSON run report there.
+	ReportPath string `json:"report_path"`
+}
+
+// Validate rejects unusable sampler settings.
+func (o *ObsConfig) Validate() error {
+	if o.SampleIntervalMs <= 0 {
+		return fmt.Errorf("obs.sample_interval_ms must be positive, got %d", o.SampleIntervalMs)
+	}
+	return nil
 }
 
 // SourceConfig describes the input stream.
@@ -154,6 +178,11 @@ func (c *Config) Validate() error {
 	}
 	if c.Run.StallTimeoutMs < 0 {
 		return fmt.Errorf("config: run.stall_timeout_ms must be non-negative, got %d", c.Run.StallTimeoutMs)
+	}
+	if c.Obs != nil {
+		if err := c.Obs.Validate(); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
 	}
 	return nil
 }

@@ -48,12 +48,33 @@ func TestValidationErrors(t *testing.T) {
 		`{"operator": {"type": "nope"}}`,
 		`{"run": {"mode": "nope"}}`,
 		`{"run": {"mode": "offline"}}`,
+		`{"obs": {}}`,
+		`{"obs": {"sample_interval_ms": 0}}`,
+		`{"obs": {"sample_interval_ms": -100}}`,
 		`not json`,
 	}
 	for _, doc := range bad {
 		if _, err := Parse([]byte(doc)); err == nil {
 			t.Fatalf("doc %q should fail", doc)
 		}
+	}
+}
+
+func TestObsConfig(t *testing.T) {
+	c, err := Parse([]byte(`{"obs": {"sample_interval_ms": 250, "metrics_addr": "127.0.0.1:0", "report_path": "/tmp/r.json"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Obs == nil || c.Obs.SampleIntervalMs != 250 || c.Obs.MetricsAddr != "127.0.0.1:0" || c.Obs.ReportPath != "/tmp/r.json" {
+		t.Fatalf("obs = %+v", c.Obs)
+	}
+	// Absent section stays nil: the CLI applies its own defaults.
+	c, err = Parse([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Obs != nil {
+		t.Fatalf("obs should be nil when absent, got %+v", c.Obs)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"gadget/internal/kv"
 	"gadget/internal/vfs"
@@ -90,6 +91,14 @@ type Store struct {
 	file     vfs.File
 	count    int64 // live (non-deleted) keys, approximate
 	closed   bool
+
+	// Engine counters (atomics: gets and disk reads happen under the
+	// read lock, where many goroutines may race on them).
+	gets, puts, rmws, deletes atomic.Uint64
+	inPlaceUpdates            atomic.Uint64
+	appends                   atomic.Uint64
+	segSpills                 atomic.Uint64 // segments evicted to disk
+	diskReads                 atomic.Uint64 // records fetched from disk
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -244,6 +253,7 @@ func (s *Store) readRecord(addr uint64) (kind byte, key, val []byte, prev uint64
 		ko := segOff + recHeader
 		return kind, seg[ko : ko+uint64(keyLen)], seg[ko+uint64(keyLen) : ko+uint64(keyLen)+uint64(valLen)], prev, nil
 	}
+	s.diskReads.Add(1)
 	var hdr [recHeader]byte
 	if _, err := s.file.ReadAt(hdr[:], int64(addr)); err != nil {
 		return 0, nil, nil, 0, err
@@ -280,6 +290,7 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if s.closed {
 		return nil, kv.ErrClosed
 	}
+	s.gets.Add(1)
 	addr, kind, val, err := s.findRecord(key)
 	if err != nil {
 		return nil, err
@@ -302,6 +313,7 @@ func (s *Store) upsertLocked(key, value []byte) error {
 	if s.closed {
 		return kv.ErrClosed
 	}
+	s.puts.Add(1)
 	addr, kind, _, err := s.findRecord(key)
 	if err != nil {
 		return err
@@ -311,6 +323,7 @@ func (s *Store) upsertLocked(key, value []byte) error {
 	}
 	if addr != 0 && addr >= s.mutableBoundary() && kind == kindPut {
 		if s.tryInPlace(addr, value) {
+			s.inPlaceUpdates.Add(1)
 			return nil
 		}
 	}
@@ -342,6 +355,7 @@ func (s *Store) Merge(key, operand []byte) error {
 	if s.closed {
 		return kv.ErrClosed
 	}
+	s.rmws.Add(1)
 	addr, kind, val, err := s.findRecord(key)
 	if err != nil {
 		return err
@@ -357,6 +371,7 @@ func (s *Store) Merge(key, operand []byte) error {
 	}
 	if addr != 0 && addr >= s.mutableBoundary() && kind == kindPut {
 		if s.tryInPlace(addr, combined) {
+			s.inPlaceUpdates.Add(1)
 			return nil
 		}
 	}
@@ -370,6 +385,7 @@ func (s *Store) Delete(key []byte) error {
 	if s.closed {
 		return kv.ErrClosed
 	}
+	s.deletes.Add(1)
 	addr, kind, _, err := s.findRecord(key)
 	if err != nil {
 		return err
@@ -416,6 +432,7 @@ func (s *Store) appendRecord(kind byte, key, value []byte) error {
 	copy(seg[segOff+recHeader+uint64(len(key)):], value)
 	s.buckets[b] = s.tail
 	s.tail += recLen
+	s.appends.Add(1)
 	return s.evictLocked()
 }
 
@@ -432,10 +449,35 @@ func (s *Store) evictLocked() error {
 				return err
 			}
 			delete(s.segs, segIdx)
+			s.segSpills.Add(1)
 		}
 		s.headAddr = (segIdx + 1) << segBits
 	}
 	return nil
+}
+
+// Metrics implements kv.Introspector: engine counters under "faster.*",
+// covering the hybrid log (in-place updates vs appends, segment spills,
+// disk reads on cold lookups) and live-key count.
+func (s *Store) Metrics() map[string]int64 {
+	s.mu.RLock()
+	tail, head, count := s.tail, s.headAddr, s.count
+	memSegs := int64(len(s.segs))
+	s.mu.RUnlock()
+	return map[string]int64{
+		"faster.gets":             int64(s.gets.Load()),
+		"faster.puts":             int64(s.puts.Load()),
+		"faster.rmws":             int64(s.rmws.Load()),
+		"faster.deletes":          int64(s.deletes.Load()),
+		"faster.in_place_updates": int64(s.inPlaceUpdates.Load()),
+		"faster.appends":          int64(s.appends.Load()),
+		"faster.segment_spills":   int64(s.segSpills.Load()),
+		"faster.disk_reads":       int64(s.diskReads.Load()),
+		"faster.keys":             count,
+		"faster.log_bytes":        int64(tail),
+		"faster.mem_log_bytes":    int64(tail - head),
+		"faster.mem_segments":     memSegs,
+	}
 }
 
 // Count returns the approximate number of live keys.

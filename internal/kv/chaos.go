@@ -102,6 +102,18 @@ func (s *ChaosStore) Counters() ChaosCounters {
 	return s.c
 }
 
+// Metrics implements Introspector: the injection counters under
+// "chaos.*", merged over the wrapped store's metrics.
+func (s *ChaosStore) Metrics() map[string]int64 {
+	c := s.Counters()
+	return mergeMetrics(map[string]int64{
+		"chaos.ops":             int64(c.Ops),
+		"chaos.injected_errors": int64(c.InjectedErrors),
+		"chaos.latency_spikes":  int64(c.LatencySpikes),
+		"chaos.stalls":          int64(c.Stalls),
+	}, MetricsOf(s.inner))
+}
+
 // Inner returns the wrapped store.
 func (s *ChaosStore) Inner() Store { return s.inner }
 

@@ -1,0 +1,61 @@
+package kv
+
+// Introspector is the capability interface through which one code path
+// can look inside any store. Metrics returns a flat snapshot of the
+// engine's internal counters and gauges, keyed as "<engine>.<metric>"
+// (e.g. "lsm.compactions", "faster.in_place_updates", "chaos.ops").
+//
+// The contract every implementation must honor:
+//
+//   - Safe to call concurrently with operations on the store; a call
+//     never blocks the data path beyond a brief counter read.
+//   - Keys are stable across calls so observers can compute deltas.
+//   - Values keyed like counters (operations, retries, bytes written)
+//     are monotone non-decreasing for the life of the store; gauge-like
+//     keys (sizes, states, live-key counts) may move both ways.
+//   - Wrappers (chaos, resilience, remote clients) merge the wrapped
+//     store's metrics into their own map, so the outermost store
+//     surfaces the whole stack.
+//
+// The performance evaluator snapshots Metrics around each run to report
+// per-run deltas, and the observability layer republishes them on the
+// /metrics endpoint.
+type Introspector interface {
+	Metrics() map[string]int64
+}
+
+// MetricsOf returns s's metrics snapshot, or nil when the store does not
+// implement Introspector.
+func MetricsOf(s Store) map[string]int64 {
+	if in, ok := s.(Introspector); ok {
+		return in.Metrics()
+	}
+	return nil
+}
+
+// MetricsDelta returns end minus base per key, for per-run deltas. Keys
+// only in end are taken as grown from zero; keys only in base (a store
+// that stopped exporting one, which stable implementations never do) are
+// dropped. Returns nil when end is nil.
+func MetricsDelta(end, base map[string]int64) map[string]int64 {
+	if end == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(end))
+	for k, v := range end {
+		out[k] = v - base[k]
+	}
+	return out
+}
+
+// mergeMetrics copies src into dst (created when nil) and returns dst.
+// Wrappers use it to fold the wrapped store's metrics into their own.
+func mergeMetrics(dst, src map[string]int64) map[string]int64 {
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

@@ -165,6 +165,21 @@ func (r *ResilientStore) ResilienceCounters() ResilienceCounters {
 	}
 }
 
+// Metrics implements Introspector: the resilience counters under
+// "resilient.*" plus the live breaker state (0 closed, 1 open, 2
+// half-open), merged over the wrapped store's metrics.
+func (r *ResilientStore) Metrics() map[string]int64 {
+	c := r.ResilienceCounters()
+	return mergeMetrics(map[string]int64{
+		"resilient.retries":       int64(c.Retries),
+		"resilient.timeouts":      int64(c.Timeouts),
+		"resilient.breaker_trips": int64(c.BreakerTrips),
+		"resilient.fast_fails":    int64(c.FastFails),
+		"resilient.degraded_ops":  int64(c.Degraded),
+		"resilient.breaker_state": int64(r.state.Load()),
+	}, MetricsOf(r.inner))
+}
+
 // Inner returns the wrapped store.
 func (r *ResilientStore) Inner() Store { return r.inner }
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gadget/internal/cache"
 	"gadget/internal/kv"
@@ -97,6 +98,12 @@ type Stats struct {
 	BytesCompacted              uint64
 	TombstonesDropped           uint64
 	Gets, Puts, Merges, Deletes uint64
+	// StallNanos is cumulative time writers spent blocked on inline
+	// flush/compaction work (the harness's write-stall equivalent).
+	StallNanos uint64
+	// Bloom filter effectiveness across all tables: probes, filter
+	// rejections, and false positives (admitted but absent).
+	BloomChecks, BloomNegatives, BloomFalsePositives uint64
 }
 
 const numLevels = 7
@@ -115,6 +122,7 @@ type DB struct {
 	wal     *walWriter
 	closed  bool
 	stats   Stats
+	bloom   bloomCounters
 }
 
 var _ kv.Store = (*DB)(nil)
@@ -208,6 +216,7 @@ func (db *DB) loadTables() error {
 		if err != nil {
 			return fmt.Errorf("lsm: loading %s: %w", name, err)
 		}
+		fm.bloom = &db.bloom
 		if !haveManifest {
 			if v, ok := fm.reader.Property(propLevel); ok && int(v) < numLevels {
 				lvl = int(v)
@@ -268,7 +277,12 @@ func (db *DB) write(key, value []byte, kind byte) error {
 	v := append([]byte(nil), value...)
 	db.mem.add(ikey, v, kind)
 	if db.mem.approxBytes() >= db.opts.MemtableSize {
-		if err := db.rotateMemtableLocked(); err != nil {
+		// Rotation may flush and compact inline; the wall time it takes
+		// is exactly how long this writer was stalled.
+		t0 := time.Now()
+		err := db.rotateMemtableLocked()
+		db.stats.StallNanos += uint64(time.Since(t0))
+		if err != nil {
 			return err
 		}
 	}
@@ -411,16 +425,59 @@ func (db *DB) StatsSnapshot() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return Stats{
-		Flushes:           db.stats.Flushes,
-		Compactions:       db.stats.Compactions,
-		BytesFlushed:      db.stats.BytesFlushed,
-		BytesCompacted:    db.stats.BytesCompacted,
-		TombstonesDropped: db.stats.TombstonesDropped,
-		Gets:              atomic.LoadUint64(&db.stats.Gets),
-		Puts:              db.stats.Puts,
-		Merges:            db.stats.Merges,
-		Deletes:           db.stats.Deletes,
+		Flushes:             db.stats.Flushes,
+		Compactions:         db.stats.Compactions,
+		BytesFlushed:        db.stats.BytesFlushed,
+		BytesCompacted:      db.stats.BytesCompacted,
+		TombstonesDropped:   db.stats.TombstonesDropped,
+		Gets:                atomic.LoadUint64(&db.stats.Gets),
+		Puts:                db.stats.Puts,
+		Merges:              db.stats.Merges,
+		Deletes:             db.stats.Deletes,
+		StallNanos:          db.stats.StallNanos,
+		BloomChecks:         db.bloom.checks.Load(),
+		BloomNegatives:      db.bloom.negatives.Load(),
+		BloomFalsePositives: db.bloom.falsePos.Load(),
 	}
+}
+
+// Metrics implements kv.Introspector: engine counters under "lsm.*",
+// including compaction/flush activity, write-stall time, Bloom filter
+// effectiveness, block cache hit ratio inputs, and per-level file counts
+// and bytes.
+func (db *DB) Metrics() map[string]int64 {
+	st := db.StatsSnapshot()
+	hits, misses := db.cache.Stats()
+	m := map[string]int64{
+		"lsm.flushes":               int64(st.Flushes),
+		"lsm.compactions":           int64(st.Compactions),
+		"lsm.bytes_flushed":         int64(st.BytesFlushed),
+		"lsm.bytes_compacted":       int64(st.BytesCompacted),
+		"lsm.tombstones_dropped":    int64(st.TombstonesDropped),
+		"lsm.gets":                  int64(st.Gets),
+		"lsm.puts":                  int64(st.Puts),
+		"lsm.merges":                int64(st.Merges),
+		"lsm.deletes":               int64(st.Deletes),
+		"lsm.stall_nanos":           int64(st.StallNanos),
+		"lsm.bloom_checks":          int64(st.BloomChecks),
+		"lsm.bloom_negatives":       int64(st.BloomNegatives),
+		"lsm.bloom_false_positives": int64(st.BloomFalsePositives),
+		"lsm.cache_hits":            int64(hits),
+		"lsm.cache_misses":          int64(misses),
+		"lsm.cache_used_bytes":      db.cache.Used(),
+		"lsm.size_bytes":            db.ApproximateSize(),
+	}
+	db.mu.RLock()
+	for lvl, files := range db.version.levels {
+		var bytes int64
+		for _, fm := range files {
+			bytes += fm.size
+		}
+		m[fmt.Sprintf("lsm.level%d.files", lvl)] = int64(len(files))
+		m[fmt.Sprintf("lsm.level%d.bytes", lvl)] = bytes
+	}
+	db.mu.RUnlock()
+	return m
 }
 
 // ApproximateSize returns the total bytes in sorted tables plus memtables.

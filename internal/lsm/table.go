@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"gadget/internal/cache"
@@ -35,6 +36,18 @@ type fileMeta struct {
 	reader      *sstable.Reader
 	file        vfs.File
 	path        string
+	// bloom aggregates Bloom filter outcomes across the DB's tables
+	// (points at the owning DB's counters; nil only in unit tests that
+	// build a fileMeta directly).
+	bloom *bloomCounters
+}
+
+// bloomCounters tracks filter effectiveness DB-wide. Probes run under
+// the DB's read lock, so the fields are atomics.
+type bloomCounters struct {
+	checks    atomic.Uint64 // point lookups that consulted a filter
+	negatives atomic.Uint64 // lookups the filter rejected (table skipped)
+	falsePos  atomic.Uint64 // filter said maybe, table had nothing
 }
 
 func (fm *fileMeta) close() error {
@@ -43,7 +56,13 @@ func (fm *fileMeta) close() error {
 
 // get probes the table for userKey with the same contract as memtable.get.
 func (fm *fileMeta) get(userKey []byte, operands *[][]byte) ([]byte, lookupResult, error) {
+	if fm.bloom != nil {
+		fm.bloom.checks.Add(1)
+	}
 	if !fm.reader.MayContain(lookupKey(userKey)) {
+		if fm.bloom != nil {
+			fm.bloom.negatives.Add(1)
+		}
 		return nil, lookupMissing, nil
 	}
 	lk := lookupKey(userKey)
@@ -51,11 +70,13 @@ func (fm *fileMeta) get(userKey []byte, operands *[][]byte) ([]byte, lookupResul
 	it := fm.reader.Iter()
 	it.SeekGE(lk)
 	res := lookupMissing
+	found := false
 	for ; it.Valid(); it.Next() {
 		ik := it.Key()
 		if !bytes.HasPrefix(ik, prefix) {
 			break
 		}
+		found = true
 		switch ik[len(ik)-1] {
 		case kindPut:
 			v := append([]byte(nil), it.Value()...)
@@ -69,6 +90,11 @@ func (fm *fileMeta) get(userKey []byte, operands *[][]byte) ([]byte, lookupResul
 	}
 	if err := it.Err(); err != nil {
 		return nil, lookupMissing, err
+	}
+	if !found && fm.bloom != nil {
+		// The filter admitted the key but the table holds no entry for
+		// it: a false positive (the measured FPR numerator).
+		fm.bloom.falsePos.Add(1)
 	}
 	return nil, res, nil
 }
@@ -201,7 +227,12 @@ func (b *tableBuilder) finish(db *DB, level int) (*fileMeta, error) {
 		b.fs.Remove(b.path + ".tmp")
 		return nil, err
 	}
-	return openTable(b.fs, b.path, b.num, db.cache)
+	fm, err := openTable(b.fs, b.path, b.num, db.cache)
+	if err != nil {
+		return nil, err
+	}
+	fm.bloom = &db.bloom
+	return fm, nil
 }
 
 // abandon removes a partially written table.

@@ -5,6 +5,7 @@ package memstore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"gadget/internal/kv"
 )
@@ -14,6 +15,9 @@ type Store struct {
 	mu     sync.RWMutex
 	m      map[string][]byte
 	closed bool
+
+	// Operation counters (atomics: Get runs under the read lock).
+	gets, puts, merges, deletes atomic.Uint64
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -33,6 +37,7 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 	if s.closed {
 		return nil, kv.ErrClosed
 	}
+	s.gets.Add(1)
 	v, ok := s.m[string(key)]
 	if !ok {
 		return nil, kv.ErrNotFound
@@ -49,6 +54,7 @@ func (s *Store) Put(key, value []byte) error {
 	if s.closed {
 		return kv.ErrClosed
 	}
+	s.puts.Add(1)
 	s.m[string(key)] = append([]byte(nil), value...)
 	return nil
 }
@@ -60,6 +66,7 @@ func (s *Store) Merge(key, operand []byte) error {
 	if s.closed {
 		return kv.ErrClosed
 	}
+	s.merges.Add(1)
 	k := string(key)
 	s.m[k] = append(s.m[k], operand...)
 	return nil
@@ -72,8 +79,29 @@ func (s *Store) Delete(key []byte) error {
 	if s.closed {
 		return kv.ErrClosed
 	}
+	s.deletes.Add(1)
 	delete(s.m, string(key))
 	return nil
+}
+
+// Metrics implements kv.Introspector: operation counters and live-key
+// state under "memstore.*".
+func (s *Store) Metrics() map[string]int64 {
+	s.mu.RLock()
+	keys := int64(len(s.m))
+	var bytes int64
+	for k, v := range s.m {
+		bytes += int64(len(k) + len(v))
+	}
+	s.mu.RUnlock()
+	return map[string]int64{
+		"memstore.gets":    int64(s.gets.Load()),
+		"memstore.puts":    int64(s.puts.Load()),
+		"memstore.merges":  int64(s.merges.Load()),
+		"memstore.deletes": int64(s.deletes.Load()),
+		"memstore.keys":    keys,
+		"memstore.bytes":   bytes,
+	}
 }
 
 // Len returns the number of live keys.

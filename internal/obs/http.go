@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer is the harness's debug/metrics HTTP listener. It
+// bundles three surfaces on one mux:
+//
+//	/metrics      Prometheus text exposition of a Registry
+//	/debug/vars   expvar JSON (Go runtime memstats, cmdline)
+//	/debug/pprof  the standard pprof profile handlers
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the metrics listener on addr (e.g. "127.0.0.1:0") and
+// returns once it is accepting. Close shuts it down.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &MetricsServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener address (useful with port 0).
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes live connections.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

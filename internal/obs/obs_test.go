@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+	"gadget/internal/replay"
+)
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g", "", Label{Name: "path", Value: `C:\dir "x"` + "\nnext"}).Set(1)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{path="C:\\dir \"x\"\nnext"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing escaped label:\n%s\nwant line %q", b.String(), want)
+	}
+	if strings.Count(b.String(), "\n") != strings.Count(b.String(), "\n") || strings.Contains(strings.TrimSuffix(b.String(), "\n"), "next\n") {
+		t.Fatalf("raw newline leaked into exposition:\n%q", b.String())
+	}
+}
+
+func TestCounterMonotonicUnderConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "total ops")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A reader asserts the counter never decreases while writers hammer it.
+	var readErr error
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		var prev int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := c.Value()
+			if v < prev {
+				readErr = fmt.Errorf("counter went backwards: %d -> %d", prev, v)
+				return
+			}
+			prev = v
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	c.Add(-5) // negative deltas must be dropped, not applied
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter after negative Add = %d, want unchanged %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 99, 100, 500, 5000} {
+		h.Record(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE lat histogram") {
+		t.Fatalf("missing histogram TYPE header:\n%s", out)
+	}
+	// Parse the bucket series and check cumulativity and the count.
+	var counts []uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) != 4 { // 3 bounds + +Inf
+		t.Fatalf("got %d bucket lines, want 4:\n%s", len(counts), out)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("buckets not cumulative: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] != 8 {
+		t.Fatalf("+Inf bucket = %d, want 8", counts[len(counts)-1])
+	}
+	if !strings.Contains(out, "lat_count 8") {
+		t.Fatalf("missing lat_count:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_bucket{le="+Inf"} 8`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	// Histogram semantics: values equal to a bound land in its bucket.
+	if counts[0] != 3 { // 1, 5, 10 <= 10
+		t.Fatalf("le=10 bucket = %d, want 3", counts[0])
+	}
+}
+
+func TestRegistryIdempotentAndGrouped(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("reqs", "", Label{Name: "op", Value: "get"})
+	b := reg.Counter("reqs", "", Label{Name: "op", Value: "put"})
+	again := reg.Counter("reqs", "", Label{Name: "op", Value: "get"})
+	if a != again {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(3)
+	b.Add(4)
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "# TYPE reqs counter") != 1 {
+		t.Fatalf("family must have exactly one TYPE header:\n%s", s)
+	}
+	if !strings.Contains(s, `reqs{op="get"} 3`) || !strings.Contains(s, `reqs{op="put"} 4`) {
+		t.Fatalf("missing series:\n%s", s)
+	}
+}
+
+func TestRegisterStoreCollector(t *testing.T) {
+	store := memstore.New()
+	defer store.Close()
+	if err := store.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	RegisterStoreCollector(reg, store)
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `gadget_store_metric{metric="memstore.puts"} 1`) {
+		t.Fatalf("store collector missing puts sample:\n%s", out.String())
+	}
+}
+
+// runSnapshot drives a collector through n ops and returns its snapshot
+// function plus a finisher.
+func runStore(t *testing.T, n int) (*replay.Collector, kv.Store) {
+	t.Helper()
+	store := memstore.New()
+	t.Cleanup(func() { store.Close() })
+	c, err := replay.NewCollector(store, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		a := kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: 1, Sub: uint64(i)}, Size: 8}
+		if err := c.Do(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, store
+}
+
+func TestSamplerSeriesSumsToFinal(t *testing.T) {
+	c, store := runStore(t, 0)
+	var progress strings.Builder
+	s, err := StartSampler(SamplerOptions{
+		Interval: 5 * time.Millisecond,
+		Snapshot: c.Snapshot,
+		Store:    store,
+		Progress: &progress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		a := kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: 1, Sub: uint64(i)}, Size: 8}
+		if err := c.Do(a); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 0 {
+			time.Sleep(6 * time.Millisecond) // let a few ticks land mid-run
+		}
+	}
+	final := c.Finish()
+	series := s.Stop(final)
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	var sum uint64
+	prevOps := uint64(0)
+	prevOff := int64(-1)
+	for _, smp := range series {
+		sum += smp.IntervalOps
+		if smp.Ops < prevOps {
+			t.Fatalf("cumulative ops went backwards: %+v", series)
+		}
+		if smp.OffsetMs < prevOff {
+			t.Fatalf("offsets not monotone: %+v", series)
+		}
+		prevOps, prevOff = smp.Ops, smp.OffsetMs
+	}
+	if sum != final.Ops {
+		t.Fatalf("sum of interval ops = %d, want final ops %d", sum, final.Ops)
+	}
+	last := series[len(series)-1]
+	if last.Ops != final.Ops {
+		t.Fatalf("closing sample ops = %d, want %d", last.Ops, final.Ops)
+	}
+	if last.Engine["memstore.puts"] != int64(final.Ops) {
+		t.Fatalf("closing sample engine delta = %v, want memstore.puts=%d", last.Engine, final.Ops)
+	}
+	if progress.Len() == 0 {
+		t.Fatal("no progress lines written")
+	}
+	if !strings.Contains(progress.String(), "ops=") {
+		t.Fatalf("unexpected progress format: %q", progress.String())
+	}
+}
+
+func TestSamplerRejectsBadOptions(t *testing.T) {
+	if _, err := StartSampler(SamplerOptions{Interval: 0, Snapshot: func() replay.Result { return replay.Result{} }}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := StartSampler(SamplerOptions{Interval: time.Second}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	c, _ := runStore(t, 100)
+	final := c.Finish()
+	rep := &Report{
+		Store:       "memstore",
+		Config:      map[string]any{"store": map[string]any{"engine": "memstore"}},
+		Result:      Summarize(final),
+		EngineDelta: final.Engine,
+		Series: []Sample{
+			{OffsetMs: 10, Ops: 60, IntervalOps: 60, Throughput: 6000},
+			{OffsetMs: 20, Ops: 100, IntervalOps: 40, Throughput: 4000},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", got.Schema, ReportSchema)
+	}
+	if !reflect.DeepEqual(got.Result, rep.Result) {
+		t.Fatalf("result round-trip mismatch:\n got %+v\nwant %+v", got.Result, rep.Result)
+	}
+	if !reflect.DeepEqual(got.Series, rep.Series) {
+		t.Fatalf("series round-trip mismatch:\n got %+v\nwant %+v", got.Series, rep.Series)
+	}
+	if !reflect.DeepEqual(got.EngineDelta, rep.EngineDelta) {
+		t.Fatalf("engine delta round-trip mismatch:\n got %+v\nwant %+v", got.EngineDelta, rep.EngineDelta)
+	}
+	var sum uint64
+	for _, s := range got.Series {
+		sum += s.IntervalOps
+	}
+	if sum != got.Result.Ops {
+		t.Fatalf("series interval ops sum to %d, want %d", sum, got.Result.Ops)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits", "hit counter").Add(7)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		rsp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer rsp.Body.Close()
+		body, _ := io.ReadAll(rsp.Body)
+		return rsp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "# TYPE hits counter") || !strings.Contains(body, "hits 7") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d:\n%.200s", code, body)
+	}
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%.200s", code, body)
+	}
+}

@@ -1,0 +1,409 @@
+// Package obs is the harness-wide observability layer: a stdlib-only
+// metrics registry (sharded counters, gauges, striped histograms) with
+// Prometheus text exposition, an HTTP endpoint bundling /metrics with
+// expvar and pprof, a run-scoped telemetry sampler producing live
+// progress lines and a machine-readable time series, and a JSON run
+// report writer. It observes engines through kv.Introspector, so one
+// code path covers every store the harness can build.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gadget/internal/stats"
+)
+
+// Label is one Prometheus label pair. Values may contain any bytes;
+// exposition escapes them.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// counterCell is one stripe of a Counter, padded so adjacent cells do
+// not share a cache line.
+type counterCell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing metric. Increments land on
+// per-P stripes (the same sync.Pool discipline as
+// stats.StripedHistogram), so concurrent writers do not contend on one
+// cache line; Value folds the stripes.
+type Counter struct {
+	mu    sync.Mutex
+	cells []*counterCell
+	pool  sync.Pool
+}
+
+func newCounter() *Counter {
+	c := &Counter{}
+	c.pool.New = func() any {
+		cell := &counterCell{}
+		c.mu.Lock()
+		c.cells = append(c.cells, cell)
+		c.mu.Unlock()
+		return cell
+	}
+	return c
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative (counters are monotone; a
+// negative delta is silently dropped rather than corrupting the series).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		return
+	}
+	cell := c.pool.Get().(*counterCell)
+	cell.n.Add(n)
+	c.pool.Put(cell)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for _, cell := range c.cells {
+		sum += cell.n.Load()
+	}
+	return sum
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeFloat is a Gauge holding a float64 (throughput, ratios).
+type GaugeFloat struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *GaugeFloat) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *GaugeFloat) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramMetric is a registry-managed latency distribution: a striped
+// stats histogram exposed as a Prometheus histogram family with a fixed
+// bucket ladder.
+type HistogramMetric struct {
+	h      *stats.StripedHistogram
+	bounds []int64
+}
+
+// Record adds one observation.
+func (h *HistogramMetric) Record(v int64) { h.h.Record(v) }
+
+// Snapshot returns a merged copy of the underlying histogram.
+func (h *HistogramMetric) Snapshot() *stats.Histogram { return h.h.Snapshot() }
+
+// DefaultLatencyBounds is the bucket ladder used for latency histograms,
+// in nanoseconds: roughly 1-2.5-5 decades from 1us to 10s.
+var DefaultLatencyBounds = []int64{
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000,
+}
+
+// metricKind discriminates exposition behavior.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFloat
+	kindHistogram
+)
+
+// metric is one registered series: a name, a label set, and a value
+// source of one kind.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	gf     *GaugeFloat
+	h      *HistogramMetric
+}
+
+// EmitFunc is handed to collector callbacks; each call contributes one
+// gauge sample to the exposition in progress.
+type EmitFunc func(name string, labels []Label, value float64)
+
+// Registry holds metrics and renders them in Prometheus text format.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []*metric
+	byKey      map[string]*metric
+	collectors []func(EmitFunc)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// seriesKey identifies a metric by name and exact label set.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register adds m unless an identical series exists, in which case the
+// existing one is returned (idempotent registration).
+func (r *Registry) register(m *metric) *metric {
+	key := seriesKey(m.name, m.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byKey[key]; ok {
+		if old.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", m.name))
+		}
+		return old
+	}
+	r.byKey[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter returns the counter registered under name/labels, creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(&metric{name: name, help: help, kind: kindCounter, labels: labels, c: newCounter()}).c
+}
+
+// Gauge returns the gauge registered under name/labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(&metric{name: name, help: help, kind: kindGauge, labels: labels, g: &Gauge{}}).g
+}
+
+// GaugeFloat returns the float gauge registered under name/labels,
+// creating it on first use.
+func (r *Registry) GaugeFloat(name, help string, labels ...Label) *GaugeFloat {
+	return r.register(&metric{name: name, help: help, kind: kindGaugeFloat, labels: labels, gf: &GaugeFloat{}}).gf
+}
+
+// Histogram returns the histogram registered under name/labels, creating
+// it on first use with the given bucket upper bounds (nil selects
+// DefaultLatencyBounds). Bounds must be sorted ascending.
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *HistogramMetric {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	h := &HistogramMetric{h: stats.NewStripedHistogram(), bounds: bounds}
+	return r.register(&metric{name: name, help: help, kind: kindHistogram, labels: labels, h: h}).h
+}
+
+// RegisterCollector adds a callback run at every exposition; whatever it
+// emits appears as gauge samples. Engine introspection hooks in here:
+// a collector walks kv.Introspector output and emits one
+// gadget_store_metric{metric="..."} sample per key.
+func (r *Registry) RegisterCollector(fn func(EmitFunc)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders a label set ({a="b",c="d"}) with extra appended,
+// or "" when both are empty.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float without exponent noise for integral
+// values.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric and collector sample
+// in Prometheus text exposition format, grouped into families (one
+// # TYPE header per metric name, all series of that name beneath it).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	collectors := append([]func(EmitFunc){}, r.collectors...)
+	r.mu.Unlock()
+
+	// Group registered series by family, preserving first-seen order.
+	var order []string
+	families := make(map[string][]*metric)
+	for _, m := range metrics {
+		if _, ok := families[m.name]; !ok {
+			order = append(order, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+
+	bw := &errWriter{w: w}
+	for _, name := range order {
+		fam := families[name]
+		if h := fam[0].help; h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typeName(fam[0].kind))
+		for _, m := range fam {
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", name, renderLabels(m.labels), m.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", name, renderLabels(m.labels), m.g.Value())
+			case kindGaugeFloat:
+				fmt.Fprintf(bw, "%s%s %s\n", name, renderLabels(m.labels), formatValue(m.gf.Value()))
+			case kindHistogram:
+				writeHistogram(bw, name, m)
+			}
+		}
+	}
+
+	// Collector samples: gather, group by family, expose as gauges.
+	type sample struct {
+		labels []Label
+		value  float64
+	}
+	collected := make(map[string][]sample)
+	var corder []string
+	for _, fn := range collectors {
+		fn(func(name string, labels []Label, value float64) {
+			if _, ok := collected[name]; !ok {
+				corder = append(corder, name)
+			}
+			collected[name] = append(collected[name], sample{labels, value})
+		})
+	}
+	for _, name := range corder {
+		if _, clash := families[name]; clash {
+			// A collector must not re-emit a registered family; skip to
+			// keep the exposition parseable.
+			continue
+		}
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		for _, s := range collected[name] {
+			fmt.Fprintf(bw, "%s%s %s\n", name, renderLabels(s.labels), formatValue(s.value))
+		}
+	}
+	return bw.err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets, the
+// +Inf bucket, _sum, and _count.
+func writeHistogram(w io.Writer, name string, m *metric) {
+	snap := m.h.Snapshot()
+	cum := snap.CumulativeCounts(m.h.bounds)
+	for i, bound := range m.h.bounds {
+		le := Label{Name: "le", Value: formatValue(float64(bound))}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(m.labels, le), cum[i])
+	}
+	inf := Label{Name: "le", Value: "+Inf"}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(m.labels, inf), snap.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(m.labels), formatValue(snap.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(m.labels), snap.Count())
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// errWriter latches the first write error so exposition loops don't
+// need per-line error checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// SortedKeys returns m's keys sorted — the stable iteration order used
+// by exposition and reports.
+func SortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

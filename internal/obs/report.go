@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gadget/internal/kv"
+	"gadget/internal/replay"
+)
+
+// ReportSchema versions the JSON run report layout.
+const ReportSchema = "gadget.report/v1"
+
+// OpSummary condenses one operation type's latency distribution.
+type OpSummary struct {
+	Count      uint64  `json:"count"`
+	MeanMicros float64 `json:"mean_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// ResultSummary is the JSON-friendly projection of replay.Result.
+type ResultSummary struct {
+	Ops             uint64               `json:"ops"`
+	Misses          uint64               `json:"misses"`
+	Errors          uint64               `json:"errors"`
+	TransientErrors uint64               `json:"transient_errors"`
+	FatalErrors     uint64               `json:"fatal_errors"`
+	Retries         uint64               `json:"retries"`
+	Timeouts        uint64               `json:"timeouts"`
+	BreakerTrips    uint64               `json:"breaker_trips"`
+	DegradedOps     uint64               `json:"degraded_ops"`
+	Degraded        bool                 `json:"degraded"`
+	DurationMs      float64              `json:"duration_ms"`
+	Throughput      float64              `json:"throughput"`
+	MeanMicros      float64              `json:"mean_us"`
+	P50Micros       float64              `json:"p50_us"`
+	P99Micros       float64              `json:"p99_us"`
+	P999Micros      float64              `json:"p999_us"`
+	MaxMicros       float64              `json:"max_us"`
+	PerOp           map[string]OpSummary `json:"per_op,omitempty"`
+}
+
+// Summarize projects a replay.Result into its report form.
+func Summarize(res replay.Result) ResultSummary {
+	s := ResultSummary{
+		Ops:             res.Ops,
+		Misses:          res.Misses,
+		Errors:          res.Errors,
+		TransientErrors: res.TransientErrors,
+		FatalErrors:     res.FatalErrors,
+		Retries:         res.Retries,
+		Timeouts:        res.Timeouts,
+		BreakerTrips:    res.BreakerTrips,
+		DegradedOps:     res.DegradedOps,
+		Degraded:        res.Degraded,
+		DurationMs:      float64(res.Duration.Nanoseconds()) / 1e6,
+		Throughput:      res.Throughput,
+	}
+	if res.Latency != nil {
+		s.MeanMicros = res.MeanMicros()
+		s.P50Micros = float64(res.Latency.Quantile(0.50)) / 1e3
+		s.P99Micros = res.P99Micros()
+		s.P999Micros = res.P999Micros()
+		s.MaxMicros = float64(res.Latency.Max()) / 1e3
+	}
+	for i, h := range res.PerOp {
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if s.PerOp == nil {
+			s.PerOp = make(map[string]OpSummary)
+		}
+		s.PerOp[kv.Op(i).String()] = OpSummary{
+			Count:      h.Count(),
+			MeanMicros: h.Mean() / 1e3,
+			P99Micros:  float64(h.Quantile(0.99)) / 1e3,
+		}
+	}
+	return s
+}
+
+// Report is the machine-readable record of one harness run: the
+// configuration that produced it, the final measurements, the engine's
+// introspection snapshots (absolute start/end plus the delta), and the
+// sampled telemetry time series.
+type Report struct {
+	Schema string `json:"schema"`
+	// Store is the engine name the run was built with.
+	Store string `json:"store,omitempty"`
+	// Config echoes the run's configuration (shape depends on the
+	// caller; the harness passes its parsed config struct).
+	Config      any              `json:"config,omitempty"`
+	Result      ResultSummary    `json:"result"`
+	EngineStart map[string]int64 `json:"engine_start,omitempty"`
+	EngineEnd   map[string]int64 `json:"engine_end,omitempty"`
+	EngineDelta map[string]int64 `json:"engine_delta,omitempty"`
+	Series      []Sample         `json:"series,omitempty"`
+}
+
+// WriteReport marshals rep as indented JSON to path.
+func WriteReport(path string, rep *Report) error {
+	if rep.Schema == "" {
+		rep.Schema = ReportSchema
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport loads a report written by WriteReport.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("obs: parse report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// RegisterStoreCollector exposes an introspectable value's metrics on
+// reg as one gadget_store_metric{metric="<key>"} family, refreshed at
+// every exposition. v is typically a kv.Store, but anything implementing
+// kv.Introspector works (e.g. a remote.Server, which merges its wire
+// counters with the backing engine's). Non-introspectable values
+// register nothing.
+func RegisterStoreCollector(reg *Registry, v any) {
+	intro, ok := v.(kv.Introspector)
+	if !ok {
+		return
+	}
+	reg.RegisterCollector(func(emit EmitFunc) {
+		m := intro.Metrics()
+		for _, k := range SortedKeys(m) {
+			emit("gadget_store_metric", []Label{{Name: "metric", Value: k}}, float64(m[k]))
+		}
+	})
+}

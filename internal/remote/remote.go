@@ -32,6 +32,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gadget/internal/kv"
@@ -93,6 +94,13 @@ type Server struct {
 
 	smu      sync.Mutex
 	sessions map[uint64]*session
+
+	// Wire-level counters (atomics: handlers run one goroutine per conn).
+	accepted  atomic.Uint64 // connections accepted
+	requests  atomic.Uint64 // requests decoded and answered
+	replays   atomic.Uint64 // reconnect replays answered from cache
+	staleSeqs atomic.Uint64 // requests refused for stale sequence numbers
+	oversized atomic.Uint64 // requests refused for exceeding maxFrame
 }
 
 // Serve starts serving store on addr (e.g. "127.0.0.1:0") and returns
@@ -131,6 +139,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.accepted.Add(1)
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -243,6 +252,7 @@ func (s *Server) handle(conn net.Conn) {
 		if keyLen > maxFrame || valLen > maxFrame {
 			// Symmetric maxFrame enforcement: drain the declared payload
 			// and refuse the request, keeping the connection usable.
+			s.oversized.Add(1)
 			if _, err := io.CopyN(io.Discard, r, int64(keyLen)+int64(valLen)); err != nil {
 				return
 			}
@@ -257,6 +267,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		key, val := buf[:keyLen], buf[keyLen:]
 
+		s.requests.Add(1)
 		sess.mu.Lock()
 		var status byte
 		var out []byte
@@ -264,8 +275,10 @@ func (s *Server) handle(conn net.Conn) {
 		case seq == sess.lastSeq && seq != 0:
 			// Reconnect replay of the in-flight request: answer from the
 			// cache without re-applying (exactly-once).
+			s.replays.Add(1)
 			status, out = sess.lastRsp[0], sess.lastRsp[1:]
 		case seq < sess.lastSeq:
+			s.staleSeqs.Add(1)
 			status, out = statusError, []byte("remote: stale sequence number")
 		default:
 			status, out = s.apply(op, key, val)
@@ -294,6 +307,31 @@ func writeResponse(w *bufio.Writer, status byte, out []byte) bool {
 		return false
 	}
 	return w.Flush() == nil
+}
+
+// Metrics implements kv.Introspector: wire-level counters under
+// "remote_server.*", merged with the backing store's metrics when it is
+// introspectable.
+func (s *Server) Metrics() map[string]int64 {
+	s.mu.Lock()
+	conns := int64(len(s.conns))
+	s.mu.Unlock()
+	s.smu.Lock()
+	sessions := int64(len(s.sessions))
+	s.smu.Unlock()
+	m := map[string]int64{
+		"remote_server.conns_accepted": int64(s.accepted.Load()),
+		"remote_server.conns_live":     conns,
+		"remote_server.sessions":       sessions,
+		"remote_server.requests":       int64(s.requests.Load()),
+		"remote_server.replays":        int64(s.replays.Load()),
+		"remote_server.stale_seqs":     int64(s.staleSeqs.Load()),
+		"remote_server.oversized":      int64(s.oversized.Load()),
+	}
+	for k, v := range kv.MetricsOf(s.store) {
+		m[k] = v
+	}
+	return m
 }
 
 // Close stops the listener, closes live connections, and waits for
@@ -340,6 +378,13 @@ type Client struct {
 	w      *bufio.Writer
 	seq    uint64
 	closed bool
+
+	// Transport counters (atomics so Metrics doesn't contend with the
+	// serialized request path).
+	requests atomic.Uint64 // operations issued (one per roundTrip)
+	dials    atomic.Uint64 // successful connects, initial included
+	redials  atomic.Uint64 // replay attempts after a transport failure
+	failures atomic.Uint64 // operations that exhausted the redial budget
 }
 
 var _ kv.Store = (*Client)(nil)
@@ -415,6 +460,7 @@ func (c *Client) connectLocked() error {
 	c.conn = conn
 	c.r = bufio.NewReaderSize(conn, 64<<10)
 	c.w = bufio.NewWriterSize(conn, 64<<10)
+	c.dials.Add(1)
 	return nil
 }
 
@@ -484,11 +530,13 @@ func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
 	}
 	c.seq++
 	seq := c.seq
+	c.requests.Add(1)
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Redials; attempt++ {
 		if attempt > 0 {
 			// Brief pause so redials don't spin against a down server;
 			// longer backoff belongs to the kv resilience layer above.
+			c.redials.Add(1)
 			time.Sleep(time.Duration(attempt) * time.Millisecond)
 		}
 		if c.conn == nil {
@@ -508,8 +556,20 @@ func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
 			return nil, statusError, err
 		}
 	}
+	c.failures.Add(1)
 	return nil, statusError, kv.UnknownOutcomeError(kv.TransientError(
 		fmt.Errorf("remote: request %d failed after %d attempts: %w", seq, c.opts.Redials+1, lastErr)))
+}
+
+// Metrics implements kv.Introspector: client-side transport counters
+// under "remote.*".
+func (c *Client) Metrics() map[string]int64 {
+	return map[string]int64{
+		"remote.requests": int64(c.requests.Load()),
+		"remote.dials":    int64(c.dials.Load()),
+		"remote.redials":  int64(c.redials.Load()),
+		"remote.failures": int64(c.failures.Load()),
+	}
 }
 
 // remoteError converts a non-OK wire status into a typed error.

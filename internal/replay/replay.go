@@ -20,6 +20,7 @@ package replay
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,11 @@ type Options struct {
 	// returned tagged Degraded with ErrStalled (0 = watchdog disabled).
 	// Must comfortably exceed the pacing gap implied by ServiceRate.
 	StallTimeout time.Duration
+	// Observer, when set, is handed every Collector the run creates,
+	// right before its first operation. Telemetry samplers hook in here
+	// to Snapshot live runs regardless of which Run* entry point drives
+	// them. The callback must not retain locks or block.
+	Observer func(*Collector)
 }
 
 // Validate rejects option values that earlier versions silently
@@ -103,6 +109,11 @@ type Result struct {
 	Timeouts     uint64
 	BreakerTrips uint64
 	DegradedOps  uint64
+	// Engine holds the per-run delta of the store's introspection
+	// counters when the store implements kv.Introspector (nil otherwise).
+	// Like the resilience deltas, it covers the whole store, so
+	// concurrent runs sharing one store each see store-wide movement.
+	Engine map[string]int64
 	// Degraded marks a partial result: the run was aborted (watchdog
 	// stall, error limit) before the source drained.
 	Degraded bool
@@ -134,7 +145,31 @@ func (r Result) String() string {
 	if r.Degraded {
 		s += " DEGRADED"
 	}
-	return s
+	return s + r.engineSummary()
+}
+
+// engineSummary renders the most diagnostic introspection deltas —
+// compaction count, block cache hit rate, write stall time — as a
+// compact suffix, or "" when the store exposes none of them.
+func (r Result) engineSummary() string {
+	if len(r.Engine) == 0 {
+		return ""
+	}
+	var parts []string
+	if v, ok := r.Engine["lsm.compactions"]; ok && v > 0 {
+		parts = append(parts, fmt.Sprintf("compactions=%d", v))
+	}
+	hits, misses := r.Engine["lsm.cache_hits"], r.Engine["lsm.cache_misses"]
+	if hits+misses > 0 {
+		parts = append(parts, fmt.Sprintf("cache_hit=%.1f%%", 100*float64(hits)/float64(hits+misses)))
+	}
+	if ns, ok := r.Engine["lsm.stall_nanos"]; ok && ns > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%s", time.Duration(ns).Round(time.Microsecond)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
 }
 
 // valuePool provides deterministic pseudo-random value bytes without
@@ -266,6 +301,10 @@ type Collector struct {
 	rep     kv.ResilienceReporter
 	degrade atomic.Bool
 
+	// introBase is the store's introspection snapshot at run start (nil
+	// when the store is not a kv.Introspector); fill subtracts it.
+	introBase map[string]int64
+
 	// sealMu serializes Finish and Snapshot: a watchdog may snapshot a
 	// collector whose worker is concurrently finishing.
 	sealMu sync.Mutex
@@ -290,9 +329,17 @@ func NewCollector(store kv.Store, opts Options) (*Collector, error) {
 		c.rep = rep
 		c.base = rep.ResilienceCounters()
 	}
+	c.introBase = kv.MetricsOf(store)
 	c.lastProgress.Store(time.Now().UnixNano())
+	if opts.Observer != nil {
+		opts.Observer(c)
+	}
 	return c, nil
 }
+
+// Store returns the store this collector measures (telemetry samplers
+// reached via Options.Observer use it to introspect the engine).
+func (c *Collector) Store() kv.Store { return c.store }
 
 // ErrAborted is returned by Do after the collector was aborted (by the
 // run watchdog or an explicit Abort call).
@@ -367,6 +414,7 @@ func (c *Collector) fill(res *Result) {
 		res.BreakerTrips = d.BreakerTrips
 		res.DegradedOps = d.Degraded
 	}
+	res.Engine = kv.MetricsDelta(kv.MetricsOf(c.store), c.introBase)
 	res.Duration = time.Since(c.start)
 	if res.Duration > 0 {
 		res.Throughput = float64(res.Ops) / res.Duration.Seconds()
@@ -397,6 +445,49 @@ func (c *Collector) Snapshot() Result {
 	}
 	c.fill(&res)
 	return res
+}
+
+// MergeResults folds per-worker Results into one run-wide view: op and
+// error counters sum, latency histograms merge, Duration is the longest
+// worker's, and Throughput is recomputed from the merged totals. The
+// resilience and engine deltas are NOT summed — when workers share one
+// store each worker's delta already covers the whole store, so the merge
+// takes the maximum seen instead of multiply counting it.
+func MergeResults(results []Result) Result {
+	out := Result{Latency: stats.NewHistogram()}
+	for i := range out.PerOp {
+		out.PerOp[i] = stats.NewHistogram()
+	}
+	for _, r := range results {
+		out.Ops += r.Ops
+		out.Misses += r.Misses
+		out.Errors += r.Errors
+		out.TransientErrors += r.TransientErrors
+		out.FatalErrors += r.FatalErrors
+		out.Retries = max(out.Retries, r.Retries)
+		out.Timeouts = max(out.Timeouts, r.Timeouts)
+		out.BreakerTrips = max(out.BreakerTrips, r.BreakerTrips)
+		out.DegradedOps = max(out.DegradedOps, r.DegradedOps)
+		out.Degraded = out.Degraded || r.Degraded
+		if r.Duration > out.Duration {
+			out.Duration = r.Duration
+		}
+		if r.Latency != nil {
+			out.Latency.Merge(r.Latency)
+		}
+		for i, h := range r.PerOp {
+			if h != nil {
+				out.PerOp[i].Merge(h)
+			}
+		}
+		if r.Engine != nil {
+			out.Engine = r.Engine
+		}
+	}
+	if out.Duration > 0 {
+		out.Throughput = float64(out.Ops) / out.Duration.Seconds()
+	}
+	return out
 }
 
 // RunConcurrent replays several traces against one shared store, one

@@ -129,6 +129,47 @@ func (h *Histogram) Max() int64 {
 	return h.max
 }
 
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// CumulativeCounts returns, for each bound in bounds (which must be
+// sorted ascending), the number of recorded values whose bucket
+// representative is <= that bound — the cumulative bucket counts of a
+// Prometheus histogram exposition. The trailing +Inf bucket is the
+// caller's job (it equals Count()).
+func (h *Histogram) CumulativeCounts(bounds []int64) []uint64 {
+	out := make([]uint64, len(bounds))
+	if len(bounds) == 0 {
+		return out
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	j := 0
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		v := bucketValue(i)
+		for j < len(bounds) && bounds[j] < v {
+			out[j] = cum
+			j++
+		}
+		if j == len(bounds) {
+			break
+		}
+		cum += c
+	}
+	for ; j < len(bounds); j++ {
+		out[j] = cum
+	}
+	return out
+}
+
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1) with
 // bounded relative error, or 0 if the histogram is empty.
 func (h *Histogram) Quantile(q float64) int64 {

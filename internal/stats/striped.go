@@ -1,0 +1,78 @@
+package stats
+
+import "sync"
+
+// StripedHistogram is a Histogram variant for write-heavy concurrent
+// recording. The single-mutex Histogram serializes every Record; under
+// many recording goroutines that mutex becomes the hot path. The striped
+// form hands each concurrent recorder its own private Histogram stripe
+// through a sync.Pool (which caches per-P, so a stripe is almost always
+// re-acquired uncontended), and reads merge the stripes on demand.
+//
+// Recording scales with GOMAXPROCS; reads are proportionally more
+// expensive (one Merge per stripe) and intended for sampling intervals
+// and end-of-run summaries, not per-operation paths.
+type StripedHistogram struct {
+	mu      sync.Mutex
+	stripes []*Histogram
+	pool    sync.Pool
+}
+
+// NewStripedHistogram returns an empty striped histogram.
+func NewStripedHistogram() *StripedHistogram {
+	s := &StripedHistogram{}
+	s.pool.New = func() any {
+		h := NewHistogram()
+		s.mu.Lock()
+		s.stripes = append(s.stripes, h)
+		s.mu.Unlock()
+		return h
+	}
+	return s
+}
+
+// Record adds v to the histogram. Safe for concurrent use; concurrent
+// recorders land on distinct stripes, so the per-stripe mutex is
+// effectively uncontended.
+func (s *StripedHistogram) Record(v int64) {
+	h := s.pool.Get().(*Histogram)
+	h.Record(v)
+	s.pool.Put(h)
+}
+
+// Snapshot merges all stripes into a fresh Histogram, which then supports
+// the full read API (Quantile, Mean, CumulativeCounts, ...). The merge is
+// safe concurrent with Record: Histogram.Merge locks each stripe while
+// copying it, so a snapshot is a consistent point-in-time view of every
+// stripe (though not across stripes, same as any concurrent counter read).
+func (s *StripedHistogram) Snapshot() *Histogram {
+	s.mu.Lock()
+	stripes := append([]*Histogram(nil), s.stripes...)
+	s.mu.Unlock()
+	out := NewHistogram()
+	for _, h := range stripes {
+		out.Merge(h)
+	}
+	return out
+}
+
+// Count returns the total number of recorded values across stripes.
+func (s *StripedHistogram) Count() uint64 {
+	s.mu.Lock()
+	stripes := append([]*Histogram(nil), s.stripes...)
+	s.mu.Unlock()
+	var n uint64
+	for _, h := range stripes {
+		n += h.Count()
+	}
+	return n
+}
+
+// Quantile returns an upper bound on the q-quantile across all stripes.
+func (s *StripedHistogram) Quantile(q float64) int64 { return s.Snapshot().Quantile(q) }
+
+// Mean returns the mean of all recorded values.
+func (s *StripedHistogram) Mean() float64 { return s.Snapshot().Mean() }
+
+// Max returns the largest recorded value.
+func (s *StripedHistogram) Max() int64 { return s.Snapshot().Max() }

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStripedHistogramMatchesPlain(t *testing.T) {
+	s := NewStripedHistogram()
+	p := NewHistogram()
+	for i := int64(0); i < 10000; i++ {
+		v := (i * 2654435761) % 1000000
+		s.Record(v)
+		p.Record(v)
+	}
+	if s.Count() != p.Count() {
+		t.Fatalf("count: striped %d plain %d", s.Count(), p.Count())
+	}
+	snap := s.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := snap.Quantile(q), p.Quantile(q); got != want {
+			t.Errorf("q%.3f: striped %d plain %d", q, got, want)
+		}
+	}
+	if got, want := snap.Mean(), p.Mean(); got != want {
+		t.Errorf("mean: striped %v plain %v", got, want)
+	}
+	if got, want := snap.Max(), p.Max(); got != want {
+		t.Errorf("max: striped %d plain %d", got, want)
+	}
+}
+
+func TestStripedHistogramConcurrent(t *testing.T) {
+	s := NewStripedHistogram()
+	const (
+		workers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Record(int64(w*perG + i))
+			}
+		}(w)
+	}
+	// Concurrent snapshots must be safe and monotone in count.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last uint64
+		for i := 0; i < 100; i++ {
+			n := s.Snapshot().Count()
+			if n < last {
+				t.Errorf("snapshot count went backwards: %d -> %d", last, n)
+				return
+			}
+			last = n
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := s.Count(), uint64(workers*perG); got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+}
+
+func TestCumulativeCounts(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 2, 10, 100, 1000, 100000} {
+		h.Record(v)
+	}
+	bounds := []int64{0, 2, 50, 1 << 30}
+	got := h.CumulativeCounts(bounds)
+	// Bucket representatives below subBuckets are exact; larger values
+	// land within ~3% of their true value, all far below the next bound.
+	want := []uint64{0, 3, 4, 7}
+	for i := range bounds {
+		if got[i] != want[i] {
+			t.Errorf("cum(<=%d) = %d, want %d", bounds[i], got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("cumulative counts not monotone: %v", got)
+		}
+	}
+	if got[len(got)-1] != h.Count() {
+		t.Fatalf("last bound below max: %v vs count %d", got, h.Count())
+	}
+	if n := h.CumulativeCounts(nil); len(n) != 0 {
+		t.Fatalf("nil bounds: %v", n)
+	}
+}
+
+// The satellite requirement: concurrent Record on the striped histogram
+// must scale where the single-mutex histogram serializes.
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			v += 7919
+			h.Record(v)
+		}
+	})
+}
+
+func BenchmarkStripedHistogramRecordParallel(b *testing.B) {
+	h := NewStripedHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			v += 7919
+			h.Record(v)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package stores
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gadget/internal/kv"
+	"gadget/internal/lsm"
+	"gadget/internal/remote"
+)
+
+// doWorkload applies a fixed differential workload: puts distinct keys,
+// gets half of them back, deletes a quarter.
+func doWorkload(t *testing.T, s kv.Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("value")); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n/4; i++ {
+		if err := s.Delete([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+}
+
+// TestIntrospectorAllEngines asserts every registered engine implements
+// kv.Introspector and that its counters move by the expected amount
+// under a known workload (differential, not absolute, so background
+// activity can't break it).
+func TestIntrospectorAllEngines(t *testing.T) {
+	const n = 200
+	cases := []struct {
+		engine string
+		// exact per-op counter expectations (delta == value)
+		exact map[string]int64
+		// counters that must merely move (delta > 0)
+		moved []string
+	}{
+		{"rocksdb", map[string]int64{"lsm.puts": n, "lsm.gets": n / 2, "lsm.deletes": n / 4}, nil},
+		{"lethe", map[string]int64{"lsm.puts": n, "lsm.gets": n / 2, "lsm.deletes": n / 4}, nil},
+		{"faster", map[string]int64{"faster.puts": n, "faster.gets": n / 2, "faster.deletes": n / 4}, []string{"faster.appends"}},
+		{"berkeleydb", map[string]int64{"btree.keys": n - n/4}, []string{"btree.pages"}},
+		{"memstore", map[string]int64{"memstore.puts": n, "memstore.gets": n / 2, "memstore.deletes": n / 4}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.engine, func(t *testing.T) {
+			s, err := Open(Config{Engine: tc.engine, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			base := kv.MetricsOf(s)
+			if base == nil {
+				t.Fatalf("engine %s does not implement kv.Introspector", tc.engine)
+			}
+			doWorkload(t, s, n)
+			delta := kv.MetricsDelta(kv.MetricsOf(s), base)
+			for key, want := range tc.exact {
+				if got := delta[key]; got != want {
+					t.Errorf("%s delta = %d, want %d (full delta %v)", key, got, want, delta)
+				}
+			}
+			for _, key := range tc.moved {
+				if delta[key] <= 0 {
+					t.Errorf("%s delta = %d, want > 0", key, delta[key])
+				}
+			}
+			// Key-set stability: a second snapshot exposes the same keys.
+			again := kv.MetricsOf(s)
+			for k := range base {
+				if _, ok := again[k]; !ok {
+					t.Errorf("metric key %q disappeared between snapshots", k)
+				}
+			}
+		})
+	}
+}
+
+// TestLSMCompactionCountersMove forces flushes and a compaction and
+// asserts the corresponding counters increment — the acceptance check
+// that introspection reflects real engine activity.
+func TestLSMCompactionCountersMove(t *testing.T) {
+	s, err := Open(Config{Engine: "rocksdb", Dir: t.TempDir(), MemtableBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	db := s.(*lsm.DB)
+	base := kv.MetricsOf(s)
+	val := make([]byte, 256)
+	for i := 0; i < 500; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%06d", i%100)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	delta := kv.MetricsDelta(kv.MetricsOf(s), base)
+	if delta["lsm.flushes"] <= 0 {
+		t.Errorf("lsm.flushes delta = %d, want > 0", delta["lsm.flushes"])
+	}
+	if delta["lsm.compactions"] <= 0 {
+		t.Errorf("lsm.compactions delta = %d, want > 0", delta["lsm.compactions"])
+	}
+	if delta["lsm.bytes_compacted"] <= 0 {
+		t.Errorf("lsm.bytes_compacted delta = %d, want > 0", delta["lsm.bytes_compacted"])
+	}
+	// Reads after compaction touch tables and the block cache.
+	for i := 0; i < 100; i++ {
+		s.Get([]byte(fmt.Sprintf("key-%06d", i)))
+	}
+	delta = kv.MetricsDelta(kv.MetricsOf(s), base)
+	if delta["lsm.bloom_checks"] <= 0 {
+		t.Errorf("lsm.bloom_checks delta = %d, want > 0", delta["lsm.bloom_checks"])
+	}
+	if delta["lsm.cache_hits"]+delta["lsm.cache_misses"] <= 0 {
+		t.Errorf("block cache saw no traffic: %v", delta)
+	}
+}
+
+// TestWrapperMetricsMerge opens memstore wrapped in chaos + resilience
+// middleware and asserts one Metrics call surfaces all three layers.
+func TestWrapperMetricsMerge(t *testing.T) {
+	s, err := Open(Config{
+		Engine:     "memstore",
+		Chaos:      &ChaosConfig{Seed: 42, ErrorRate: 0.2},
+		Resilience: &ResilienceConfig{MaxRetries: 5, BreakerThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := kv.MetricsOf(s)
+	for _, prefix := range []string{"resilient.", "chaos.", "memstore."} {
+		found := false
+		for k := range base {
+			if strings.HasPrefix(k, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("wrapped store metrics missing %s* keys: %v", prefix, base)
+		}
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("v")); err != nil {
+			t.Fatalf("put through resilient(chaos(memstore)): %v", err)
+		}
+	}
+	delta := kv.MetricsDelta(kv.MetricsOf(s), base)
+	if delta["memstore.puts"] != n {
+		t.Errorf("memstore.puts delta = %d, want %d", delta["memstore.puts"], n)
+	}
+	if delta["chaos.injected_errors"] <= 0 {
+		t.Errorf("chaos.injected_errors delta = %d, want > 0 at 20%% error rate", delta["chaos.injected_errors"])
+	}
+	if delta["resilient.retries"] < delta["chaos.injected_errors"] {
+		t.Errorf("resilient.retries (%d) < chaos.injected_errors (%d): every injected error should be retried",
+			delta["resilient.retries"], delta["chaos.injected_errors"])
+	}
+}
+
+// TestRemoteIntrospection runs a live client/server pair and checks both
+// ends' counters: the client counts its requests, the server counts what
+// it decoded and merges the backing engine's metrics.
+func TestRemoteIntrospection(t *testing.T) {
+	backing, err := Open(Config{Engine: "memstore"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing.Close()
+	srv, err := remote.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Open(Config{Engine: "remote", Addr: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cbase := kv.MetricsOf(client)
+	sbase := srv.Metrics()
+	if cbase == nil {
+		t.Fatal("remote client does not implement kv.Introspector")
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := client.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cdelta := kv.MetricsDelta(kv.MetricsOf(client), cbase)
+	if cdelta["remote.requests"] != n {
+		t.Errorf("remote.requests delta = %d, want %d", cdelta["remote.requests"], n)
+	}
+	if cdelta["remote.dials"] != 0 {
+		t.Errorf("remote.dials delta = %d, want 0 (no reconnects on a healthy link)", cdelta["remote.dials"])
+	}
+	sdelta := kv.MetricsDelta(srv.Metrics(), sbase)
+	if sdelta["remote_server.requests"] != n {
+		t.Errorf("remote_server.requests delta = %d, want %d", sdelta["remote_server.requests"], n)
+	}
+	if sdelta["memstore.puts"] != n {
+		t.Errorf("server-side memstore.puts delta = %d, want %d (backing metrics must merge)", sdelta["memstore.puts"], n)
+	}
+}
