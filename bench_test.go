@@ -204,6 +204,52 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenLoopOverhead measures the per-op cost the open-loop
+// driver adds over the closed-loop replay path: the same trace against
+// a memstore, closed loop versus open loop at an effectively unpaced
+// rate (1ns gaps, so the pacer never sleeps and the numbers isolate the
+// queue hop plus intended-latency accounting; see
+// results/bench-baseline.txt).
+func BenchmarkOpenLoopOverhead(b *testing.B) {
+	for _, open := range []bool{false, true} {
+		name := "closed"
+		if open {
+			name = "open"
+		}
+		b.Run(name, func(b *testing.B) {
+			store := memstore.New()
+			defer store.Close()
+			tr := make([]gadget.Access, b.N)
+			for i := range tr {
+				a := kv.Access{Key: kv.StateKey{Group: 1, Sub: uint64(i % (1 << 16))}, Size: 64}
+				if i%2 == 0 {
+					a.Op = kv.OpPut
+				} else {
+					a.Op = kv.OpGet
+				}
+				tr[i] = a
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			var res gadget.Result
+			var err error
+			if open {
+				res, err = gadget.ReplayOpenLoop(store, tr, gadget.OpenLoopOptions{
+					Rate: 1e9, MaxInFlight: 4096,
+				})
+			} else {
+				res, err = gadget.Replay(store, tr, gadget.ReplayOptions{})
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Ops != uint64(b.N) {
+				b.Fatalf("ops = %d, want %d", res.Ops, b.N)
+			}
+		})
+	}
+}
+
 func BenchmarkOnlineRun(b *testing.B) {
 	for _, engine := range gadget.Engines() {
 		engine := engine

@@ -26,6 +26,12 @@ go test -timeout 10m ./...
 echo "== go test -race (short)"
 go test -race -short -timeout 10m ./...
 
+echo "== open-loop smoke"
+# End-to-end open-loop run: drifting-hotspot workload replayed under a
+# Poisson arrival schedule with coordinated-omission-free latency and an
+# SLO verdict, exercising config -> eventgen -> replay -> obs -> CLI.
+go run ./cmd/gadget run -config configs/open-loop-drift.json
+
 echo "== fuzz remote protocol framing (short)"
 go test -run '^$' -fuzz '^FuzzServerFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 go test -run '^$' -fuzz '^FuzzClientFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
@@ -37,7 +43,7 @@ echo "== bench drift guard"
 # regressions (an accidental lock on the hot path), not noise.
 bench_out=$(mktemp)
 trap 'rm -f "$bench_out"' EXIT
-go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
+go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead|BenchmarkOpenLoopOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
 go test -run '^$' -bench 'BenchmarkStripedHistogramRecordParallel|BenchmarkHistogramRecordParallel' -benchtime 0.5s -timeout 5m ./internal/stats/ | tee -a "$bench_out"
 awk '
     # Collect ns/op per benchmark name (strip the -N GOMAXPROCS suffix),

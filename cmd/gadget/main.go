@@ -37,6 +37,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "findrate":
+		err = cmdFindRate(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "list":
@@ -58,9 +60,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gadget <command> [flags]
 
 commands:
-  run       -config cfg.json             run online against the configured store
+  run       -config cfg.json             run the configured store (run.mode: online or open_loop)
   generate  -config cfg.json             write the state access trace (offline mode)
   replay    -trace t.bin -engine NAME -dir DIR [-addr HOST:PORT] [-rate N] [-concurrency N]
+            [-open-loop] [-poisson] [-max-in-flight N]   open-loop: -rate is the offered rate
+  findrate  -trace t.bin -engine NAME -low N [-high N] [-slo-p99-ms N] [-max-overload-frac F]
+            search the max sustainable offered rate under an intended-arrival p99 SLO
   analyze   -trace t.bin                 print workload characterization metrics
   list                                   list operators, engines, datasets`)
 }
@@ -103,12 +108,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := w.RunOnline(store, gadget.ReplayOptions{
-		ServiceRate:  cfg.Run.ServiceRate,
-		SampleEvery:  cfg.Run.SampleEvery,
-		StallTimeout: time.Duration(cfg.Run.StallTimeoutMs) * time.Millisecond,
-		Observer:     tel.observer(),
-	})
+	var res gadget.Result
+	if cfg.Run.Mode == "open_loop" {
+		opts, oerr := cfg.OpenLoopOptions()
+		if oerr != nil {
+			return oerr
+		}
+		opts.Observer = tel.observer()
+		res, err = w.RunOpenLoop(store, opts)
+	} else {
+		res, err = w.RunOnline(store, gadget.ReplayOptions{
+			ServiceRate:  cfg.Run.ServiceRate,
+			SampleEvery:  cfg.Run.SampleEvery,
+			StallTimeout: time.Duration(cfg.Run.StallTimeoutMs) * time.Millisecond,
+			Observer:     tel.observer(),
+		})
+	}
 	if err != nil && !errors.Is(err, gadget.ErrStalled) {
 		tel.finish(res, cfg)
 		return err
@@ -119,6 +134,13 @@ func cmdRun(args []string) error {
 	fmt.Printf("operator   %s\n", cfg.Operator.Operator)
 	fmt.Printf("engine     %s\n", cfg.Store.Engine)
 	printResult(res)
+	if slo := cfg.Run.SLOP99Ms; slo > 0 && res.IntendedLatency != nil {
+		verdict := "MET"
+		if res.IntendedP99Micros() > slo*1000 || res.Degraded {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("slo        intended p99 <= %.1fms: %s\n", slo, verdict)
+	}
 	if errors.Is(err, gadget.ErrStalled) {
 		return fmt.Errorf("run stalled after %d ops (partial results above)", res.Ops)
 	}
@@ -162,14 +184,26 @@ func cmdReplay(args []string) error {
 	engine := fs.String("engine", "memstore", "store engine")
 	addr := fs.String("addr", "", "server address for -engine remote")
 	dir := fs.String("dir", "", "store directory (temp dir when empty)")
-	rate := fs.Float64("rate", 0, "service rate in ops/second (0 = unthrottled)")
+	rate := fs.Float64("rate", 0, "service rate in ops/second (0 = unthrottled); with -open-loop, the offered arrival rate (required)")
 	conc := fs.Int("concurrency", 1, "concurrent replayers sharing the store")
 	stall := fs.Duration("stall-timeout", 0, "abort the run if no progress for this long (0 = off)")
+	openLoop := fs.Bool("open-loop", false, "open-loop replay: dispatch on intended arrival times, measure coordinated-omission-free latency")
+	poisson := fs.Bool("poisson", false, "with -open-loop, use Poisson arrivals at -rate instead of constant spacing")
+	maxInFlight := fs.Int("max-in-flight", 0, "with -open-loop, bound on queued-but-unserviced events (0 = default)")
+	seed := fs.Int64("seed", 1, "with -open-loop -poisson, RNG seed for the arrival schedule")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
 	reportPath := fs.String("report", "", "write a JSON run report to this path")
 	fs.Parse(args)
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
+	}
+	if *openLoop {
+		if *rate <= 0 {
+			return fmt.Errorf("-open-loop requires -rate > 0 (the offered arrival rate)")
+		}
+		if *conc > 1 {
+			return fmt.Errorf("-open-loop replays with a single service worker; drop -concurrency")
+		}
 	}
 	tr, err := gadget.ReadTrace(*tracePath)
 	if err != nil {
@@ -196,6 +230,31 @@ func cmdReplay(args []string) error {
 	configEcho := map[string]any{
 		"trace": *tracePath, "engine": *engine, "rate": *rate,
 		"concurrency": *conc, "stall_timeout_ms": stall.Milliseconds(),
+		"open_loop": *openLoop,
+	}
+	if *openLoop {
+		oopts := gadget.OpenLoopOptions{
+			Rate:         *rate,
+			MaxInFlight:  *maxInFlight,
+			StallTimeout: *stall,
+			Observer:     tel.observer(),
+		}
+		if *poisson {
+			oopts.Arrivals = gadget.PoissonArrivals(*rate, *seed)
+			configEcho["arrival"] = "poisson"
+		} else {
+			configEcho["arrival"] = "constant"
+		}
+		res, err := gadget.ReplayOpenLoop(store, tr, oopts)
+		if err != nil {
+			tel.finish(res, configEcho)
+			return err
+		}
+		if ferr := tel.finish(res, configEcho); ferr != nil {
+			return ferr
+		}
+		printResult(res)
+		return nil
 	}
 	opts := gadget.ReplayOptions{ServiceRate: *rate, StallTimeout: *stall, Observer: tel.observer()}
 	if *conc <= 1 {
@@ -227,6 +286,76 @@ func cmdReplay(args []string) error {
 		fmt.Printf("replayer %d:\n", i)
 		printResult(res)
 	}
+	return nil
+}
+
+func cmdFindRate(args []string) error {
+	fs := flag.NewFlagSet("findrate", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file")
+	engine := fs.String("engine", "memstore", "store engine")
+	addr := fs.String("addr", "", "server address for -engine remote")
+	dir := fs.String("dir", "", "store directory (temp dir when empty)")
+	low := fs.Float64("low", 0, "lower bound of the rate search in ops/second (required)")
+	high := fs.Float64("high", 0, "upper bound of the rate search (0 = discover by doubling)")
+	sloP99 := fs.Float64("slo-p99-ms", 10, "intended-arrival p99 latency SLO in milliseconds")
+	maxOverload := fs.Float64("max-overload-frac", 0.01, "max fraction of offered events that may hit queue overload")
+	tol := fs.Float64("tolerance", 0, "relative bisection tolerance (0 = default)")
+	maxProbes := fs.Int("max-probes", 0, "probe budget for the search (0 = default)")
+	maxInFlight := fs.Int("max-in-flight", 0, "bound on queued-but-unserviced events per probe (0 = default)")
+	stall := fs.Duration("stall-timeout", 0, "abort a probe if no progress for this long (0 = off)")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	if *low <= 0 {
+		return fmt.Errorf("-low is required and must be positive")
+	}
+	tr, err := gadget.ReadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	storeDir := *dir
+	if storeDir == "" {
+		tmp, err := os.MkdirTemp("", "gadget-findrate-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		storeDir = filepath.Join(tmp, "db")
+	}
+	store, err := gadget.OpenStore(gadget.StoreConfig{Engine: *engine, Dir: storeDir, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	res, err := gadget.FindSustainableRate(store, tr, gadget.RateSearchOptions{
+		Low:       *low,
+		High:      *high,
+		Tolerance: *tol,
+		MaxProbes: *maxProbes,
+		SLO: gadget.SLO{
+			P99:             time.Duration(*sloP99 * float64(time.Millisecond)),
+			MaxOverloadFrac: *maxOverload,
+		},
+		Open: gadget.OpenLoopOptions{MaxInFlight: *maxInFlight, StallTimeout: *stall},
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Probes {
+		verdict := "FAIL"
+		if p.Pass {
+			verdict = "pass"
+		}
+		fmt.Printf("probe %10.0f ops/s  %s  ip99=%-10v overload=%.4f\n",
+			p.Rate, verdict, p.P99.Round(time.Microsecond), p.OverloadFrac)
+	}
+	if res.Sustainable <= 0 {
+		fmt.Printf("no sustainable rate at or above %.0f ops/s under the SLO\n", *low)
+		return nil
+	}
+	fmt.Printf("sustainable %.0f ops/s (p99 <= %.1fms, overload <= %.2f%%, %d probes)\n",
+		res.Sustainable, *sloP99, *maxOverload*100, len(res.Probes))
 	return nil
 }
 
@@ -288,4 +417,14 @@ func printResult(res gadget.Result) {
 	fmt.Printf("throughput %.0f ops/s\n", res.Throughput)
 	fmt.Printf("latency    mean=%.2fus p99=%.2fus p99.9=%.2fus\n",
 		res.MeanMicros(), res.P99Micros(), res.P999Micros())
+	if res.Offered > 0 {
+		fmt.Printf("open-loop  offered=%.0f/s achieved=%.0f/s overload=%d max_lag=%v\n",
+			res.OfferedRate, res.AchievedRate, res.Overload, res.MaxLag.Round(time.Microsecond))
+		if res.IntendedLatency != nil {
+			fmt.Printf("intended   p50=%.2fus p99=%.2fus p99.9=%.2fus (coordinated-omission-free)\n",
+				float64(res.IntendedLatency.Quantile(0.50))/1e3,
+				res.IntendedP99Micros(),
+				float64(res.IntendedLatency.Quantile(0.999))/1e3)
+		}
+	}
 }

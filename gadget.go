@@ -28,12 +28,14 @@ package gadget
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"gadget/internal/analysis"
 	"gadget/internal/config"
 	"gadget/internal/core"
 	"gadget/internal/datasets"
+	"gadget/internal/dist"
 	"gadget/internal/eventgen"
 	"gadget/internal/flinksim"
 	"gadget/internal/kv"
@@ -72,6 +74,23 @@ type (
 	OperatorStats = core.Stats
 	// ReplayOptions tunes the performance evaluator.
 	ReplayOptions = replay.Options
+	// OpenLoopOptions tunes the open-loop (coordinated-omission-free)
+	// replay driver: offered rate or arrival schedule, in-flight bound.
+	OpenLoopOptions = replay.OpenLoopOptions
+	// ArrivalSchedule generates interarrival gaps in nanoseconds for the
+	// open-loop driver (constant-rate, Poisson, burst phases).
+	ArrivalSchedule = dist.Schedule
+	// BurstPhase is one leg of a phased arrival schedule: a rate held
+	// for a duration of schedule time.
+	BurstPhase = dist.BurstPhase
+	// SLO is the pass criterion of a sustainable-rate search.
+	SLO = replay.SLO
+	// RateSearchOptions configures FindSustainableRate.
+	RateSearchOptions = replay.RateSearchOptions
+	// RateSearchResult is a sustainable-rate search outcome.
+	RateSearchResult = replay.RateSearchResult
+	// RateProbe records one probe of a sustainable-rate search.
+	RateProbe = replay.RateProbe
 	// Result carries throughput and latency measurements.
 	Result = replay.Result
 	// Event is one input stream element.
@@ -242,6 +261,19 @@ func (w *Workload) RunOnline(store Store, opts ReplayOptions) (Result, error) {
 	return res, applyErr
 }
 
+// RunOpenLoop generates the workload's state access stream, then
+// replays it under an open-loop arrival schedule (run.mode
+// "open_loop"): latency is measured from each event's intended arrival
+// time, so a stalling store is charged for the backlog it causes
+// instead of silently slowing the generator down.
+func (w *Workload) RunOpenLoop(store Store, opts OpenLoopOptions) (Result, error) {
+	tr, err := w.Generate()
+	if err != nil {
+		return Result{}, err
+	}
+	return replay.RunOpenLoop(store, tr, opts)
+}
+
 // CollectReferenceTrace executes the workload on the reference engine
 // (a real mini stream processor materializing state in memory) and
 // returns the ground-truth state access trace — what the paper collects
@@ -259,6 +291,35 @@ func (w *Workload) CollectReferenceTrace() ([]Access, error) {
 func Replay(store Store, accesses []Access, opts ReplayOptions) (Result, error) {
 	return replay.Run(store, accesses, opts)
 }
+
+// ReplayOpenLoop replays a materialized trace under an open-loop
+// arrival schedule: events are dispatched at their intended arrival
+// times regardless of store progress, and latency is measured from the
+// intended arrival — the coordinated-omission-free view. The final
+// store state is identical to a closed-loop Replay of the same trace.
+func ReplayOpenLoop(store Store, accesses []Access, opts OpenLoopOptions) (Result, error) {
+	return replay.RunOpenLoop(store, accesses, opts)
+}
+
+// FindSustainableRate searches for the maximum offered rate at which
+// store meets the SLO on the trace, probing with open-loop runs
+// (bracket then bisect; see replay.FindSustainableRate).
+func FindSustainableRate(store Store, accesses []Access, opts RateSearchOptions) (RateSearchResult, error) {
+	return replay.FindSustainableRate(store, accesses, opts)
+}
+
+// ConstantArrivals returns a deterministic arrival schedule at
+// ratePerSec events/second.
+func ConstantArrivals(ratePerSec float64) ArrivalSchedule { return dist.NewConstantRate(ratePerSec) }
+
+// PoissonArrivals returns a seeded Poisson arrival schedule at a mean
+// of ratePerSec events/second.
+func PoissonArrivals(ratePerSec float64, seed int64) ArrivalSchedule {
+	return dist.NewPoissonRate(ratePerSec, rand.New(rand.NewSource(seed)))
+}
+
+// BurstArrivals returns a cycling phased arrival schedule.
+func BurstArrivals(phases []BurstPhase) (ArrivalSchedule, error) { return dist.NewBursts(phases) }
 
 // ReplayConcurrent replays several traces concurrently against one
 // shared store (the paper's concurrent-operators scenario).

@@ -7,12 +7,15 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
 	"gadget/internal/core"
 	"gadget/internal/datasets"
 	"gadget/internal/dist"
 	"gadget/internal/eventgen"
+	"gadget/internal/replay"
 	"gadget/internal/stores"
 )
 
@@ -70,15 +73,35 @@ type SourceConfig struct {
 	// overriding key_dist.
 	ECDFKeys    []uint64  `json:"ecdf_keys"`
 	ECDFWeights []float64 `json:"ecdf_weights"`
+	// Hotspot tuning for key_dist "hotspot" and "drifting_hotspot":
+	// HotFrac of the keys receive HotProb of the accesses (0 = the 0.2 /
+	// 0.8 defaults). For "drifting_hotspot" the hot window additionally
+	// re-centers every DriftEvery samples (0 = 10000), advancing by
+	// DriftStep keys, or jumping to a seeded random position when
+	// DriftStep is 0.
+	HotFrac    float64 `json:"hot_frac"`
+	HotProb    float64 `json:"hot_prob"`
+	DriftEvery uint64  `json:"drift_every"`
+	DriftStep  uint64  `json:"drift_step"`
 	// Watermarking.
 	WatermarkEvery   int   `json:"watermark_every"`
 	WatermarkSlackMs int64 `json:"watermark_slack_ms"`
 }
 
+// BurstConfig is one phase of an open-loop burst schedule.
+type BurstConfig struct {
+	// RatePerSec is the phase's arrival rate in events/second.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// DurationMs is the phase length in milliseconds of schedule time.
+	DurationMs int64 `json:"duration_ms"`
+}
+
 // RunConfig describes what to do with the generated workload.
 type RunConfig struct {
-	// Mode is "online" (drive the store while generating) or "offline"
-	// (write a trace file for later replay).
+	// Mode is "online" (drive the store while generating), "offline"
+	// (write a trace file for later replay), or "open_loop" (generate
+	// the trace, then replay it under an open-loop arrival schedule with
+	// coordinated-omission-free latency accounting).
 	Mode string `json:"mode"`
 	// TracePath is the trace file for offline mode and replays.
 	TracePath string `json:"trace_path"`
@@ -90,6 +113,24 @@ type RunConfig struct {
 	// progress for this long is aborted and returns its partial result
 	// tagged degraded (0 = watchdog off).
 	StallTimeoutMs int64 `json:"stall_timeout_ms"`
+
+	// Open-loop mode settings (run.mode = "open_loop").
+
+	// Rate is the offered arrival rate in events/second. Required in
+	// open_loop mode unless Bursts is set.
+	Rate float64 `json:"rate"`
+	// Arrival shapes the interarrival gaps: "constant" (default) or
+	// "poisson" (seeded from source.seed).
+	Arrival string `json:"arrival"`
+	// Bursts, when non-empty, replaces Rate/Arrival with a cycling
+	// phased schedule.
+	Bursts []BurstConfig `json:"bursts"`
+	// MaxInFlight bounds the dispatch queue (0 = the replay default);
+	// events that find it full are counted as overload, not dropped.
+	MaxInFlight int `json:"max_in_flight"`
+	// SLOP99Ms, when positive, declares the intended-arrival p99
+	// objective the run is judged against (reported, not enforced).
+	SLOP99Ms float64 `json:"slo_p99_ms"`
 }
 
 // Load reads and validates a configuration file.
@@ -167,8 +208,32 @@ func (c *Config) Validate() error {
 		if c.Run.TracePath == "" {
 			return fmt.Errorf("config: offline mode requires run.trace_path")
 		}
+	case "open_loop":
+		if c.Run.Rate <= 0 && len(c.Run.Bursts) == 0 {
+			return fmt.Errorf("config: open_loop mode requires run.rate or run.bursts")
+		}
 	default:
 		return fmt.Errorf("config: unknown run mode %q", c.Run.Mode)
+	}
+	switch c.Run.Arrival {
+	case "", "constant":
+	case "poisson":
+	default:
+		return fmt.Errorf("config: unknown run.arrival %q (want constant or poisson)", c.Run.Arrival)
+	}
+	if c.Run.Rate < 0 {
+		return fmt.Errorf("config: run.rate must be non-negative, got %v", c.Run.Rate)
+	}
+	if c.Run.MaxInFlight < 0 {
+		return fmt.Errorf("config: run.max_in_flight must be non-negative, got %d", c.Run.MaxInFlight)
+	}
+	if c.Run.SLOP99Ms < 0 {
+		return fmt.Errorf("config: run.slo_p99_ms must be non-negative, got %v", c.Run.SLOP99Ms)
+	}
+	if len(c.Run.Bursts) > 0 {
+		if _, err := c.burstSchedule(); err != nil {
+			return err
+		}
 	}
 	if c.Run.ServiceRate < 0 {
 		return fmt.Errorf("config: run.service_rate must be non-negative, got %v", c.Run.ServiceRate)
@@ -232,6 +297,10 @@ func (c *Config) buildSource(join bool) (eventgen.Source, error) {
 			StartEndPairs:   pairs,
 			ECDFKeys:        c.Source.ECDFKeys,
 			ECDFWeights:     c.Source.ECDFWeights,
+			HotFrac:         c.Source.HotFrac,
+			HotProb:         c.Source.HotProb,
+			DriftEvery:      c.Source.DriftEvery,
+			DriftStep:       c.Source.DriftStep,
 		})
 		if err != nil {
 			return nil, err
@@ -255,4 +324,43 @@ func (c *Config) buildSource(join bool) (eventgen.Source, error) {
 // BuildOperator constructs the configured operator.
 func (c *Config) BuildOperator() (core.Operator, error) {
 	return core.New(c.Operator)
+}
+
+// burstSchedule builds the configured burst schedule.
+func (c *Config) burstSchedule() (*dist.BurstSchedule, error) {
+	phases := make([]dist.BurstPhase, len(c.Run.Bursts))
+	for i, b := range c.Run.Bursts {
+		phases[i] = dist.BurstPhase{
+			RatePerSec: b.RatePerSec,
+			Duration:   time.Duration(b.DurationMs) * time.Millisecond,
+		}
+	}
+	sched, err := dist.NewBursts(phases)
+	if err != nil {
+		return nil, fmt.Errorf("config: run.bursts: %w", err)
+	}
+	return sched, nil
+}
+
+// OpenLoopOptions assembles the open-loop replay options the run
+// section describes (run.mode = "open_loop"). The Poisson arrival
+// schedule is seeded from source.seed, so a fixed config replays the
+// identical intended-arrival timeline.
+func (c *Config) OpenLoopOptions() (replay.OpenLoopOptions, error) {
+	o := replay.OpenLoopOptions{
+		Rate:         c.Run.Rate,
+		MaxInFlight:  c.Run.MaxInFlight,
+		SampleEvery:  c.Run.SampleEvery,
+		StallTimeout: time.Duration(c.Run.StallTimeoutMs) * time.Millisecond,
+	}
+	if len(c.Run.Bursts) > 0 {
+		sched, err := c.burstSchedule()
+		if err != nil {
+			return o, err
+		}
+		o.Arrivals = sched
+	} else if c.Run.Arrival == "poisson" {
+		o.Arrivals = dist.NewPoissonRate(c.Run.Rate, rand.New(rand.NewSource(c.Source.Seed)))
+	}
+	return o, nil
 }

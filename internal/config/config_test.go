@@ -1,11 +1,14 @@
 package config
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"gadget/internal/core"
+	"gadget/internal/dist"
 	"gadget/internal/eventgen"
 )
 
@@ -155,5 +158,140 @@ func TestBuildOperator(t *testing.T) {
 	op, err := c.BuildOperator()
 	if err != nil || op.Type() != core.Aggregation {
 		t.Fatalf("op = %v, %v", op, err)
+	}
+}
+
+func TestOpenLoopModeValidation(t *testing.T) {
+	good := []string{
+		`{"run": {"mode": "open_loop", "rate": 1000}}`,
+		`{"run": {"mode": "open_loop", "rate": 1000, "arrival": "poisson"}}`,
+		`{"run": {"mode": "open_loop", "bursts": [{"rate_per_sec": 100, "duration_ms": 50}]}}`,
+		`{"run": {"mode": "open_loop", "rate": 500, "max_in_flight": 64, "slo_p99_ms": 10}}`,
+	}
+	for _, doc := range good {
+		if _, err := Parse([]byte(doc)); err != nil {
+			t.Fatalf("doc %q should parse: %v", doc, err)
+		}
+	}
+	bad := []string{
+		// open_loop needs a rate or bursts.
+		`{"run": {"mode": "open_loop"}}`,
+		`{"run": {"mode": "open_loop", "rate": -5}}`,
+		`{"run": {"mode": "open_loop", "rate": 100, "arrival": "uniform"}}`,
+		`{"run": {"mode": "open_loop", "rate": 100, "max_in_flight": -1}}`,
+		`{"run": {"mode": "open_loop", "rate": 100, "slo_p99_ms": -1}}`,
+		// bursts validated through dist.NewBursts.
+		`{"run": {"mode": "open_loop", "bursts": [{"rate_per_sec": 0, "duration_ms": 50}]}}`,
+		`{"run": {"mode": "open_loop", "bursts": [{"rate_per_sec": 100, "duration_ms": 0}]}}`,
+	}
+	for _, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("doc %q should fail", doc)
+		}
+	}
+}
+
+func TestOpenLoopOptionsBuilder(t *testing.T) {
+	// Constant arrivals: Rate carries the schedule, Arrivals stays nil so
+	// replay builds its own constant pacer.
+	c, err := Parse([]byte(`{"run": {
+		"mode": "open_loop", "rate": 2000, "max_in_flight": 32,
+		"sample_every": 4, "stall_timeout_ms": 1500, "slo_p99_ms": 5
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.OpenLoopOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rate != 2000 || o.Arrivals != nil || o.MaxInFlight != 32 ||
+		o.SampleEvery != 4 || o.StallTimeout != 1500*time.Millisecond {
+		t.Fatalf("options = %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("built options should validate: %v", err)
+	}
+
+	// Poisson arrivals are seeded from source.seed: same config, same
+	// intended-arrival timeline.
+	doc := `{"source": {"seed": 7}, "run": {"mode": "open_loop", "rate": 1000, "arrival": "poisson"}}`
+	c, _ = Parse([]byte(doc))
+	o, err = c.OpenLoopOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := o.Arrivals.(*dist.PoissonRate)
+	if !ok {
+		t.Fatalf("poisson arrivals = %T", o.Arrivals)
+	}
+	c2, _ := Parse([]byte(doc))
+	o2, _ := c2.OpenLoopOptions()
+	p2 := o2.Arrivals.(*dist.PoissonRate)
+	for i := 0; i < 100; i++ {
+		if g1, g2 := p.NextGapNs(), p2.NextGapNs(); g1 != g2 {
+			t.Fatalf("gap %d differs: %d vs %d", i, g1, g2)
+		}
+	}
+
+	// Bursts override rate/arrival with a cycling phased schedule.
+	c, _ = Parse([]byte(`{"run": {"mode": "open_loop", "bursts": [
+		{"rate_per_sec": 100, "duration_ms": 10},
+		{"rate_per_sec": 1000, "duration_ms": 5}
+	]}}`))
+	o, err = c.OpenLoopOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o.Arrivals.(*dist.BurstSchedule); !ok {
+		t.Fatalf("burst arrivals = %T", o.Arrivals)
+	}
+}
+
+func TestBuildSourceDriftingHotspot(t *testing.T) {
+	// Drift tuning parameters must reach the generator: two sources that
+	// differ only in drift_every diverge once the first window re-centers.
+	mk := func(every uint64) []uint64 {
+		doc := fmt.Sprintf(`{"source": {
+			"events": 400, "keys": 10000, "key_dist": "drifting_hotspot",
+			"hot_frac": 0.01, "hot_prob": 0.99, "drift_every": %d, "seed": 3
+		}}`, every)
+		c, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := c.BuildSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []uint64
+		for {
+			it, ok := src.Next()
+			if !ok {
+				break
+			}
+			if it.Kind == eventgen.ItemEvent {
+				keys = append(keys, it.Event.Key)
+			}
+		}
+		return keys
+	}
+	a, b, c := mk(50), mk(50), mk(100000)
+	if len(a) != 400 {
+		t.Fatalf("events = %d", len(a))
+	}
+	same := func(x, y []uint64) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("identical configs should generate identical key sequences")
+	}
+	if same(a, c) {
+		t.Fatal("different drift_every should diverge after the first window")
 	}
 }

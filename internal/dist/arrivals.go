@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Schedule generates interarrival gaps in nanoseconds — the
+// high-resolution twin of Interarrival (milliseconds, used by the event
+// generator's event-time clock). The open-loop replay driver paces
+// dispatch on a Schedule: millisecond granularity would quantize every
+// rate above 1k events/s to zero-length gaps, so wall-clock pacing needs
+// nanoseconds. Schedules are deterministic given their seed and NOT safe
+// for concurrent use.
+type Schedule interface {
+	// NextGapNs returns the gap to the next arrival in nanoseconds.
+	NextGapNs() int64
+}
+
+// ConstantRate produces fixed gaps: a deterministic arrival process at
+// exactly ratePerSec events/second.
+type ConstantRate struct{ gapNs int64 }
+
+// NewConstantRate returns constant arrivals at ratePerSec events/second.
+// Non-positive rates default to 1 event/s; gaps clamp at 1ns, so rates
+// beyond 1e9/s degenerate to back-to-back dispatch.
+func NewConstantRate(ratePerSec float64) *ConstantRate {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	g := int64(float64(time.Second) / ratePerSec)
+	if g < 1 {
+		g = 1
+	}
+	return &ConstantRate{gapNs: g}
+}
+
+// NextGapNs implements Schedule.
+func (c *ConstantRate) NextGapNs() int64 { return c.gapNs }
+
+// PoissonRate produces exponentially distributed gaps with mean rate
+// ratePerSec — a Poisson arrival process, the memoryless load shape of
+// independent request sources.
+type PoissonRate struct {
+	meanGapNs float64
+	rng       *rand.Rand
+}
+
+// NewPoissonRate returns Poisson arrivals at ratePerSec events/second.
+// Non-positive rates default to 1 event/s.
+func NewPoissonRate(ratePerSec float64, rng *rand.Rand) *PoissonRate {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	return &PoissonRate{meanGapNs: float64(time.Second) / ratePerSec, rng: rng}
+}
+
+// NextGapNs implements Schedule.
+func (p *PoissonRate) NextGapNs() int64 {
+	g := int64(p.rng.ExpFloat64() * p.meanGapNs)
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// BurstPhase is one leg of a phased arrival schedule: RatePerSec held
+// for Duration of schedule time.
+type BurstPhase struct {
+	RatePerSec float64
+	Duration   time.Duration
+}
+
+// BurstSchedule cycles through phases deterministically. Within a phase
+// gaps are constant at the phase rate; the phase hands over once exactly
+// Duration of *scheduled* time has been emitted, so phase boundaries
+// land at the configured offsets independent of wall-clock behavior (a
+// gap straddling a boundary borrows the overshoot from the next phase's
+// budget). After the last phase the schedule wraps to the first.
+type BurstSchedule struct {
+	phases []BurstPhase
+	i      int
+	leftNs int64 // schedule time remaining in the current phase
+}
+
+// NewBursts validates phases and returns the cycling schedule.
+func NewBursts(phases []BurstPhase) (*BurstSchedule, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("dist: burst schedule needs at least one phase")
+	}
+	for i, p := range phases {
+		if p.RatePerSec <= 0 {
+			return nil, fmt.Errorf("dist: burst phase %d rate must be positive, got %v", i, p.RatePerSec)
+		}
+		if p.Duration <= 0 {
+			return nil, fmt.Errorf("dist: burst phase %d duration must be positive, got %v", i, p.Duration)
+		}
+	}
+	return &BurstSchedule{
+		phases: append([]BurstPhase(nil), phases...),
+		leftNs: phases[0].Duration.Nanoseconds(),
+	}, nil
+}
+
+// Phase returns the index of the phase the next gap will be drawn from.
+func (b *BurstSchedule) Phase() int { return b.i }
+
+// NextGapNs implements Schedule.
+func (b *BurstSchedule) NextGapNs() int64 {
+	p := b.phases[b.i]
+	g := int64(float64(time.Second) / p.RatePerSec)
+	if g < 1 {
+		g = 1
+	}
+	b.leftNs -= g
+	for b.leftNs <= 0 {
+		b.i = (b.i + 1) % len(b.phases)
+		b.leftNs += b.phases[b.i].Duration.Nanoseconds()
+	}
+	return g
+}

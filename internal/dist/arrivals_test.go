@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConstantRateExactGaps(t *testing.T) {
+	c := NewConstantRate(1000) // 1ms gaps
+	for i := 0; i < 10; i++ {
+		if g := c.NextGapNs(); g != int64(time.Millisecond) {
+			t.Fatalf("gap %d = %dns, want 1ms", i, g)
+		}
+	}
+	if NewConstantRate(2e9).NextGapNs() != 1 {
+		t.Fatal("gap should clamp at 1ns")
+	}
+	if NewConstantRate(0).NextGapNs() != int64(time.Second) {
+		t.Fatal("non-positive rate should default to 1 event/s")
+	}
+}
+
+func TestPoissonRateDeterministic(t *testing.T) {
+	a := NewPoissonRate(5000, rand.New(rand.NewSource(7)))
+	b := NewPoissonRate(5000, rand.New(rand.NewSource(7)))
+	other := NewPoissonRate(5000, rand.New(rand.NewSource(8)))
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		ga := a.NextGapNs()
+		if ga < 0 {
+			t.Fatal("negative gap")
+		}
+		if ga != b.NextGapNs() {
+			same = false
+		}
+		if ga != other.NextGapNs() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("fixed seed must reproduce the identical gap sequence")
+	}
+	if !diff {
+		t.Fatal("different seeds should produce different sequences")
+	}
+}
+
+func TestPoissonRateMean(t *testing.T) {
+	n := 200_000
+	if testing.Short() {
+		n = 20_000
+	}
+	p := NewPoissonRate(10_000, rand.New(rand.NewSource(3))) // mean gap 100us
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += p.NextGapNs()
+	}
+	mean := float64(sum) / float64(n)
+	want := float64(100 * time.Microsecond)
+	if mean < 0.95*want || mean > 1.05*want {
+		t.Fatalf("mean gap = %.0fns, want ~%.0fns", mean, want)
+	}
+}
+
+func TestBurstsPhaseBoundariesExact(t *testing.T) {
+	// 10ms at 1k/s (1ms gaps) then 5ms at 10k/s (100us gaps), cycling.
+	b, err := NewBursts([]BurstPhase{
+		{RatePerSec: 1000, Duration: 10 * time.Millisecond},
+		{RatePerSec: 10_000, Duration: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 10; i++ {
+			if b.Phase() != 0 {
+				t.Fatalf("cycle %d event %d drawn from phase %d, want 0", cycle, i, b.Phase())
+			}
+			if g := b.NextGapNs(); g != int64(time.Millisecond) {
+				t.Fatalf("phase-0 gap = %dns", g)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if b.Phase() != 1 {
+				t.Fatalf("cycle %d burst event %d drawn from phase %d, want 1", cycle, i, b.Phase())
+			}
+			if g := b.NextGapNs(); g != int64(100*time.Microsecond) {
+				t.Fatalf("phase-1 gap = %dns", g)
+			}
+		}
+	}
+}
+
+func TestBurstsStraddlingGapBorrows(t *testing.T) {
+	// Phase 0 is shorter than one of its gaps: the first gap must borrow
+	// from (and skip into) the following phases without emitting a
+	// zero-length phase or looping forever.
+	b, err := NewBursts([]BurstPhase{
+		{RatePerSec: 100, Duration: time.Millisecond}, // 10ms gap > 1ms phase
+		{RatePerSec: 1000, Duration: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := b.NextGapNs(); g != int64(10*time.Millisecond) {
+		t.Fatalf("first gap = %dns", g)
+	}
+	if b.Phase() != 1 {
+		t.Fatalf("phase after straddling gap = %d, want 1", b.Phase())
+	}
+}
+
+func TestBurstsValidation(t *testing.T) {
+	cases := [][]BurstPhase{
+		nil,
+		{{RatePerSec: 0, Duration: time.Second}},
+		{{RatePerSec: -5, Duration: time.Second}},
+		{{RatePerSec: 100, Duration: 0}},
+	}
+	for i, phases := range cases {
+		if _, err := NewBursts(phases); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestScheduleMeanRate(t *testing.T) {
+	// Statistical sanity across schedule kinds: emitted schedule time for
+	// n events must match n/rate within tolerance.
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	bursts, err := NewBursts([]BurstPhase{
+		{RatePerSec: 50_000, Duration: 10 * time.Millisecond},
+		{RatePerSec: 50_000, Duration: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Schedule{
+		"constant": NewConstantRate(50_000),
+		"poisson":  NewPoissonRate(50_000, rand.New(rand.NewSource(11))),
+		"bursts":   bursts,
+	} {
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum += s.NextGapNs()
+		}
+		want := float64(n) / 50_000 * float64(time.Second)
+		if got := float64(sum); got < 0.93*want || got > 1.07*want {
+			t.Errorf("%s: %d events span %.2fms of schedule time, want ~%.2fms",
+				name, n, got/1e6, want/1e6)
+		}
+	}
+}

@@ -33,11 +33,14 @@ const (
 	Sequential  Kind = "sequential"
 	Exponential Kind = "exponential"
 	Latest      Kind = "latest"
+	// Drifting is a hotspot whose hot set re-centers on a fixed sample
+	// schedule (time-varying skew; see DriftingHotspotSource).
+	Drifting Kind = "drifting_hotspot"
 )
 
 // Kinds lists every built-in distribution kind.
 func Kinds() []Kind {
-	return []Kind{Uniform, Zipfian, Scrambled, Hotspot, Sequential, Exponential, Latest}
+	return []Kind{Uniform, Zipfian, Scrambled, Hotspot, Sequential, Exponential, Latest, Drifting}
 }
 
 // New constructs a Source of the given kind over [0, n) using default
@@ -60,6 +63,8 @@ func New(kind Kind, n uint64, rng *rand.Rand) (Source, error) {
 		return NewExponential(n, 0.95, 0.10, rng), nil
 	case Latest:
 		return NewLatest(n, rng), nil
+	case Drifting:
+		return NewDriftingHotspot(n, DefaultDriftHotFrac, DefaultDriftHotProb, DefaultDriftEvery, 0, rng)
 	default:
 		return nil, fmt.Errorf("dist: unknown distribution %q", kind)
 	}

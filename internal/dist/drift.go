@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Default drifting-hotspot parameters, used when the kind is selected by
+// name without explicit tuning: YCSB's 20%-of-keys/80%-of-accesses
+// hotspot, re-centered by a seeded random jump every 10k samples.
+const (
+	DefaultDriftHotFrac = 0.2
+	DefaultDriftHotProb = 0.8
+	DefaultDriftEvery   = 10_000
+)
+
+// DriftingHotspotSource is a hotspot distribution whose hot set
+// re-centers on a fixed sample schedule — the time-varying skew that
+// static key distributions miss: a store tuned to one hot region
+// (cached blocks, memtable residency) is forced to re-warm when the
+// hotspot moves mid-run. Every `every` samples the hot window of hotN
+// keys advances by `step` positions (wrapping), or jumps to a seeded
+// random position when step is 0. Phase boundaries are exact: sample
+// indexes [k*every, (k+1)*every) are drawn from the k-th window.
+type DriftingHotspotSource struct {
+	n       uint64
+	hotN    uint64
+	hotProb float64
+	every   uint64
+	step    uint64
+	count   uint64
+	start   uint64
+	rng     *rand.Rand
+}
+
+// NewDriftingHotspot returns a drifting hotspot Source over [0, n):
+// hotFrac of the keys receive hotProb of the accesses, and the hot
+// window re-centers every `every` samples (by step positions, or a
+// seeded random jump when step is 0).
+func NewDriftingHotspot(n uint64, hotFrac, hotProb float64, every, step uint64, rng *rand.Rand) (*DriftingHotspotSource, error) {
+	if n == 0 {
+		n = 1
+	}
+	if hotFrac <= 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("dist: drifting hotspot hot fraction %v outside (0,1]", hotFrac)
+	}
+	if hotProb < 0 || hotProb > 1 {
+		return nil, fmt.Errorf("dist: drifting hotspot hot probability %v outside [0,1]", hotProb)
+	}
+	if every == 0 {
+		return nil, fmt.Errorf("dist: drifting hotspot drift interval must be positive")
+	}
+	hotN := uint64(float64(n) * hotFrac)
+	if hotN == 0 {
+		hotN = 1
+	}
+	if hotN > n {
+		hotN = n
+	}
+	return &DriftingHotspotSource{n: n, hotN: hotN, hotProb: hotProb, every: every, step: step, rng: rng}, nil
+}
+
+// HotStart returns the current hot window's first key index (the window
+// is [HotStart, HotStart+HotN) modulo N).
+func (d *DriftingHotspotSource) HotStart() uint64 { return d.start }
+
+// HotN returns the hot window size in keys.
+func (d *DriftingHotspotSource) HotN() uint64 { return d.hotN }
+
+// Phase returns how many drifts have occurred so far (the window the
+// most recent sample was drawn from; drifts apply at the start of the
+// first sample of each new phase).
+func (d *DriftingHotspotSource) Phase() uint64 {
+	if d.count == 0 {
+		return 0
+	}
+	return (d.count - 1) / d.every
+}
+
+// Next implements Source.
+func (d *DriftingHotspotSource) Next() uint64 {
+	if d.count > 0 && d.count%d.every == 0 {
+		d.drift()
+	}
+	d.count++
+	if d.hotN == d.n || d.rng.Float64() < d.hotProb {
+		return (d.start + uint64(d.rng.Int63n(int64(d.hotN)))) % d.n
+	}
+	// Cold: uniform over the n-hotN keys outside the window, addressed
+	// relative to the window's end so the split stays exact under wrap.
+	off := uint64(d.rng.Int63n(int64(d.n - d.hotN)))
+	return (d.start + d.hotN + off) % d.n
+}
+
+// N implements Source.
+func (d *DriftingHotspotSource) N() uint64 { return d.n }
+
+// drift re-centers the hot window. The jump draws from the same seeded
+// rng as sampling, so a fixed seed replays the identical drift path.
+func (d *DriftingHotspotSource) drift() {
+	if d.step > 0 {
+		d.start = (d.start + d.step) % d.n
+		return
+	}
+	d.start = uint64(d.rng.Int63n(int64(d.n)))
+}

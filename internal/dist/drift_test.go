@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDriftingHotspotDeterministic(t *testing.T) {
+	mk := func(seed int64) *DriftingHotspotSource {
+		d, err := NewDriftingHotspot(1000, 0.2, 0.8, 500, 0, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b, other := mk(42), mk(42), mk(43)
+	same, diff := true, false
+	for i := 0; i < 5000; i++ {
+		va := a.Next()
+		if va >= 1000 {
+			t.Fatalf("out-of-range sample %d", va)
+		}
+		if va != b.Next() {
+			same = false
+		}
+		if va != other.Next() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("fixed seed must replay the identical sequence (samples and drift path)")
+	}
+	if !diff {
+		t.Fatal("different seeds should diverge")
+	}
+	if a.HotStart() != b.HotStart() {
+		t.Fatal("drift path must be seed-deterministic")
+	}
+}
+
+func TestDriftBoundariesExact(t *testing.T) {
+	// With a step drift, the window start must be k*step during samples
+	// [k*every, (k+1)*every) — boundaries land exactly where configured.
+	const every, step, n = 1000, 100, 10_000
+	d, err := NewDriftingHotspot(n, 0.1, 0.9, every, step, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5*every; i++ {
+		d.Next()
+		k := uint64(i) / every // phase of sample i (drift happens before sampling)
+		if want := (k * step) % n; d.HotStart() != want {
+			t.Fatalf("after sample %d: hot start %d, want %d", i, d.HotStart(), want)
+		}
+		if d.Phase() != k {
+			t.Fatalf("after sample %d: phase %d, want %d", i, d.Phase(), k)
+		}
+	}
+}
+
+func TestDriftingHotspotSkewPerPhase(t *testing.T) {
+	// In every phase, ~hotProb of samples must land inside the current
+	// (moving) hot window.
+	perPhase := 20_000
+	if testing.Short() {
+		perPhase = 5000
+	}
+	const n, hotFrac, hotProb = 10_000, 0.1, 0.9
+	d, err := NewDriftingHotspot(n, hotFrac, hotProb, uint64(perPhase), 3333, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for phase := 0; phase < 3; phase++ {
+		hot := 0
+		for i := 0; i < perPhase; i++ {
+			v := d.Next()
+			start, hotN := d.HotStart(), d.HotN()
+			if (v-start)%n < hotN { // window membership under wraparound
+				hot++
+			}
+		}
+		frac := float64(hot) / float64(perPhase)
+		if frac < hotProb-0.05 || frac > hotProb+0.05 {
+			t.Errorf("phase %d hot fraction = %v, want ~%v", phase, frac, hotProb)
+		}
+	}
+}
+
+func TestDriftingHotspotRandomJump(t *testing.T) {
+	d, err := NewDriftingHotspot(1_000_000, 0.01, 0.99, 100, 0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[uint64]bool{d.HotStart(): true}
+	for i := 0; i < 1000; i++ {
+		d.Next()
+		starts[d.HotStart()] = true
+	}
+	// 10 drifts over a million-key domain: random jumps should visit
+	// many distinct positions.
+	if len(starts) < 5 {
+		t.Fatalf("random jumps visited only %d positions", len(starts))
+	}
+}
+
+func TestDriftingHotspotValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := NewDriftingHotspot(100, 0, 0.8, 10, 0, r); err == nil {
+		t.Error("zero hot fraction should be rejected")
+	}
+	if _, err := NewDriftingHotspot(100, 1.5, 0.8, 10, 0, r); err == nil {
+		t.Error("hot fraction > 1 should be rejected")
+	}
+	if _, err := NewDriftingHotspot(100, 0.2, 1.5, 10, 0, r); err == nil {
+		t.Error("hot probability > 1 should be rejected")
+	}
+	if _, err := NewDriftingHotspot(100, 0.2, 0.8, 0, 0, r); err == nil {
+		t.Error("zero drift interval should be rejected")
+	}
+	// Whole domain hot must not panic on the cold branch.
+	d, err := NewDriftingHotspot(10, 1.0, 0.5, 10, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if d.Next() >= 10 {
+			t.Fatal("out of range")
+		}
+	}
+}

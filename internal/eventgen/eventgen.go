@@ -121,6 +121,16 @@ type Config struct {
 	// each key alternates between opening and closing a validity
 	// interval (used by continuous joins).
 	StartEndPairs bool
+	// HotFrac/HotProb tune the "hotspot" and "drifting_hotspot" key
+	// distributions: HotFrac of the keys receive HotProb of the accesses
+	// (0 = the 0.2 / 0.8 defaults).
+	HotFrac float64
+	HotProb float64
+	// DriftEvery re-centers a drifting hotspot's hot window every this
+	// many samples (0 = 10000); DriftStep advances it by that many keys,
+	// or 0 jumps to a seeded random position.
+	DriftEvery uint64
+	DriftStep  uint64
 }
 
 // Synthetic generates events on the fly according to a Config.
@@ -163,6 +173,24 @@ func NewSynthetic(cfg Config) (*Synthetic, error) {
 			return nil, cerr
 		}
 		keys, err = dist.NewECDF(cfg.ECDFKeys, cum, rng)
+	} else if tuned := cfg.HotFrac != 0 || cfg.HotProb != 0 || cfg.DriftEvery != 0 || cfg.DriftStep != 0; tuned &&
+		(cfg.KeyDist == dist.Hotspot || cfg.KeyDist == dist.Drifting) {
+		hotFrac, hotProb := cfg.HotFrac, cfg.HotProb
+		if hotFrac == 0 {
+			hotFrac = dist.DefaultDriftHotFrac
+		}
+		if hotProb == 0 {
+			hotProb = dist.DefaultDriftHotProb
+		}
+		if cfg.KeyDist == dist.Hotspot {
+			keys = dist.NewHotspot(cfg.Keys, hotFrac, hotProb, rng)
+		} else {
+			every := cfg.DriftEvery
+			if every == 0 {
+				every = dist.DefaultDriftEvery
+			}
+			keys, err = dist.NewDriftingHotspot(cfg.Keys, hotFrac, hotProb, every, cfg.DriftStep, rng)
+		}
 	} else {
 		keys, err = dist.New(cfg.KeyDist, cfg.Keys, rng)
 	}

@@ -39,6 +39,17 @@ type ResultSummary struct {
 	P999Micros      float64              `json:"p999_us"`
 	MaxMicros       float64              `json:"max_us"`
 	PerOp           map[string]OpSummary `json:"per_op,omitempty"`
+	// Open-loop fields, present only for open-loop runs: offered vs
+	// achieved rate, overload count, worst dispatch lag, and the
+	// coordinated-omission-free (intended-arrival) latency percentiles.
+	Offered            uint64  `json:"offered,omitempty"`
+	Overload           uint64  `json:"overload,omitempty"`
+	OfferedRate        float64 `json:"offered_rate,omitempty"`
+	AchievedRate       float64 `json:"achieved_rate,omitempty"`
+	MaxLagMs           float64 `json:"max_lag_ms,omitempty"`
+	IntendedP50Micros  float64 `json:"intended_p50_us,omitempty"`
+	IntendedP99Micros  float64 `json:"intended_p99_us,omitempty"`
+	IntendedP999Micros float64 `json:"intended_p999_us,omitempty"`
 }
 
 // Summarize projects a replay.Result into its report form.
@@ -63,6 +74,18 @@ func Summarize(res replay.Result) ResultSummary {
 		s.P99Micros = res.P99Micros()
 		s.P999Micros = res.P999Micros()
 		s.MaxMicros = float64(res.Latency.Max()) / 1e3
+	}
+	if res.Offered > 0 {
+		s.Offered = res.Offered
+		s.Overload = res.Overload
+		s.OfferedRate = res.OfferedRate
+		s.AchievedRate = res.AchievedRate
+		s.MaxLagMs = float64(res.MaxLag.Nanoseconds()) / 1e6
+	}
+	if res.IntendedLatency != nil {
+		s.IntendedP50Micros = float64(res.IntendedLatency.Quantile(0.50)) / 1e3
+		s.IntendedP99Micros = res.IntendedP99Micros()
+		s.IntendedP999Micros = float64(res.IntendedLatency.Quantile(0.999)) / 1e3
 	}
 	for i, h := range res.PerOp {
 		if h == nil || h.Count() == 0 {

@@ -24,6 +24,17 @@ type Sample struct {
 	P99Micros   float64 `json:"p99_us"`
 	P999Micros  float64 `json:"p999_us"`
 	Errors      uint64  `json:"errors"`
+	// Open-loop fields, present only for open-loop runs: cumulative
+	// offered events, the offered events and rate over the last interval
+	// (offered vs Throughput is the per-interval offered-vs-achieved
+	// comparison), overload count, worst dispatch lag, and the
+	// intended-arrival p99.
+	Offered           uint64  `json:"offered,omitempty"`
+	IntervalOffered   uint64  `json:"interval_offered,omitempty"`
+	OfferedRate       float64 `json:"offered_rate,omitempty"`
+	Overload          uint64  `json:"overload,omitempty"`
+	MaxLagMs          float64 `json:"max_lag_ms,omitempty"`
+	IntendedP99Micros float64 `json:"intended_p99_us,omitempty"`
 	// Engine is the store's introspection delta since run start (nil for
 	// non-introspectable stores).
 	Engine map[string]int64 `json:"engine,omitempty"`
@@ -55,10 +66,11 @@ type Sampler struct {
 	stop  chan struct{}
 	done  chan struct{}
 
-	mu       sync.Mutex
-	series   []Sample
-	lastOps  uint64
-	lastTime time.Time
+	mu          sync.Mutex
+	series      []Sample
+	lastOps     uint64
+	lastOffered uint64
+	lastTime    time.Time
 
 	gOps  *Gauge
 	gThr  *GaugeFloat
@@ -122,10 +134,22 @@ func (s *Sampler) observe(res replay.Result) Sample {
 		Errors:      res.Errors,
 		Engine:      res.Engine,
 	}
-	if dt := now.Sub(s.lastTime).Seconds(); dt > 0 {
+	dt := now.Sub(s.lastTime).Seconds()
+	if dt > 0 {
 		smp.Throughput = float64(smp.IntervalOps) / dt
 	}
+	if res.Offered > 0 {
+		smp.Offered = res.Offered
+		smp.IntervalOffered = res.Offered - s.lastOffered
+		smp.Overload = res.Overload
+		smp.MaxLagMs = float64(res.MaxLag.Nanoseconds()) / 1e6
+		smp.IntendedP99Micros = res.IntendedP99Micros()
+		if dt > 0 {
+			smp.OfferedRate = float64(smp.IntervalOffered) / dt
+		}
+	}
 	s.lastOps = res.Ops
+	s.lastOffered = res.Offered
 	s.lastTime = now
 	s.series = append(s.series, smp)
 
@@ -138,6 +162,10 @@ func (s *Sampler) observe(res replay.Result) Sample {
 	if s.opts.Progress != nil {
 		line := fmt.Sprintf("[%7.1fs] ops=%d (%.0f/s) p99=%.1fus errs=%d",
 			float64(smp.OffsetMs)/1e3, smp.Ops, smp.Throughput, smp.P99Micros, smp.Errors)
+		if smp.Offered > 0 {
+			line += fmt.Sprintf(" offered=%.0f/s ip99=%.1fus lag=%.1fms",
+				smp.OfferedRate, smp.IntendedP99Micros, smp.MaxLagMs)
+		}
 		if st := breakerState(s.opts.Store); st != "" {
 			line += " breaker=" + st
 		}

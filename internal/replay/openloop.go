@@ -1,0 +1,234 @@
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"gadget/internal/dist"
+	"gadget/internal/kv"
+)
+
+// This file implements the open-loop replay driver. The closed-loop
+// replayer (Run/RunSource) issues the next operation only after the
+// previous one returns, so a store stall silently delays every
+// subsequent *request* and the measured latencies hide the backlog —
+// the coordinated-omission trap. The open-loop driver instead assigns
+// each event an intended arrival time from an interarrival Schedule and
+// dispatches on the wall clock regardless of store progress: intended
+// times never slip, a full in-flight queue is counted as overload (the
+// event is delayed, never dropped), and each operation is measured from
+// its intended arrival, so queueing delay behind a slow store is
+// charged to exactly the operations it delayed.
+
+// Clock abstracts wall time for the open-loop pacer so simulated-clock
+// tests can drive schedules without real sleeping. The pacer and the
+// collector share one Clock, keeping intended-arrival latencies on a
+// single timeline with the schedule.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// wallClock is the real-time Clock used outside tests.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// DefaultMaxInFlight bounds the open-loop dispatch queue when
+// OpenLoopOptions.MaxInFlight is zero.
+const DefaultMaxInFlight = 1024
+
+// OpenLoopOptions configures an open-loop replay run.
+type OpenLoopOptions struct {
+	// Rate is the offered arrival rate in events/second, realized as a
+	// constant-gap schedule. Ignored when Arrivals is set.
+	Rate float64
+	// Arrivals overrides Rate with an explicit interarrival schedule
+	// (Poisson, bursts, ...). The schedule is consumed single-threaded by
+	// the pacer, so the usual dist seeding rules give deterministic
+	// intended timestamps.
+	Arrivals dist.Schedule
+	// MaxInFlight bounds the dispatch queue between the pacer and the
+	// service worker (0 = DefaultMaxInFlight). An event arriving to a
+	// full queue is counted in Result.Overload and delayed — never
+	// dropped, so the final store state matches a closed-loop replay of
+	// the same trace.
+	MaxInFlight int
+	// SampleEvery records latency for every Nth operation (0 = every
+	// operation).
+	SampleEvery int
+	// StallTimeout arms the run watchdog, as in Options.StallTimeout.
+	StallTimeout time.Duration
+	// Observer is handed the run's Collector before the first operation,
+	// as in Options.Observer.
+	Observer func(*Collector)
+	// Clock substitutes a fake time source in tests (nil = wall clock).
+	Clock Clock
+}
+
+// Validate rejects invalid option values. Exactly like Options.Validate
+// it rejects rather than corrects: zero values select documented
+// defaults, negative ones are errors.
+func (o OpenLoopOptions) Validate() error {
+	if o.Rate < 0 {
+		return fmt.Errorf("replay: open-loop rate must be non-negative, got %v", o.Rate)
+	}
+	if o.Rate == 0 && o.Arrivals == nil {
+		return fmt.Errorf("replay: open-loop replay needs a rate or an arrival schedule")
+	}
+	if o.MaxInFlight < 0 {
+		return fmt.Errorf("replay: max in-flight must be non-negative, got %d", o.MaxInFlight)
+	}
+	if o.SampleEvery < 0 {
+		return fmt.Errorf("replay: sample interval must be non-negative, got %d", o.SampleEvery)
+	}
+	if o.StallTimeout < 0 {
+		return fmt.Errorf("replay: stall timeout must be non-negative, got %v", o.StallTimeout)
+	}
+	if o.Arrivals == nil && o.Rate > 0 && o.StallTimeout > 0 {
+		if gap := time.Duration(float64(time.Second) / o.Rate); gap >= o.StallTimeout {
+			return fmt.Errorf("replay: stall timeout %v must exceed the %v arrival gap of rate %v",
+				o.StallTimeout, gap, o.Rate)
+		}
+	}
+	return nil
+}
+
+// pacer walks an arrival schedule on a Clock. Intended times accumulate
+// from the schedule alone — they never slip to match a slow consumer,
+// which is the property that makes intended-arrival latency immune to
+// coordinated omission.
+type pacer struct {
+	clock Clock
+	sched dist.Schedule
+	next  time.Time
+}
+
+func newPacer(clock Clock, sched dist.Schedule) *pacer {
+	return &pacer{clock: clock, sched: sched, next: clock.Now()}
+}
+
+// tick blocks until the current event's intended arrival time and
+// returns it, along with the dispatch lag: zero when the pacer ran on
+// schedule, or how far past the intended time it actually dispatched.
+func (p *pacer) tick() (intended time.Time, lag time.Duration) {
+	intended = p.next
+	p.next = p.next.Add(time.Duration(p.sched.NextGapNs()))
+	now := p.clock.Now()
+	if d := intended.Sub(now); d > 0 {
+		p.clock.Sleep(d)
+		return intended, 0
+	}
+	return intended, now.Sub(intended)
+}
+
+// pending is one dispatched event waiting in the in-flight queue.
+type pending struct {
+	a        kv.Access
+	intended time.Time
+}
+
+// RunOpenLoop replays a materialized trace against store under an
+// open-loop arrival schedule.
+func RunOpenLoop(store kv.Store, trace []kv.Access, opts OpenLoopOptions) (Result, error) {
+	return RunOpenLoopSource(store, NewSliceSource(trace), opts)
+}
+
+// RunOpenLoopSource replays a streaming access source against store
+// under an open-loop arrival schedule. Events are applied in source
+// order by a single service worker, so the final store state is
+// identical to a closed-loop replay of the same source; only the timing
+// measurements differ. With StallTimeout set, a stalled run returns its
+// partial Result (Degraded=true) and ErrStalled.
+func RunOpenLoopSource(store kv.Store, src Source, opts OpenLoopOptions) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = wallClock{}
+	}
+	sched := opts.Arrivals
+	if sched == nil {
+		sched = dist.NewConstantRate(opts.Rate)
+	}
+	depth := opts.MaxInFlight
+	if depth == 0 {
+		depth = DefaultMaxInFlight
+	}
+	// Build the collector without the Observer: open-loop accounting must
+	// be armed before any telemetry sampler can snapshot the collector.
+	c, err := NewCollector(store, Options{SampleEvery: opts.SampleEvery, StallTimeout: opts.StallTimeout})
+	if err != nil {
+		return Result{}, err
+	}
+	c.enableOpenLoop(clock)
+	if opts.Observer != nil {
+		opts.Observer(c)
+	}
+
+	queue := make(chan pending, depth)
+	var res Result
+	var runErr error
+	stalled := Guard(opts.StallTimeout, []*Collector{c}, func() {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for p := range queue {
+				if err := c.DoAt(p.a, p.intended); err != nil && runErr == nil {
+					// First failure aborts the run; later iterations just
+					// drain the queue (DoAt returns ErrAborted immediately)
+					// so the pacer's sends cannot wedge.
+					runErr = err
+					c.Abort()
+				}
+			}
+		}()
+		pace := newPacer(clock, sched)
+		for !c.aborted.Load() {
+			a, ok := src.Next()
+			if !ok {
+				break
+			}
+			intended, lag := pace.tick()
+			c.noteDispatch(lag)
+			select {
+			case queue <- pending{a: a, intended: intended}:
+			default:
+				// Queue full at the intended arrival: overload. The event
+				// still goes in (state equivalence with closed loop); the
+				// wait is charged to its intended-arrival latency.
+				c.overload.Add(1)
+				if !blockingSend(c, queue, pending{a: a, intended: intended}) {
+					break
+				}
+			}
+		}
+		close(queue)
+		<-done
+		res = c.Finish()
+	})
+	if stalled {
+		return c.Snapshot(), ErrStalled
+	}
+	return res, runErr
+}
+
+// blockingSend delivers p to a full queue, polling the collector's
+// aborted flag so a wedged run can still be torn down. Reports whether
+// the send succeeded (false: the run was aborted first).
+func blockingSend(c *Collector, queue chan<- pending, p pending) bool {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case queue <- p:
+			return true
+		case <-t.C:
+			if c.aborted.Load() {
+				return false
+			}
+		}
+	}
+}

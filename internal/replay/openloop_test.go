@@ -1,0 +1,472 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gadget/internal/dist"
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+	"gadget/internal/stats"
+)
+
+// simClock is a fake Clock: Sleep advances time instead of waiting, so
+// pacer and accounting tests run instantly and deterministically.
+type simClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newSimClock() *simClock { return &simClock{now: time.Unix(1000, 0)} }
+
+func (s *simClock) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+func (s *simClock) Sleep(d time.Duration) {
+	if d > 0 {
+		s.Advance(d)
+	}
+}
+
+func (s *simClock) Advance(d time.Duration) {
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}
+
+func putTrace(n int) []kv.Access {
+	out := make([]kv.Access, n)
+	for i := range out {
+		out[i] = kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: uint64(i % 64), Sub: uint64(i)}, Size: 8}
+	}
+	return out
+}
+
+func TestOpenLoopBasic(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	trace := putTrace(500)
+	res, err := RunOpenLoop(st, trace, OpenLoopOptions{Rate: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 500 || res.Offered != 500 {
+		t.Fatalf("ops=%d offered=%d, want 500/500", res.Ops, res.Offered)
+	}
+	if res.Degraded {
+		t.Fatal("healthy open-loop run tagged Degraded")
+	}
+	if res.OfferedRate <= 0 || res.AchievedRate <= 0 {
+		t.Fatalf("rates not computed: %+v", res)
+	}
+	if res.AchievedRate != res.Throughput {
+		t.Fatalf("achieved %v != throughput %v", res.AchievedRate, res.Throughput)
+	}
+	if res.IntendedLatency == nil || res.IntendedLatency.Count() != 500 {
+		t.Fatalf("intended latency not recorded for every op: %+v", res.IntendedLatency)
+	}
+	if s := res.String(); !strings.Contains(s, "offered=") || !strings.Contains(s, "ip99=") {
+		t.Fatalf("String() missing open-loop fields: %s", s)
+	}
+}
+
+func TestOpenLoopPoissonArrivals(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	res, err := RunOpenLoop(st, putTrace(300), OpenLoopOptions{
+		Arrivals: dist.NewPoissonRate(1e6, rand.New(rand.NewSource(9))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 || res.Offered != 300 {
+		t.Fatalf("ops=%d offered=%d", res.Ops, res.Offered)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	bad := []OpenLoopOptions{
+		{}, // neither rate nor schedule
+		{Rate: -1},
+		{Rate: 1000, MaxInFlight: -1},
+		{Rate: 1000, SampleEvery: -1},
+		{Rate: 1000, StallTimeout: -time.Second},
+		// Stall timeout inside the arrival gap would always fire.
+		{Rate: 10, StallTimeout: 50 * time.Millisecond},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d should be invalid: %+v", i, o)
+		}
+		if _, err := RunOpenLoop(st, putTrace(3), o); err == nil {
+			t.Errorf("RunOpenLoop accepted invalid options %d", i)
+		}
+	}
+	good := []OpenLoopOptions{
+		{Rate: 1000},
+		{Arrivals: dist.NewConstantRate(5)},
+		{Rate: 1e6, MaxInFlight: 8, SampleEvery: 10, StallTimeout: time.Second},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("options %d should be valid: %v", i, err)
+		}
+	}
+}
+
+func TestPacerSimulatedClock(t *testing.T) {
+	clk := newSimClock()
+	t0 := clk.Now()
+	p := newPacer(clk, dist.NewConstantRate(1000)) // 1ms gaps
+	for i := 0; i < 5; i++ {
+		intended, lag := p.tick()
+		if want := t0.Add(time.Duration(i) * time.Millisecond); !intended.Equal(want) {
+			t.Fatalf("tick %d intended %v, want %v", i, intended, want)
+		}
+		if lag != 0 {
+			t.Fatalf("tick %d on-schedule lag = %v", i, lag)
+		}
+		if !clk.Now().Equal(intended) {
+			t.Fatalf("tick %d did not sleep to the intended time", i)
+		}
+	}
+	// Fall 10ms behind schedule: intended times must NOT slip, and the
+	// backlog must surface as dispatch lag.
+	clk.Advance(10 * time.Millisecond) // now = t0+14ms, next intended = t0+5ms
+	intended, lag := p.tick()
+	if want := t0.Add(5 * time.Millisecond); !intended.Equal(want) {
+		t.Fatalf("late intended %v, want %v (intended times slipped)", intended, want)
+	}
+	if lag != 9*time.Millisecond {
+		t.Fatalf("lag = %v, want 9ms", lag)
+	}
+	// The next event is due 1ms later on the original schedule.
+	intended, lag = p.tick()
+	if want := t0.Add(6 * time.Millisecond); !intended.Equal(want) {
+		t.Fatalf("second late intended %v, want %v", intended, want)
+	}
+	if lag != 8*time.Millisecond {
+		t.Fatalf("second lag = %v, want 8ms", lag)
+	}
+}
+
+// simStallStore advances a simClock by stall on every stallEvery-th Put
+// — a store whose service time is simulated rather than slept.
+type simStallStore struct {
+	*memstore.Store
+	clk        *simClock
+	n          int
+	stallEvery int
+	stall      time.Duration
+}
+
+func (s *simStallStore) Put(key, value []byte) error {
+	s.n++
+	if s.n%s.stallEvery == 0 {
+		s.clk.Advance(s.stall)
+	}
+	return s.Store.Put(key, value)
+}
+
+// TestDoAtCoordinatedOmissionSimClock drives the open-loop accounting on
+// a simulated clock: a store that stalls 50ms every 100 ops under a 1ms
+// arrival schedule must show the stall in the intended-arrival
+// percentiles (each stall delays the ~50 following arrivals) while the
+// real-time service percentiles stay tiny — the coordinated-omission
+// distinction, fully deterministic.
+func TestDoAtCoordinatedOmissionSimClock(t *testing.T) {
+	clk := newSimClock()
+	st := &simStallStore{Store: memstore.New(), clk: clk, stallEvery: 100, stall: 50 * time.Millisecond}
+	defer st.Close()
+	c, err := NewCollector(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.enableOpenLoop(clk)
+	t0 := clk.Now()
+	const gap = time.Millisecond
+	for i := 0; i < 1000; i++ {
+		intended := t0.Add(time.Duration(i) * gap)
+		// The pacer never dispatches early: wait out the schedule when the
+		// store is ahead of it.
+		if d := intended.Sub(clk.Now()); d > 0 {
+			clk.Sleep(d)
+		}
+		if err := c.DoAt(kv.Access{Op: kv.OpPut, Key: kv.StateKey{Sub: uint64(i)}, Size: 8}, intended); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := c.Finish()
+	if res.Ops != 1000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// Every stall delays the following ~50 arrivals (50ms backlog / 1ms
+	// gaps), so half the ops carry queueing delay and the p99 sits just
+	// under the full stall.
+	if got := res.IntendedP99(); got < 25*time.Millisecond {
+		t.Fatalf("intended p99 = %v does not reflect the 50ms stalls", got)
+	}
+	// Service time is real time here (the stall only moves the simulated
+	// clock), so the service histogram must stay microseconds-small.
+	if got := time.Duration(res.Latency.Quantile(0.99)); got > 5*time.Millisecond {
+		t.Fatalf("service p99 = %v; simulated stalls leaked into service time", got)
+	}
+}
+
+// TestOpenLoopCoordinatedOmissionChaos is the end-to-end acceptance
+// check: against a store that stalls 30ms every 125 ops, the open-loop
+// driver's intended-arrival p99 must exceed the stall duration (arrivals
+// keep accumulating behind each stall), while a closed-loop replay of
+// the same trace — whose 8 stalled ops are only 0.8% of samples — hides
+// the stall below its service-time p99.
+func TestOpenLoopCoordinatedOmissionChaos(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	trace := putTrace(1000)
+	plan := kv.ChaosPlan{StallEvery: 125, Stall: stall}
+
+	open := kv.NewChaosStore(memstore.New(), plan)
+	defer open.Close()
+	openRes, err := RunOpenLoop(open, trace, OpenLoopOptions{Rate: 50_000, MaxInFlight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := kv.NewChaosStore(memstore.New(), plan)
+	defer closed.Close()
+	closedRes, err := Run(closed, trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := openRes.IntendedP99(); got < stall {
+		t.Fatalf("open-loop intended p99 = %v, want >= %v (stall hidden)", got, stall)
+	}
+	// The same stalls are invisible at p99 when latency is measured
+	// per-completed-call: only 8/1000 samples contain a stall.
+	if got := time.Duration(closedRes.Latency.Quantile(0.99)); got >= stall {
+		t.Fatalf("closed-loop service p99 = %v unexpectedly contains the stall", got)
+	}
+	if got := time.Duration(openRes.Latency.Quantile(0.99)); got >= stall {
+		t.Fatalf("open-loop service p99 = %v; stalls are 0.8%% of ops and must sit above p99", got)
+	}
+	if closedRes.IntendedP99() != 0 || closedRes.Offered != 0 {
+		t.Fatalf("closed-loop result grew open-loop measurements: %+v", closedRes)
+	}
+	// The 64-deep queue cannot absorb a 30ms backlog at 50k/s arrivals.
+	if openRes.Overload == 0 {
+		t.Fatalf("expected overload under stalls: %+v", openRes)
+	}
+	if openRes.MaxLag == 0 {
+		t.Fatal("expected dispatch lag under stalls")
+	}
+}
+
+// TestOpenLoopStateMatchesClosedLoop is the differential check: the two
+// drivers replay one seeded trace into separate stores and must land on
+// the identical final state — only the timing metadata differs.
+func TestOpenLoopStateMatchesClosedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trace := make([]kv.Access, 2000)
+	for i := range trace {
+		a := kv.Access{Key: kv.StateKey{Group: uint64(rng.Intn(32)), Sub: uint64(rng.Intn(8))}}
+		switch rng.Intn(5) {
+		case 0:
+			a.Op = kv.OpGet
+		case 1:
+			a.Op, a.Size = kv.OpPut, uint32(1+rng.Intn(64))
+		case 2:
+			a.Op, a.Size = kv.OpMerge, uint32(1+rng.Intn(32))
+		case 3:
+			a.Op = kv.OpDelete
+		case 4:
+			a.Op, a.Size = kv.OpPut, uint32(1+rng.Intn(16))
+		}
+		trace[i] = a
+	}
+
+	closedStore, openStore := memstore.New(), memstore.New()
+	defer closedStore.Close()
+	defer openStore.Close()
+	closedRes, err := Run(closedStore, trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openRes, err := RunOpenLoop(openStore, trace, OpenLoopOptions{Rate: 1e8, MaxInFlight: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if closedStore.Len() != openStore.Len() {
+		t.Fatalf("store sizes diverged: closed=%d open=%d", closedStore.Len(), openStore.Len())
+	}
+	seen := map[kv.StateKey]bool{}
+	for _, a := range trace {
+		if seen[a.Key] {
+			continue
+		}
+		seen[a.Key] = true
+		kb := a.Key.Bytes()
+		cv, cerr := closedStore.Get(kb)
+		ov, oerr := openStore.Get(kb)
+		if (cerr == nil) != (oerr == nil) {
+			t.Fatalf("key %v presence diverged: closed=%v open=%v", a.Key, cerr, oerr)
+		}
+		if !bytes.Equal(cv, ov) {
+			t.Fatalf("key %v value diverged: %d vs %d bytes", a.Key, len(cv), len(ov))
+		}
+	}
+	// Same work applied...
+	if closedRes.Ops != openRes.Ops || closedRes.Misses != openRes.Misses {
+		t.Fatalf("op accounting diverged: closed=%+v open=%+v", closedRes, openRes)
+	}
+	// ...but only the open-loop run carries arrival-schedule metadata.
+	if openRes.Offered != uint64(len(trace)) || openRes.IntendedLatency == nil {
+		t.Fatalf("open-loop metadata missing: %+v", openRes)
+	}
+	if closedRes.Offered != 0 || closedRes.IntendedLatency != nil {
+		t.Fatalf("closed-loop grew open-loop metadata: %+v", closedRes)
+	}
+}
+
+func TestOpenLoopOverloadCountedNotDropped(t *testing.T) {
+	// A store with a 200us injected delay per op under 1M/s arrivals and a
+	// single-slot queue: nearly every dispatch finds the queue full. The
+	// events must be counted as overload yet still applied.
+	st := kv.NewChaosStore(memstore.New(), kv.ChaosPlan{LatencyRate: 1, Latency: 200 * time.Microsecond})
+	defer st.Close()
+	trace := putTrace(300)
+	res, err := RunOpenLoop(st, trace, OpenLoopOptions{Rate: 1e6, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 || res.Offered != 300 {
+		t.Fatalf("overloaded events were dropped: ops=%d offered=%d", res.Ops, res.Offered)
+	}
+	if res.Overload == 0 {
+		t.Fatal("overload not counted")
+	}
+	if res.MaxLag == 0 {
+		t.Fatal("dispatch lag not measured")
+	}
+	if res.Degraded {
+		t.Fatal("overload alone must not degrade the run")
+	}
+}
+
+func TestOpenLoopWatchdogAbortsStalledRun(t *testing.T) {
+	st := &stallStore{Store: memstore.New(), stallAt: 50, release: make(chan struct{})}
+	defer st.Close()
+	defer close(st.release)
+	res, err := RunOpenLoop(st, putTrace(1000), OpenLoopOptions{Rate: 100_000, StallTimeout: 30 * time.Millisecond})
+	if err != ErrStalled {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if !res.Degraded {
+		t.Fatal("partial result not tagged Degraded")
+	}
+	if res.Ops != 49 {
+		t.Fatalf("partial ops = %d, want 49", res.Ops)
+	}
+	if res.Offered < res.Ops {
+		t.Fatalf("offered %d < ops %d", res.Offered, res.Ops)
+	}
+}
+
+func TestOpenLoopObserverSeesArmedCollector(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	var snap Result
+	_, err := RunOpenLoop(st, putTrace(100), OpenLoopOptions{
+		Rate: 1e7,
+		Observer: func(c *Collector) {
+			// The observer runs before the first op; open-loop accounting
+			// must already be armed so samplers can snapshot it.
+			snap = c.Snapshot()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.IntendedLatency == nil {
+		t.Fatal("observer saw a collector without open-loop accounting")
+	}
+}
+
+func TestMergeResultsOpenLoop(t *testing.T) {
+	mk := func(ops, offered, overload uint64, lag time.Duration, dur time.Duration, intendedNs ...int64) Result {
+		r := Result{Ops: ops, Offered: offered, Overload: overload, MaxLag: lag, Duration: dur, Latency: stats.NewHistogram()}
+		if len(intendedNs) > 0 {
+			r.IntendedLatency = stats.NewHistogram()
+			for _, ns := range intendedNs {
+				r.IntendedLatency.Record(ns)
+			}
+		}
+		if dur > 0 {
+			r.Throughput = float64(ops) / dur.Seconds()
+		}
+		return r
+	}
+	a := mk(100, 100, 5, 3*time.Millisecond, time.Second, 1000, 2000)
+	b := mk(200, 200, 1, 7*time.Millisecond, 2*time.Second, 3000)
+	out := MergeResults([]Result{a, b})
+	if out.Offered != 300 || out.Overload != 6 {
+		t.Fatalf("offered/overload = %d/%d, want 300/6", out.Offered, out.Overload)
+	}
+	if out.MaxLag != 7*time.Millisecond {
+		t.Fatalf("max lag = %v, want max(3ms,7ms)", out.MaxLag)
+	}
+	if out.Duration != 2*time.Second {
+		t.Fatalf("duration = %v", out.Duration)
+	}
+	if out.IntendedLatency == nil || out.IntendedLatency.Count() != 3 {
+		t.Fatalf("intended histograms not merged: %+v", out.IntendedLatency)
+	}
+	if want := 300.0 / 2; out.OfferedRate != want {
+		t.Fatalf("offered rate = %v, want %v", out.OfferedRate, want)
+	}
+	if out.AchievedRate != out.Throughput {
+		t.Fatalf("achieved %v != throughput %v", out.AchievedRate, out.Throughput)
+	}
+
+	// Merging with a closed-loop partition must not fabricate open-loop
+	// data in the closed direction, and must keep the open data intact.
+	closedOnly := MergeResults([]Result{mk(50, 0, 0, 0, time.Second)})
+	if closedOnly.Offered != 0 || closedOnly.IntendedLatency != nil || closedOnly.OfferedRate != 0 {
+		t.Fatalf("closed-loop merge fabricated open-loop fields: %+v", closedOnly)
+	}
+	mixed := MergeResults([]Result{a, mk(50, 0, 0, 0, time.Millisecond)})
+	if mixed.Offered != 100 || mixed.IntendedLatency == nil {
+		t.Fatalf("mixed merge lost open-loop fields: %+v", mixed)
+	}
+}
+
+func TestResultStringOpenLoopFields(t *testing.T) {
+	r := Result{Ops: 10, Latency: stats.NewHistogram(), Duration: time.Second, Throughput: 10}
+	if s := r.String(); strings.Contains(s, "offered=") {
+		t.Fatalf("closed-loop String() grew open-loop fields: %s", s)
+	}
+	r.Offered, r.Overload = 20, 3
+	r.OfferedRate, r.AchievedRate = 20, 10
+	r.MaxLag = 1500 * time.Microsecond
+	r.IntendedLatency = stats.NewHistogram()
+	r.IntendedLatency.Record(int64(2 * time.Millisecond))
+	s := r.String()
+	for _, want := range []string{"offered=20/s", "achieved=10/s", "lag=1.5ms", "overload=3", "ip99="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Println(s)
+	}
+}

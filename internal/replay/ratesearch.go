@@ -1,0 +1,190 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gadget/internal/kv"
+)
+
+// This file implements sustainable-throughput search: the maximum
+// offered rate at which a store still meets a latency SLO measured the
+// coordinated-omission-free way (from intended arrival). A single
+// "peak throughput" number from a closed-loop run overstates what a
+// store can sustain, because the closed loop slows its own arrivals to
+// whatever the store absorbs; the sustainable rate is the operating
+// point capacity planning actually needs.
+
+// SLO is the service-level objective a probed rate must meet to count
+// as sustainable.
+type SLO struct {
+	// P99 bounds the p99 intended-arrival latency (0 = unbounded).
+	P99 time.Duration
+	// MaxOverloadFrac bounds the fraction of offered events that found
+	// the in-flight queue full. The zero value is strict: any overload
+	// fails the probe.
+	MaxOverloadFrac float64
+}
+
+// Met reports whether an open-loop Result satisfies the SLO. Degraded
+// (aborted/stalled) runs never do.
+func (s SLO) Met(r Result) bool {
+	if r.Degraded {
+		return false
+	}
+	if s.P99 > 0 && r.IntendedP99() > s.P99 {
+		return false
+	}
+	if r.Offered > 0 && float64(r.Overload) > s.MaxOverloadFrac*float64(r.Offered) {
+		return false
+	}
+	return true
+}
+
+// RateSearchOptions configures FindSustainableRate.
+type RateSearchOptions struct {
+	// Low is the initial rate (events/second) assumed near-sustainable;
+	// it is probed first and the search returns 0 if it fails. Required.
+	Low float64
+	// High, when positive, caps the search bracket. When zero the upper
+	// bound is found by geometric doubling from Low.
+	High float64
+	// Tolerance terminates bisection once the bracket is within this
+	// relative width of the passing bound (0 = 0.1, i.e. 10%).
+	Tolerance float64
+	// MaxProbes bounds the total number of probe runs (0 = 16).
+	MaxProbes int
+	// SLO is the pass criterion applied to each probe's Result.
+	SLO SLO
+	// Open templates the open-loop options for each probe; Rate and
+	// Arrivals are overwritten per probe with the probed constant rate.
+	Open OpenLoopOptions
+	// Probe, when set, replaces the real open-loop run — the injection
+	// seam deterministic tests use. It receives the probed rate and
+	// returns the Result the SLO is judged against.
+	Probe func(rate float64) (Result, error)
+}
+
+// RateProbe records one probe of the search, in execution order.
+type RateProbe struct {
+	Rate         float64
+	Pass         bool
+	P99          time.Duration // intended-arrival p99 the probe measured
+	OverloadFrac float64
+}
+
+// RateSearchResult is the outcome of FindSustainableRate.
+type RateSearchResult struct {
+	// Sustainable is the highest probed rate that met the SLO (0 when
+	// even Low fails).
+	Sustainable float64
+	// Probes lists every probe run, in order.
+	Probes []RateProbe
+}
+
+// FindSustainableRate searches for the maximum offered rate at which
+// store meets the SLO on the given trace. It probes Low, brackets a
+// failing rate (High if set, else geometric doubling from Low), then
+// bisects until the bracket is within Tolerance or MaxProbes runs are
+// spent, returning the highest rate that passed. The search is
+// deterministic given a deterministic probe: identical SLO verdicts
+// yield an identical probe sequence.
+func FindSustainableRate(store kv.Store, trace []kv.Access, opts RateSearchOptions) (RateSearchResult, error) {
+	var out RateSearchResult
+	if opts.Low <= 0 {
+		return out, fmt.Errorf("replay: rate search needs a positive low bound, got %v", opts.Low)
+	}
+	if opts.High != 0 && opts.High <= opts.Low {
+		return out, fmt.Errorf("replay: rate search high bound %v must exceed low bound %v", opts.High, opts.Low)
+	}
+	if opts.Tolerance < 0 {
+		return out, fmt.Errorf("replay: rate search tolerance must be non-negative, got %v", opts.Tolerance)
+	}
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 0.1
+	}
+	budget := opts.MaxProbes
+	if budget == 0 {
+		budget = 16
+	}
+	probe := opts.Probe
+	if probe == nil {
+		probe = func(rate float64) (Result, error) {
+			o := opts.Open
+			o.Rate = rate
+			o.Arrivals = nil
+			return RunOpenLoop(store, trace, o)
+		}
+	}
+	try := func(rate float64) (bool, error) {
+		res, err := probe(rate)
+		if err != nil {
+			if !errors.Is(err, ErrStalled) {
+				return false, err
+			}
+			// A stalled probe is a failed rate, not a failed search.
+			res.Degraded = true
+		}
+		pass := opts.SLO.Met(res)
+		var frac float64
+		if res.Offered > 0 {
+			frac = float64(res.Overload) / float64(res.Offered)
+		}
+		out.Probes = append(out.Probes, RateProbe{Rate: rate, Pass: pass, P99: res.IntendedP99(), OverloadFrac: frac})
+		return pass, nil
+	}
+
+	ok, err := try(opts.Low)
+	if err != nil {
+		return out, err
+	}
+	if !ok {
+		return out, nil // even the floor is unsustainable
+	}
+	lo, hi := opts.Low, 0.0
+	if opts.High > 0 {
+		ok, err := try(opts.High)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			out.Sustainable = opts.High
+			return out, nil
+		}
+		hi = opts.High
+	} else {
+		for r := 2 * lo; len(out.Probes) < budget; r *= 2 {
+			ok, err := try(r)
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				hi = r
+				break
+			}
+			lo = r
+		}
+		if hi == 0 {
+			// Never bracketed a failure within the probe budget; the best
+			// passing rate is the answer we can certify.
+			out.Sustainable = lo
+			return out, nil
+		}
+	}
+	for len(out.Probes) < budget && hi-lo > tol*lo {
+		mid := (lo + hi) / 2
+		ok, err := try(mid)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out.Sustainable = lo
+	return out, nil
+}

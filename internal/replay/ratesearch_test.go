@@ -1,0 +1,244 @@
+package replay
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gadget/internal/memstore"
+	"gadget/internal/stats"
+)
+
+// thresholdProbe passes iff rate <= limit, with plausible Result fields.
+func thresholdProbe(limit float64) func(rate float64) (Result, error) {
+	return func(rate float64) (Result, error) {
+		r := Result{Offered: 1000, Latency: stats.NewHistogram(), IntendedLatency: stats.NewHistogram()}
+		if rate <= limit {
+			r.IntendedLatency.Record(int64(time.Millisecond))
+		} else {
+			r.IntendedLatency.Record(int64(time.Second))
+			r.Overload = 500
+		}
+		return r, nil
+	}
+}
+
+func TestFindSustainableRateBisection(t *testing.T) {
+	run := func() RateSearchResult {
+		out, err := FindSustainableRate(nil, nil, RateSearchOptions{
+			Low:   1000,
+			SLO:   SLO{P99: 100 * time.Millisecond, MaxOverloadFrac: 0.01},
+			Probe: thresholdProbe(7000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := run()
+	// The true limit is 7000; the answer must be a passing rate within
+	// the default 10% tolerance below it.
+	if out.Sustainable > 7000 || out.Sustainable < 7000*0.8 {
+		t.Fatalf("sustainable = %v, want in [5600, 7000]", out.Sustainable)
+	}
+	// Geometric expansion then bisection: 1000, 2000, 4000, 8000(fail),
+	// then midpoints.
+	wantPrefix := []float64{1000, 2000, 4000, 8000, 6000, 7000}
+	for i, w := range wantPrefix {
+		if i >= len(out.Probes) || out.Probes[i].Rate != w {
+			t.Fatalf("probe sequence %v, want prefix %v", out.Probes, wantPrefix)
+		}
+	}
+	// Determinism: an identical probe yields the identical search.
+	again := run()
+	if again.Sustainable != out.Sustainable || len(again.Probes) != len(out.Probes) {
+		t.Fatalf("search not deterministic: %v vs %v", again, out)
+	}
+	for i := range out.Probes {
+		if out.Probes[i] != again.Probes[i] {
+			t.Fatalf("probe %d diverged: %+v vs %+v", i, out.Probes[i], again.Probes[i])
+		}
+	}
+}
+
+func TestFindSustainableRateFloorFails(t *testing.T) {
+	out, err := FindSustainableRate(nil, nil, RateSearchOptions{
+		Low:   1000,
+		SLO:   SLO{P99: 100 * time.Millisecond},
+		Probe: thresholdProbe(10), // nothing is sustainable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sustainable != 0 || len(out.Probes) != 1 {
+		t.Fatalf("out = %+v, want sustainable 0 after one probe", out)
+	}
+}
+
+func TestFindSustainableRateHighBound(t *testing.T) {
+	// When the explicit upper bound passes, it is the answer (2 probes).
+	out, err := FindSustainableRate(nil, nil, RateSearchOptions{
+		Low: 1000, High: 5000,
+		SLO:   SLO{P99: 100 * time.Millisecond},
+		Probe: thresholdProbe(7000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sustainable != 5000 || len(out.Probes) != 2 {
+		t.Fatalf("out = %+v, want sustainable 5000 after 2 probes", out)
+	}
+	// When it fails, the search bisects inside [Low, High].
+	out, err = FindSustainableRate(nil, nil, RateSearchOptions{
+		Low: 1000, High: 16_000,
+		SLO:   SLO{P99: 100 * time.Millisecond},
+		Probe: thresholdProbe(7000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sustainable > 7000 || out.Sustainable < 5000 {
+		t.Fatalf("sustainable = %v, want in (5000, 7000]", out.Sustainable)
+	}
+}
+
+func TestFindSustainableRateProbeBudget(t *testing.T) {
+	probes := 0
+	out, err := FindSustainableRate(nil, nil, RateSearchOptions{
+		Low: 1, Tolerance: 1e-9, MaxProbes: 5,
+		SLO: SLO{P99: time.Second},
+		Probe: func(rate float64) (Result, error) {
+			probes++
+			return thresholdProbe(1e6)(rate)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes > 5 || len(out.Probes) > 5 {
+		t.Fatalf("probe budget exceeded: %d runs", probes)
+	}
+	// All-passing expansion within budget certifies the best passing rate.
+	if out.Sustainable != 16 { // 1, 2, 4, 8, 16 — all pass
+		t.Fatalf("sustainable = %v, want 16", out.Sustainable)
+	}
+}
+
+func TestFindSustainableRateStalledProbeIsFailure(t *testing.T) {
+	out, err := FindSustainableRate(nil, nil, RateSearchOptions{
+		Low: 1000, High: 4000,
+		SLO: SLO{P99: time.Second},
+		Probe: func(rate float64) (Result, error) {
+			if rate > 2500 {
+				return Result{Degraded: true, Latency: stats.NewHistogram()}, ErrStalled
+			}
+			return thresholdProbe(1e6)(rate)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sustainable == 0 || out.Sustainable > 2500 {
+		t.Fatalf("sustainable = %v, want a passing rate <= 2500", out.Sustainable)
+	}
+	for _, p := range out.Probes {
+		if p.Rate > 2500 && p.Pass {
+			t.Fatalf("stalled probe counted as pass: %+v", p)
+		}
+	}
+}
+
+func TestFindSustainableRatePropagatesProbeErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := FindSustainableRate(nil, nil, RateSearchOptions{
+		Low: 1000,
+		Probe: func(rate float64) (Result, error) {
+			return Result{}, boom
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want probe error", err)
+	}
+}
+
+func TestFindSustainableRateValidation(t *testing.T) {
+	bad := []RateSearchOptions{
+		{},                           // no low bound
+		{Low: -5},                    // negative low
+		{Low: 1000, High: 500},       // inverted bracket
+		{Low: 1000, Tolerance: -0.1}, // negative tolerance
+		{Low: 1000, High: 1000},      // degenerate bracket
+	}
+	for i, o := range bad {
+		if _, err := FindSustainableRate(nil, nil, o); err == nil {
+			t.Errorf("options %d should be rejected: %+v", i, o)
+		}
+	}
+}
+
+// TestFindSustainableRateMemstore is the acceptance check: real
+// open-loop probes against memstore under a generous SLO must converge,
+// deterministically, to the bracket's upper bound (memstore sustains
+// far more than 50k/s).
+func TestFindSustainableRateMemstore(t *testing.T) {
+	st := memstore.New()
+	defer st.Close()
+	trace := putTrace(200)
+	run := func() RateSearchResult {
+		out, err := FindSustainableRate(st, trace, RateSearchOptions{
+			Low: 10_000, High: 50_000,
+			SLO:  SLO{P99: time.Second, MaxOverloadFrac: 1},
+			Open: OpenLoopOptions{MaxInFlight: 256},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := run()
+	if out.Sustainable != 50_000 || len(out.Probes) != 2 {
+		t.Fatalf("out = %+v, want high bound sustained in 2 probes", out)
+	}
+	again := run()
+	if again.Sustainable != out.Sustainable || len(again.Probes) != len(out.Probes) {
+		t.Fatalf("memstore search not deterministic: %+v vs %+v", again, out)
+	}
+	// An impossible SLO fails at the floor.
+	impossible, err := FindSustainableRate(st, trace, RateSearchOptions{
+		Low: 10_000, High: 50_000,
+		SLO:  SLO{P99: time.Nanosecond},
+		Open: OpenLoopOptions{MaxInFlight: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible.Sustainable != 0 {
+		t.Fatalf("impossible SLO reported sustainable %v", impossible.Sustainable)
+	}
+}
+
+func TestSLOMet(t *testing.T) {
+	hist := func(ns int64) *stats.Histogram {
+		h := stats.NewHistogram()
+		h.Record(ns)
+		return h
+	}
+	cases := []struct {
+		name string
+		slo  SLO
+		res  Result
+		want bool
+	}{
+		{"within", SLO{P99: time.Second}, Result{IntendedLatency: hist(int64(time.Millisecond))}, true},
+		{"latency breach", SLO{P99: time.Microsecond}, Result{IntendedLatency: hist(int64(time.Millisecond))}, false},
+		{"degraded", SLO{P99: time.Second}, Result{Degraded: true}, false},
+		{"overload strict", SLO{P99: time.Second}, Result{Offered: 100, Overload: 1}, false},
+		{"overload allowed", SLO{P99: time.Second, MaxOverloadFrac: 0.05}, Result{Offered: 100, Overload: 4}, true},
+		{"unbounded", SLO{}, Result{IntendedLatency: hist(int64(time.Hour))}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.slo.Met(tc.res); got != tc.want {
+			t.Errorf("%s: Met = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -121,10 +121,38 @@ type Result struct {
 	Duration time.Duration
 	// Throughput is Ops divided by Duration, in ops/second.
 	Throughput float64
-	// Latency is the overall latency histogram in nanoseconds.
+	// Latency is the overall latency histogram in nanoseconds. For
+	// open-loop runs this is the *service-time* histogram (measured from
+	// the moment the store call starts); see IntendedLatency.
 	Latency *stats.Histogram
 	// PerOp holds one latency histogram per operation type.
 	PerOp [kv.NumOps]*stats.Histogram
+
+	// Open-loop measurements, populated only by the open-loop driver
+	// (zero / nil for closed-loop runs).
+
+	// Offered is the number of events the arrival schedule dispatched.
+	Offered uint64
+	// Overload counts events that found the bounded in-flight queue full
+	// at their intended arrival time. Overloaded events are delayed, not
+	// dropped (state equivalence with closed-loop replay is preserved);
+	// the delay is charged to IntendedLatency instead of being absorbed
+	// into a rescheduled arrival.
+	Overload uint64
+	// OfferedRate is Offered divided by Duration (events/second): the
+	// load the schedule actually presented.
+	OfferedRate float64
+	// AchievedRate is the completion rate (== Throughput for open-loop
+	// runs; kept explicit so merged and printed results stay coherent).
+	AchievedRate float64
+	// MaxLag is the maximum dispatch lag: how far the pacer fell behind
+	// the intended schedule when handing events to the in-flight queue.
+	MaxLag time.Duration
+	// IntendedLatency measures each operation from its *intended*
+	// arrival time to completion, so queueing delay behind a slow store
+	// is charged to the operations it really delayed — the
+	// coordinated-omission-free view (nil for closed-loop runs).
+	IntendedLatency *stats.Histogram
 }
 
 // P999Micros returns the overall p99.9 latency in microseconds.
@@ -136,9 +164,28 @@ func (r Result) P99Micros() float64 { return float64(r.Latency.Quantile(0.99)) /
 // MeanMicros returns the mean latency in microseconds.
 func (r Result) MeanMicros() float64 { return r.Latency.Mean() / 1e3 }
 
+// IntendedP99 returns the p99 latency measured from intended arrival
+// time (zero for closed-loop runs, which have no intended schedule).
+func (r Result) IntendedP99() time.Duration {
+	if r.IntendedLatency == nil {
+		return 0
+	}
+	return time.Duration(r.IntendedLatency.Quantile(0.99))
+}
+
+// IntendedP99Micros returns IntendedP99 in microseconds.
+func (r Result) IntendedP99Micros() float64 { return float64(r.IntendedP99()) / 1e3 }
+
 func (r Result) String() string {
 	s := fmt.Sprintf("ops=%d thr=%.0f/s mean=%.2fus p99=%.2fus p99.9=%.2fus",
 		r.Ops, r.Throughput, r.MeanMicros(), r.P99Micros(), r.P999Micros())
+	if r.Offered > 0 {
+		s += fmt.Sprintf(" offered=%.0f/s achieved=%.0f/s lag=%v overload=%d",
+			r.OfferedRate, r.AchievedRate, r.MaxLag.Round(time.Microsecond), r.Overload)
+		if r.IntendedLatency != nil {
+			s += fmt.Sprintf(" ip99=%.2fus", r.IntendedP99Micros())
+		}
+	}
 	if r.Errors > 0 || r.Retries > 0 || r.BreakerTrips > 0 {
 		s += fmt.Sprintf(" errs=%d(transient=%d) retries=%d trips=%d", r.Errors, r.TransientErrors, r.Retries, r.BreakerTrips)
 	}
@@ -297,6 +344,14 @@ type Collector struct {
 	aborted         atomic.Bool
 	finished        atomic.Bool
 
+	// Open-loop accounting, armed by enableOpenLoop. The clock is the
+	// pacer's notion of time (a fake in simulated-clock tests), so
+	// intended-arrival latencies stay on one timeline with the schedule.
+	clock    Clock
+	offered  atomic.Uint64
+	overload atomic.Uint64
+	maxLagNs atomic.Int64
+
 	base    kv.ResilienceCounters
 	rep     kv.ResilienceReporter
 	degrade atomic.Bool
@@ -340,6 +395,40 @@ func NewCollector(store kv.Store, opts Options) (*Collector, error) {
 // Store returns the store this collector measures (telemetry samplers
 // reached via Options.Observer use it to introspect the engine).
 func (c *Collector) Store() kv.Store { return c.store }
+
+// enableOpenLoop arms the collector's open-loop accounting: the
+// intended-arrival latency histogram and the clock shared with the
+// pacer. Must be called before the first operation (and before the
+// collector is handed to any Observer).
+func (c *Collector) enableOpenLoop(clock Clock) {
+	c.clock = clock
+	c.res.IntendedLatency = stats.NewHistogram()
+}
+
+// DoAt applies and measures one access dispatched by the open-loop
+// pacer: service latency is recorded exactly as Do does, and the
+// operation is additionally charged from its intended arrival time, so
+// queueing delay behind a slow store shows up in IntendedLatency.
+func (c *Collector) DoAt(a kv.Access, intended time.Time) error {
+	err := c.Do(a)
+	if !errors.Is(err, ErrAborted) {
+		c.res.IntendedLatency.Record(c.clock.Now().Sub(intended).Nanoseconds())
+	}
+	return err
+}
+
+// noteDispatch records one scheduled event handed to the in-flight
+// queue, and how far behind schedule the pacer was when it did.
+func (c *Collector) noteDispatch(lag time.Duration) {
+	c.offered.Add(1)
+	ns := lag.Nanoseconds()
+	for {
+		cur := c.maxLagNs.Load()
+		if ns <= cur || c.maxLagNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
 
 // ErrAborted is returned by Do after the collector was aborted (by the
 // run watchdog or an explicit Abort call).
@@ -419,6 +508,15 @@ func (c *Collector) fill(res *Result) {
 	if res.Duration > 0 {
 		res.Throughput = float64(res.Ops) / res.Duration.Seconds()
 	}
+	if c.res.IntendedLatency != nil {
+		res.Offered = c.offered.Load()
+		res.Overload = c.overload.Load()
+		res.MaxLag = time.Duration(c.maxLagNs.Load())
+		res.AchievedRate = res.Throughput
+		if res.Duration > 0 {
+			res.OfferedRate = float64(res.Offered) / res.Duration.Seconds()
+		}
+	}
 }
 
 // Finish seals the run and returns its measurements.
@@ -443,16 +541,22 @@ func (c *Collector) Snapshot() Result {
 		res.PerOp[i] = stats.NewHistogram()
 		res.PerOp[i].Merge(c.res.PerOp[i])
 	}
+	if c.res.IntendedLatency != nil {
+		res.IntendedLatency = stats.NewHistogram()
+		res.IntendedLatency.Merge(c.res.IntendedLatency)
+	}
 	c.fill(&res)
 	return res
 }
 
-// MergeResults folds per-worker Results into one run-wide view: op and
-// error counters sum, latency histograms merge, Duration is the longest
-// worker's, and Throughput is recomputed from the merged totals. The
-// resilience and engine deltas are NOT summed — when workers share one
-// store each worker's delta already covers the whole store, so the merge
-// takes the maximum seen instead of multiply counting it.
+// MergeResults folds per-worker Results into one run-wide view: op,
+// error, and open-loop offered/overload counters sum, latency histograms
+// (service and intended-arrival) merge, Duration is the longest
+// worker's, MaxLag the worst worker's, and the run-wide rates
+// (Throughput, OfferedRate, AchievedRate) are recomputed from the merged
+// totals. The resilience and engine deltas are NOT summed — when workers
+// share one store each worker's delta already covers the whole store, so
+// the merge takes the maximum seen instead of multiply counting it.
 func MergeResults(results []Result) Result {
 	out := Result{Latency: stats.NewHistogram()}
 	for i := range out.PerOp {
@@ -464,6 +568,8 @@ func MergeResults(results []Result) Result {
 		out.Errors += r.Errors
 		out.TransientErrors += r.TransientErrors
 		out.FatalErrors += r.FatalErrors
+		out.Offered += r.Offered
+		out.Overload += r.Overload
 		out.Retries = max(out.Retries, r.Retries)
 		out.Timeouts = max(out.Timeouts, r.Timeouts)
 		out.BreakerTrips = max(out.BreakerTrips, r.BreakerTrips)
@@ -472,8 +578,17 @@ func MergeResults(results []Result) Result {
 		if r.Duration > out.Duration {
 			out.Duration = r.Duration
 		}
+		if r.MaxLag > out.MaxLag {
+			out.MaxLag = r.MaxLag
+		}
 		if r.Latency != nil {
 			out.Latency.Merge(r.Latency)
+		}
+		if r.IntendedLatency != nil {
+			if out.IntendedLatency == nil {
+				out.IntendedLatency = stats.NewHistogram()
+			}
+			out.IntendedLatency.Merge(r.IntendedLatency)
 		}
 		for i, h := range r.PerOp {
 			if h != nil {
@@ -486,6 +601,10 @@ func MergeResults(results []Result) Result {
 	}
 	if out.Duration > 0 {
 		out.Throughput = float64(out.Ops) / out.Duration.Seconds()
+		if out.Offered > 0 {
+			out.OfferedRate = float64(out.Offered) / out.Duration.Seconds()
+			out.AchievedRate = out.Throughput
+		}
 	}
 	return out
 }
