@@ -16,6 +16,7 @@ import (
 	"gadget/internal/memstore"
 	"gadget/internal/obs"
 	"gadget/internal/replay"
+	"gadget/internal/stores"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -139,6 +140,85 @@ func BenchmarkResilientOverhead(b *testing.B) {
 					if err := store.Delete(key); err != nil && err != gadget.ErrNotFound {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// snapshotBenchEngines are the engines the snapshot/scan benches cover:
+// the two native MVCC engines plus the two fallback (stop-the-world)
+// engines, so the baseline records both cost classes.
+var snapshotBenchEngines = []string{"rocksdb", "berkeleydb", "memstore", "faster"}
+
+// benchScanStore opens an engine pre-populated with 4096 StateKey
+// entries across 16 groups — enough that the LSM engine has flushed
+// tables and the B+Tree spans many leaves.
+func benchScanStore(b *testing.B, engine string) kv.Store {
+	b.Helper()
+	s, err := stores.Open(stores.Config{
+		Engine: engine, Dir: b.TempDir(),
+		MemtableBytes: 64 << 10, CacheBytes: 256 << 10,
+		LogMemBytes: 8 << 20, IndexBuckets: 1 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 64)
+	for g := uint64(0); g < 16; g++ {
+		for sub := uint64(0); sub < 256; sub++ {
+			sk := kv.StateKey{Group: g, Sub: sub}
+			if err := s.Put(sk.Bytes(), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// BenchmarkSnapshotOverhead measures snapshot acquisition+release per
+// engine. The MVCC engines (rocksdb, berkeleydb) pin existing
+// structures and should stay O(1)-ish; memstore and faster pay the
+// stop-the-world fallback copy, so their ns/op scales with store size
+// (4096 entries here). Guarded by ci.sh's bench drift check.
+func BenchmarkSnapshotOverhead(b *testing.B) {
+	for _, engine := range snapshotBenchEngines {
+		b.Run(engine, func(b *testing.B) {
+			s := benchScanStore(b, engine)
+			defer s.Close()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap, err := kv.SnapshotOf(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := snap.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanRange measures one bounded range scan (a 256-entry key
+// group) per iteration — the access pattern of the windowed top-K
+// drain's trigger. Guarded by ci.sh's bench drift check.
+func BenchmarkScanRange(b *testing.B) {
+	for _, engine := range snapshotBenchEngines {
+		b.Run(engine, func(b *testing.B) {
+			s := benchScanStore(b, engine)
+			defer s.Close()
+			lo := kv.StateKey{Group: 7}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ents, err := kv.ScanRange(s, lo, lo.GroupEnd())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ents) != 256 {
+					b.Fatalf("scan returned %d entries, want 256", len(ents))
 				}
 			}
 		})

@@ -372,8 +372,8 @@ func cmdAnalyze(args []string) error {
 	}
 	a := gadget.Analyze(tr)
 	fmt.Printf("accesses            %d\n", len(tr))
-	fmt.Printf("composition         get=%.3f put=%.3f merge=%.3f delete=%.3f\n",
-		a.GetShare, a.PutShare, a.MergeShare, a.DeleteShare)
+	fmt.Printf("composition         get=%.3f put=%.3f merge=%.3f delete=%.3f scan=%.3f\n",
+		a.GetShare, a.PutShare, a.MergeShare, a.DeleteShare, a.ScanShare)
 	fmt.Printf("distinct state keys %d\n", a.DistinctKeys)
 	fmt.Printf("mean stack distance %.2f\n", a.MeanStackDistance)
 	fmt.Printf("unique 10-sequences %d\n", a.UniqueSeq10)

@@ -21,7 +21,7 @@ type Operator = core.Operator
 // EmitFunc receives each generated state access in order.
 type EmitFunc = core.Emit
 
-// NewOperator constructs one of the eleven predefined operators.
+// NewOperator constructs one of the thirteen predefined operators.
 func NewOperator(cfg OperatorConfig) (Operator, error) { return core.New(cfg) }
 
 // NewEventSource builds an event source from a source configuration.

@@ -68,7 +68,7 @@ type (
 	ObsConfig = config.ObsConfig
 	// OperatorConfig parameterizes a streaming operator.
 	OperatorConfig = core.Config
-	// OperatorType names one of the eleven predefined workloads.
+	// OperatorType names one of the thirteen predefined workloads.
 	OperatorType = core.OperatorType
 	// OperatorStats reports operator-level counters.
 	OperatorStats = core.Stats
@@ -101,19 +101,21 @@ type (
 	Datasets = datasets.Streams
 )
 
-// The eleven predefined workloads.
+// The thirteen predefined workloads.
 const (
-	TumblingIncr = core.TumblingIncr
-	TumblingHol  = core.TumblingHol
-	SlidingIncr  = core.SlidingIncr
-	SlidingHol   = core.SlidingHol
-	SessionIncr  = core.SessionIncr
-	SessionHol   = core.SessionHol
-	TumblingJoin = core.TumblingJoin
-	SlidingJoin  = core.SlidingJoin
-	IntervalJoin = core.IntervalJoin
-	ContinJoin   = core.ContinJoin
-	Aggregation  = core.Aggregation
+	TumblingIncr   = core.TumblingIncr
+	TumblingHol    = core.TumblingHol
+	SlidingIncr    = core.SlidingIncr
+	SlidingHol     = core.SlidingHol
+	SessionIncr    = core.SessionIncr
+	SessionHol     = core.SessionHol
+	TumblingJoin   = core.TumblingJoin
+	SlidingJoin    = core.SlidingJoin
+	IntervalJoin   = core.IntervalJoin
+	ContinJoin     = core.ContinJoin
+	Aggregation    = core.Aggregation
+	TopKDrain      = core.TopKDrain
+	RangeJoinProbe = core.RangeJoinProbe
 )
 
 // Operation types.
@@ -123,6 +125,7 @@ const (
 	OpMerge  = kv.OpMerge
 	OpDelete = kv.OpDelete
 	OpFGet   = kv.OpFGet
+	OpScan   = kv.OpScan
 )
 
 // Common errors re-exported for callers of the public API.
@@ -136,7 +139,47 @@ var (
 	// ErrBreakerOpen is returned by a ResilientStore rejecting operations
 	// while its circuit breaker is open.
 	ErrBreakerOpen = kv.ErrBreakerOpen
+	// ErrNoSnapshots is returned by SnapshotOf for stores that expose
+	// neither native snapshots nor the range scans the fallback needs.
+	ErrNoSnapshots = kv.ErrNoSnapshots
+	// ErrClosed is reported by iterators over a closed snapshot.
+	ErrClosed = kv.ErrClosed
 )
+
+// Snapshot / range-scan API re-exports (see DESIGN.md §11).
+type (
+	// Iterator is an ordered cursor over state entries.
+	Iterator = kv.Iterator
+	// Snapshot is a frozen, point-in-time view of a store.
+	Snapshot = kv.Snapshot
+	// Snapshotter is implemented by stores with native snapshots.
+	Snapshotter = kv.Snapshotter
+	// RangeScanner is implemented by stores with native range scans.
+	RangeScanner = kv.RangeScanner
+	// Entry is one key/value pair yielded by a scan.
+	Entry = kv.Entry
+	// Capabilities declares which access paths a store supports natively.
+	Capabilities = kv.Capabilities
+)
+
+// CapsOf reports a store's declared capabilities (the zero value for
+// stores that predate the capability interface).
+func CapsOf(s Store) Capabilities { return kv.CapsOf(s) }
+
+// SnapshotOf returns a consistent snapshot of the store: the engine's
+// native mechanism when Capabilities.Snapshots is set, otherwise a
+// stop-the-world full-copy fallback built over ScanRange.
+func SnapshotOf(s Store) (Snapshot, error) { return kv.SnapshotOf(s) }
+
+// ScanRange returns the live entries with keys in [lo, hi], ascending.
+func ScanRange(s Store, lo, hi StateKey) ([]Entry, error) { return kv.ScanRange(s, lo, hi) }
+
+// ScanAll returns every live entry in the store, ascending.
+func ScanAll(s Store) ([]Entry, error) { return kv.ScanAll(s) }
+
+// IterOf returns an iterator over [lo, hi] backed by a private
+// snapshot; Close releases it.
+func IterOf(s Store, lo, hi StateKey) (Iterator, error) { return kv.IterOf(s, lo, hi) }
 
 // Resilience layer re-exports: deterministic fault injection and the
 // retry/backoff/circuit-breaker middleware (see DESIGN.md §8).
@@ -338,8 +381,9 @@ func ReadTrace(path string) ([]Access, error) { return trace.ReadFile(path) }
 // TraceAnalysis summarizes the characterization metrics of a state
 // access trace (the paper's §3 toolbox).
 type TraceAnalysis struct {
-	// Composition is the operation mix (gets include trigger-time FGets).
-	GetShare, PutShare, MergeShare, DeleteShare float64
+	// Composition is the operation mix (gets include trigger-time FGets;
+	// scans are the range reads of the scan-aware workloads).
+	GetShare, PutShare, MergeShare, DeleteShare, ScanShare float64
 	// DistinctKeys is the number of distinct state keys.
 	DistinctKeys int
 	// MeanStackDistance measures temporal locality (lower = hotter).
@@ -386,6 +430,7 @@ func Analyze(accesses []Access) TraceAnalysis {
 		PutShare:          comp.Put,
 		MergeShare:        comp.Merge,
 		DeleteShare:       comp.Delete,
+		ScanShare:         comp.Scan,
 		DistinctKeys:      distinct,
 		MeanStackDistance: stats.Mean(dists),
 		UniqueSeq10:       seqs[9],

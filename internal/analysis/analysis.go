@@ -17,12 +17,13 @@ import (
 
 // Composition is the share of each operation type in a trace.
 type Composition struct {
-	Get, Put, Merge, Delete float64
-	Total                   int
+	Get, Put, Merge, Delete, Scan float64
+	Total                         int
 }
 
 // Compose computes a trace's operation mix. FGet (trigger-time reads)
-// counts as Get, matching the paper's Table 1 categories.
+// counts as Get, matching the paper's Table 1 categories; range scans
+// (the scan-aware workloads) are reported separately.
 func Compose(trace []kv.Access) Composition {
 	var c Composition
 	c.Total = len(trace)
@@ -39,6 +40,8 @@ func Compose(trace []kv.Access) Composition {
 			c.Merge++
 		case kv.OpDelete:
 			c.Delete++
+		case kv.OpScan:
+			c.Scan++
 		}
 	}
 	n := float64(c.Total)
@@ -46,6 +49,7 @@ func Compose(trace []kv.Access) Composition {
 	c.Put /= n
 	c.Merge /= n
 	c.Delete /= n
+	c.Scan /= n
 	return c
 }
 

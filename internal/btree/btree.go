@@ -37,6 +37,10 @@ type Store struct {
 	p      *pager
 	closed bool
 	count  int64
+
+	snaps     map[*btreeSnapshot]struct{} // live copy-on-write snapshots
+	snapshots int64                       // snapshots taken (for Metrics)
+	iterOps   int64                       // snapshot iterator entries served
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -58,12 +62,16 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{p: p}, nil
+	s := &Store{p: p, snaps: make(map[*btreeSnapshot]struct{})}
+	p.onPage = s.pageTouched
+	return s, nil
 }
 
-// Caps advertises in-place updates without a lazy merge operator.
+// Caps advertises in-place updates without a lazy merge operator, plus
+// native snapshots (copy-on-write pages) and ordered range scans (leaf
+// chain).
 func (s *Store) Caps() kv.Capabilities {
-	return kv.Capabilities{NativeMerge: false, InPlaceUpdate: true}
+	return kv.Capabilities{NativeMerge: false, InPlaceUpdate: true, Snapshots: true, RangeScans: true}
 }
 
 // Get returns the value stored under key.
@@ -456,56 +464,6 @@ func (s *Store) Delete(key []byte) error {
 	return nil
 }
 
-// Scan calls fn for every key-value pair in ascending key order until fn
-// returns false. Values passed to fn are freshly allocated.
-func (s *Store) Scan(fn func(key, value []byte) bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return kv.ErrClosed
-	}
-	// Descend to the leftmost leaf.
-	id := s.p.root
-	for {
-		fr, err := s.p.get(id)
-		if err != nil {
-			return err
-		}
-		if fr.data[0] == pageLeaf {
-			s.p.unpin(fr, false)
-			break
-		}
-		in, err := decodeInternal(fr.data)
-		s.p.unpin(fr, false)
-		if err != nil {
-			return err
-		}
-		id = in.children[0]
-	}
-	for id != 0 {
-		fr, err := s.p.get(id)
-		if err != nil {
-			return err
-		}
-		l, err := decodeLeaf(fr.data)
-		s.p.unpin(fr, false)
-		if err != nil {
-			return err
-		}
-		for i := range l.cells {
-			v, err := s.readValue(&l.cells[i])
-			if err != nil {
-				return err
-			}
-			if !fn(l.cells[i].key, v) {
-				return nil
-			}
-		}
-		id = l.next
-	}
-	return nil
-}
-
 // Count returns the number of live keys.
 func (s *Store) Count() int64 {
 	s.mu.RLock()
@@ -539,6 +497,8 @@ func (s *Store) Metrics() map[string]int64 {
 		"btree.pages":       int64(s.p.pageCount),
 		"btree.keys":        s.count,
 		"btree.size_bytes":  int64(s.p.pageCount) * PageSize,
+		"btree.snapshots":   s.snapshots,
+		"btree.iter_ops":    s.iterOps,
 	}
 }
 

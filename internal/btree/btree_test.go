@@ -116,32 +116,56 @@ func TestScanOrdered(t *testing.T) {
 	s := testStore(t, Options{})
 	rng := rand.New(rand.NewSource(8))
 	for _, i := range rng.Perm(5000) {
-		s.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("v"))
+		sk := kv.StateKey{Group: uint64(i / 100), Sub: uint64(i % 100)}
+		s.Put(sk.Bytes(), []byte("v"))
 	}
-	var prev []byte
-	count := 0
-	err := s.Scan(func(k, v []byte) bool {
-		if prev != nil && bytes.Compare(prev, k) >= 0 {
-			t.Fatalf("scan out of order: %q after %q", k, prev)
-		}
-		prev = append(prev[:0], k...)
-		count++
-		return true
-	})
+	it, err := kv.IterOf(s, kv.StateKey{}, kv.MaxStateKey)
 	if err != nil {
+		t.Fatal(err)
+	}
+	var prev kv.StateKey
+	count := 0
+	for it.Next() {
+		if count > 0 && !prev.Less(it.Key()) {
+			t.Fatalf("scan out of order: %v after %v", it.Key(), prev)
+		}
+		prev = it.Key()
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if count != 5000 {
 		t.Fatalf("scanned %d", count)
 	}
-	// Early termination.
-	count = 0
-	s.Scan(func(k, v []byte) bool {
-		count++
-		return count < 10
-	})
-	if count != 10 {
-		t.Fatalf("early-stop scanned %d", count)
+	// Bounded range: one full group.
+	got, err := kv.ScanRange(s, kv.StateKey{Group: 7}, kv.StateKey{Group: 7}.GroupEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("group scan returned %d entries", len(got))
+	}
+	for i, e := range got {
+		if e.Key != (kv.StateKey{Group: 7, Sub: uint64(i)}) {
+			t.Fatalf("group scan entry %d = %v", i, e.Key)
+		}
+	}
+	// Early termination: abandoning the iterator mid-scan is legal.
+	it, err = kv.IterOf(s, kv.StateKey{}, kv.MaxStateKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !it.Next() {
+			t.Fatalf("early-stop iterator exhausted at %d", i)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -311,7 +335,7 @@ func TestOpenRequiresDir(t *testing.T) {
 func TestCaps(t *testing.T) {
 	s := testStore(t, Options{})
 	caps := kv.CapsOf(s)
-	if caps.NativeMerge || !caps.InPlaceUpdate {
+	if caps.NativeMerge || !caps.InPlaceUpdate || !caps.Snapshots || !caps.RangeScans {
 		t.Fatalf("caps = %+v", caps)
 	}
 }

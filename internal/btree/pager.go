@@ -59,6 +59,15 @@ type pager struct {
 	journaled map[uint32]bool // pages with a before-image this epoch
 	baseline  uint32          // pageCount at last checkpoint; pages at or
 	// beyond it did not exist then and need no before-image
+
+	// onPage, when set, observes every page get() before the caller can
+	// mutate it. The copy-on-write snapshot layer uses it to capture
+	// pre-images: every mutation path (inline leaf edits, insert, free,
+	// free-list alloc) pins its page through get() first, so firing here
+	// is always pre-mutation. Fresh allocations bypass get() and the
+	// hook, which is correct — pages born after a snapshot are invisible
+	// to it by page-count bound.
+	onPage func(id uint32, data []byte)
 }
 
 func openPager(fs vfs.FS, path string, cacheBytes int64) (*pager, error) {
@@ -252,6 +261,9 @@ func (p *pager) get(id uint32) (*frame, error) {
 	if fr, ok := p.pool[id]; ok {
 		fr.pins++
 		p.lru.MoveToFront(fr.elem)
+		if p.onPage != nil {
+			p.onPage(fr.id, fr.data)
+		}
 		return fr, nil
 	}
 	data := make([]byte, PageSize)
@@ -264,6 +276,9 @@ func (p *pager) get(id uint32) (*frame, error) {
 	p.pool[id] = fr
 	if err := p.evict(); err != nil {
 		return nil, err
+	}
+	if p.onPage != nil {
+		p.onPage(fr.id, fr.data)
 	}
 	return fr, nil
 }

@@ -1,0 +1,266 @@
+package btree
+
+import (
+	"fmt"
+
+	"gadget/internal/kv"
+)
+
+// Copy-on-write snapshots. Snapshot() records the current root and page
+// count; from then on the pager's onPage hook captures the pre-image of
+// every page the tree touches before mutating it (first touch wins).
+// Snapshot reads resolve a page from the captured pre-images first and
+// fall back to the live pager — the fallback itself fires the hook, so
+// the snapshot memoizes each page it visits and never observes a
+// mutation. Pages allocated after the snapshot (id >= pageCount) are
+// invisible to it. All snapshot reads serialize on the store mutex, like
+// every other B+Tree operation (the buffer pool mutates LRU state even
+// on reads); a snapshot becomes invalid once the store is closed.
+
+// btreeSnapshot is a frozen view of the tree as of Snapshot().
+type btreeSnapshot struct {
+	s         *Store
+	root      uint32
+	pageCount uint32
+	pages     map[uint32][]byte // captured pre-images, grown by the hook
+	closed    bool
+}
+
+var _ kv.Snapshot = (*btreeSnapshot)(nil)
+
+// pageTouched is the pager's onPage hook: copy the pre-image of id into
+// every live snapshot that covers it and has not captured it yet.
+func (s *Store) pageTouched(id uint32, data []byte) {
+	for sn := range s.snaps {
+		if id >= sn.pageCount {
+			continue
+		}
+		if _, ok := sn.pages[id]; ok {
+			continue
+		}
+		sn.pages[id] = append([]byte(nil), data...)
+	}
+}
+
+// Snapshot implements kv.Snapshotter.
+func (s *Store) Snapshot() (kv.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	sn := &btreeSnapshot{
+		s:         s,
+		root:      s.p.root,
+		pageCount: s.p.pageCount,
+		pages:     make(map[uint32][]byte),
+	}
+	s.snaps[sn] = struct{}{}
+	s.snapshots++
+	return sn, nil
+}
+
+// pageLocked resolves page id as of snapshot time. Caller holds s.mu.
+func (sn *btreeSnapshot) pageLocked(id uint32) ([]byte, error) {
+	if b, ok := sn.pages[id]; ok {
+		return b, nil
+	}
+	if id >= sn.pageCount {
+		return nil, fmt.Errorf("btree: snapshot page %d beyond frozen page count %d", id, sn.pageCount)
+	}
+	fr, err := sn.s.p.get(id)
+	if err != nil {
+		return nil, err
+	}
+	// get() fired the onPage hook, which memoized this page into
+	// sn.pages; keep that stable copy rather than the live frame.
+	b, ok := sn.pages[id]
+	if !ok {
+		b = append([]byte(nil), fr.data...)
+		sn.pages[id] = b
+	}
+	sn.s.p.unpin(fr, false)
+	return b, nil
+}
+
+// readValueLocked materializes a cell's value from snapshot pages.
+func (sn *btreeSnapshot) readValueLocked(c *cell) ([]byte, error) {
+	if c.overflow == 0 {
+		return append([]byte(nil), c.val...), nil
+	}
+	out := make([]byte, 0, c.vlen)
+	id := c.overflow
+	for id != 0 {
+		page, err := sn.pageLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		if page[0] != pageOverflow {
+			return nil, fmt.Errorf("btree: bad overflow page %d in snapshot", id)
+		}
+		next := leUint32(page[1:])
+		n := leUint32(page[5:])
+		out = append(out, page[overflowHeader:overflowHeader+int(n)]...)
+		id = next
+	}
+	if uint32(len(out)) != c.vlen {
+		return nil, fmt.Errorf("btree: snapshot overflow chain length %d != %d", len(out), c.vlen)
+	}
+	return out, nil
+}
+
+// Get implements kv.Snapshot.
+func (sn *btreeSnapshot) Get(key []byte) ([]byte, error) {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn.closed || s.closed {
+		return nil, kv.ErrClosed
+	}
+	id := sn.root
+	for {
+		page, err := sn.pageLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		switch page[0] {
+		case pageInternal:
+			id = internalChild(page, key)
+		case pageLeaf:
+			inline, _, overflow, vlen, found := leafFind(page, key)
+			if !found {
+				return nil, kv.ErrNotFound
+			}
+			if overflow == 0 {
+				return append([]byte(nil), inline...), nil
+			}
+			return sn.readValueLocked(&cell{overflow: overflow, vlen: vlen})
+		default:
+			return nil, fmt.Errorf("btree: unexpected page type %d on snapshot lookup path", page[0])
+		}
+	}
+}
+
+// Iter implements kv.Snapshot.
+func (sn *btreeSnapshot) Iter(lo, hi kv.StateKey) kv.Iterator {
+	return &btreeIter{sn: sn, lo: lo, hi: hi}
+}
+
+// Close implements kv.Snapshot: the snapshot deregisters from the hook
+// and releases its captured pages.
+func (sn *btreeSnapshot) Close() error {
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn.closed {
+		return nil
+	}
+	sn.closed = true
+	delete(s.snaps, sn)
+	sn.pages = nil
+	return nil
+}
+
+// btreeIter walks the snapshot's leaf chain through [lo, hi], buffering
+// one decoded leaf at a time so no frame stays pinned between Next calls.
+type btreeIter struct {
+	sn      *btreeSnapshot
+	lo, hi  kv.StateKey
+	started bool
+	next    uint32 // leaf to load on the next fill; 0 = exhausted
+	buf     []kv.Entry
+	cur     kv.Entry
+	done    bool
+	err     error
+}
+
+func (it *btreeIter) Next() bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	if len(it.buf) == 0 && !it.fill() {
+		it.done = true
+		return false
+	}
+	it.cur = it.buf[0]
+	it.buf = it.buf[1:]
+	return true
+}
+
+// fill loads leaves until one yields in-range entries, under the store
+// lock. Returns false when the range is exhausted or on error.
+func (it *btreeIter) fill() bool {
+	s := it.sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || it.sn.closed {
+		it.err = kv.ErrClosed
+		return false
+	}
+	if !it.started {
+		it.started = true
+		// Descend to the leaf covering lo.
+		loKey := it.lo.Bytes()
+		id := it.sn.root
+		for {
+			page, err := it.sn.pageLocked(id)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			if page[0] == pageInternal {
+				id = internalChild(page, loKey)
+				continue
+			}
+			if page[0] != pageLeaf {
+				it.err = fmt.Errorf("btree: unexpected page type %d on snapshot scan path", page[0])
+				return false
+			}
+			it.next = id
+			break
+		}
+	}
+	for it.next != 0 {
+		page, err := it.sn.pageLocked(it.next)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		l, err := decodeLeaf(page)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.next = l.next
+		for i := range l.cells {
+			c := &l.cells[i]
+			sk, err := kv.DecodeStateKey(c.key)
+			if err != nil {
+				continue // non-StateKey keyspace is not scannable
+			}
+			if sk.Less(it.lo) {
+				continue
+			}
+			if it.hi.Less(sk) {
+				it.next = 0 // keys ascend across the chain: nothing further qualifies
+				break
+			}
+			v, err := it.sn.readValueLocked(c)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.buf = append(it.buf, kv.Entry{Key: sk, Value: v})
+		}
+		if len(it.buf) > 0 {
+			s.iterOps += int64(len(it.buf))
+			return true
+		}
+	}
+	return false
+}
+
+func (it *btreeIter) Key() kv.StateKey { return it.cur.Key }
+func (it *btreeIter) Value() []byte    { return it.cur.Value }
+func (it *btreeIter) Err() error       { return it.err }
+func (it *btreeIter) Close() error     { it.done = true; it.buf = nil; return nil }

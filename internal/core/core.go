@@ -10,8 +10,10 @@
 // Eleven predefined workloads cover the operators of the paper's §2.2:
 // tumbling/sliding/session windows in incremental and holistic variants,
 // tumbling/sliding window joins, interval and continuous joins, and
-// continuous aggregation. New operators implement the Operator interface
-// (the paper's assignStateMachines/run/terminate extension points).
+// continuous aggregation. Two scan-aware workloads (windowed top-K
+// drain and range-join probe) extend the set with range-scan accesses.
+// New operators implement the Operator interface (the paper's
+// assignStateMachines/run/terminate extension points).
 package core
 
 import (
@@ -40,19 +42,27 @@ const (
 	Aggregation  OperatorType = "aggregation"
 )
 
+// Scan-aware workloads (see scans.go): these exercise range scans over
+// the store (kv.OpScan) in addition to point operations.
+const (
+	TopKDrain      OperatorType = "windowed-topk"
+	RangeJoinProbe OperatorType = "range-join-probe"
+)
+
 // OperatorTypes lists all predefined workloads.
 func OperatorTypes() []OperatorType {
 	return []OperatorType{
 		TumblingIncr, TumblingHol, SlidingIncr, SlidingHol,
 		SessionIncr, SessionHol, TumblingJoin, SlidingJoin,
 		IntervalJoin, ContinJoin, Aggregation,
+		TopKDrain, RangeJoinProbe,
 	}
 }
 
 // IsJoin reports whether the operator consumes two input streams.
 func (t OperatorType) IsJoin() bool {
 	switch t {
-	case TumblingJoin, SlidingJoin, IntervalJoin, ContinJoin:
+	case TumblingJoin, SlidingJoin, IntervalJoin, ContinJoin, RangeJoinProbe:
 		return true
 	}
 	return false
@@ -155,6 +165,10 @@ func New(cfg Config) (Operator, error) {
 		return newContinuousJoinOp(c), nil
 	case Aggregation:
 		return newAggregationOp(c), nil
+	case TopKDrain:
+		return newTopKOp(c), nil
+	case RangeJoinProbe:
+		return newRangeJoinOp(c), nil
 	default:
 		return nil, fmt.Errorf("core: unknown operator %q", cfg.Operator)
 	}

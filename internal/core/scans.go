@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+)
+
+// The scan-aware workloads exercise the range-scan path of the store
+// API (kv.Snapshotter / kv.RangeScanner): instead of retrieving one
+// bucket per trigger, they drain or probe a whole key range with an
+// OpScan access. An OpScan with key K covers the consistent inclusive
+// range [K, K.GroupEnd()] — one StateKey encodes the range, so the
+// trace format is unchanged.
+
+// topKOp implements a windowed top-K drain: every event maintains an
+// incremental per-(window, event-key) counter (a get-put pair, as the
+// incremental windows do), and on trigger the operator drains the whole
+// window's counter range with one scan — the ranking read — followed by
+// a delete per live counter. State keys group by window start so the
+// drain is a single contiguous range.
+type topKOp struct {
+	driver
+	length int64
+	// tracked mirrors the live counters per window (hIndex role): window
+	// start -> event key -> count. Used to size and order the drain.
+	tracked map[int64]map[uint64]uint64
+}
+
+func newTopKOp(cfg Config) *topKOp {
+	return &topKOp{driver: newDriver(cfg), length: cfg.WindowLengthMs, tracked: make(map[int64]map[uint64]uint64)}
+}
+
+func (t *topKOp) Type() OperatorType { return TopKDrain }
+
+// topKRootSub namespaces the per-window root machine (vIndex expiry
+// only; never read or written) above any event key.
+const topKRootSub = ^uint64(0)
+
+func (t *topKOp) OnEvent(e eventgen.Event, emit Emit) {
+	t.stats.Events++
+	start := e.Time - e.Time%t.length
+	expire := start + t.length + t.cfg.AllowedLatenessMs
+	if expire <= t.watermark {
+		t.stats.LateDropped++
+		return
+	}
+	root := kv.StateKey{Group: uint64(start), Sub: topKRootSub}
+	if _, created := t.getMachine(root, expire); created {
+		t.tracked[start] = make(map[uint64]uint64)
+	}
+	t.tracked[start][e.Key]++
+	sk := kv.StateKey{Group: uint64(start), Sub: e.Key}
+	emit(kv.Access{Op: kv.OpGet, Key: sk, Time: e.Time})
+	emit(kv.Access{Op: kv.OpPut, Key: sk, Size: t.cfg.AggStateSize, Time: e.Time})
+}
+
+func (t *topKOp) OnWatermark(wm int64, emit Emit) {
+	if wm <= t.watermark {
+		return
+	}
+	t.watermark = wm
+	t.vindex.drain(wm, t.machines, func(m *machine) {
+		start := int64(m.key.Group)
+		// Trigger: one scan drains every counter of the window, then the
+		// counters are cleared in key order (the order the scan yields).
+		emit(kv.Access{Op: kv.OpScan, Key: kv.StateKey{Group: m.key.Group}, Time: wm})
+		keys := make([]uint64, 0, len(t.tracked[start]))
+		for k := range t.tracked[start] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			emit(kv.Access{Op: kv.OpDelete, Key: kv.StateKey{Group: m.key.Group, Sub: k}, Time: wm})
+		}
+		delete(t.tracked, start)
+		t.stats.WindowsFired++
+		t.terminate(m)
+	})
+}
+
+// rangeJoinOp implements a range-join probe: stream 0 (build) buffers
+// each event under its timestamp, exactly like the interval join's
+// build side; stream 1 (probe) issues one scan over the build buffer's
+// time range [t-upper, end of group] instead of a point read — the
+// asymmetric read-heavy probe of an event-time range join. Build
+// entries expire when the watermark passes their validity horizon.
+type rangeJoinOp struct {
+	driver
+	lower, upper int64
+}
+
+func newRangeJoinOp(cfg Config) *rangeJoinOp {
+	return &rangeJoinOp{driver: newDriver(cfg), lower: cfg.IntervalLowerMs, upper: cfg.IntervalUpperMs}
+}
+
+func (rj *rangeJoinOp) Type() OperatorType { return RangeJoinProbe }
+
+func (rj *rangeJoinOp) OnEvent(e eventgen.Event, emit Emit) {
+	rj.stats.Events++
+	if e.Time+rj.upper+rj.cfg.AllowedLatenessMs <= rj.watermark {
+		rj.stats.LateDropped++
+		return
+	}
+	if e.Stream&1 == 0 {
+		own := kv.StateKey{Group: streamGroup(e.Key, 0), Sub: uint64(e.Time)}
+		m, _ := rj.getMachine(own, e.Time+rj.upper+rj.cfg.AllowedLatenessMs)
+		m.elements++
+		m.bytes += e.Size
+		emit(kv.Access{Op: kv.OpPut, Key: own, Size: e.Size, Time: e.Time})
+		return
+	}
+	lo := e.Time - rj.upper
+	if lo < 0 {
+		lo = 0
+	}
+	emit(kv.Access{Op: kv.OpScan, Key: kv.StateKey{Group: streamGroup(e.Key, 0), Sub: uint64(lo)}, Time: e.Time})
+}
+
+func (rj *rangeJoinOp) OnWatermark(wm int64, emit Emit) {
+	if wm <= rj.watermark {
+		return
+	}
+	rj.watermark = wm
+	rj.vindex.drain(wm, rj.machines, func(m *machine) {
+		emit(kv.Access{Op: kv.OpDelete, Key: m.key, Time: wm})
+		rj.stats.WindowsFired++
+		rj.terminate(m)
+	})
+}

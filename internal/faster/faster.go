@@ -99,6 +99,8 @@ type Store struct {
 	appends                   atomic.Uint64
 	segSpills                 atomic.Uint64 // segments evicted to disk
 	diskReads                 atomic.Uint64 // records fetched from disk
+	snapshots                 atomic.Uint64
+	iterOps                   atomic.Int64
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -230,9 +232,44 @@ func (s *Store) bucketFor(key []byte) uint64 {
 	return h & uint64(len(s.buckets)-1)
 }
 
-// Caps advertises in-place updates without a lazy merge operator.
+// Caps advertises in-place updates without a lazy merge operator. The
+// hash index has no key order, so Snapshots and RangeScans stay false:
+// Snapshot is served by the stop-the-world fallback below.
 func (s *Store) Caps() kv.Capabilities {
 	return kv.Capabilities{NativeMerge: false, InPlaceUpdate: true}
+}
+
+// Snapshot implements kv.Snapshotter via kv.FallbackSnapshot: with
+// writers blocked on the lock, every hash chain is walked newest-first
+// and the most recent record per key is copied out. O(live log) — the
+// cost Capabilities{Snapshots: false} tells evaluators to budget for.
+func (s *Store) Snapshot() (kv.Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	var b kv.FallbackBuilder
+	seen := make(map[string]bool)
+	for _, head := range s.buckets {
+		for addr := head; addr != 0; {
+			kind, key, val, prev, err := s.readRecord(addr)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				if kind == kindPut {
+					b.Add(key, val)
+				}
+			}
+			addr = prev
+		}
+	}
+	s.snapshots.Add(1)
+	snap := b.Snapshot()
+	snap.CountIterOps(&s.iterOps)
+	return snap, nil
 }
 
 // mutableBoundary returns the lowest address eligible for in-place update.
@@ -477,6 +514,8 @@ func (s *Store) Metrics() map[string]int64 {
 		"faster.log_bytes":        int64(tail),
 		"faster.mem_log_bytes":    int64(tail - head),
 		"faster.mem_segments":     memSegs,
+		"faster.snapshots":        int64(s.snapshots.Load()),
+		"faster.iter_ops":         s.iterOps.Load(),
 	}
 }
 

@@ -283,7 +283,7 @@ func TestOpenRequiresDir(t *testing.T) {
 func TestCaps(t *testing.T) {
 	s := testStore(t, smallOpts())
 	caps := kv.CapsOf(s)
-	if caps.NativeMerge || !caps.InPlaceUpdate {
+	if caps.NativeMerge || !caps.InPlaceUpdate || caps.Snapshots || caps.RangeScans {
 		t.Fatalf("caps = %+v", caps)
 	}
 }

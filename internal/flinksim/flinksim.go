@@ -81,6 +81,14 @@ func (r *RecordingStore) Delete(key []byte) error {
 	return r.inner.Delete(key)
 }
 
+// Scan records an OpScan access (keyed by the low bound — one StateKey
+// encodes the range, matching the harness's trace convention) and
+// executes a consistent range scan against the inner store.
+func (r *RecordingStore) Scan(lo, hi kv.StateKey) ([]kv.Entry, error) {
+	r.trace = append(r.trace, kv.Access{Op: kv.OpScan, Key: lo, Time: r.clock})
+	return kv.ScanRange(r.inner, lo, hi)
+}
+
 // Close implements kv.Store (the inner store is closed too).
 func (r *RecordingStore) Close() error { return r.inner.Close() }
 
@@ -113,12 +121,19 @@ type stateStore interface {
 	Put(key, value []byte) error
 	Merge(key, operand []byte) error
 	Delete(key []byte) error
+	// Scan returns the live entries in the inclusive range [lo, hi] as a
+	// consistent point-in-time view, in ascending key order.
+	Scan(lo, hi kv.StateKey) ([]kv.Entry, error)
 }
 
 // plainStore adapts any kv.Store to stateStore (FGet = Get).
 type plainStore struct{ kv.Store }
 
 func (p plainStore) FGet(key []byte) ([]byte, error) { return p.Store.Get(key) }
+
+func (p plainStore) Scan(lo, hi kv.StateKey) ([]kv.Entry, error) {
+	return kv.ScanRange(p.Store, lo, hi)
+}
 
 // stateMeta is the engine's in-memory bookkeeping per state key (window
 // bounds, element counts for cross-checking, session bounds).

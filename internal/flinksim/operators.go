@@ -39,6 +39,10 @@ func newOperator(e *Engine) (operator, error) {
 		return &continuousJoinExec{e: e, open: map[uint64]*contOpen{}}, nil
 	case core.Aggregation:
 		return &aggregationExec{e: e}, nil
+	case core.TopKDrain:
+		return &topKExec{e: e, length: c.WindowLengthMs, windows: map[uint64]map[uint64]uint64{}}, nil
+	case core.RangeJoinProbe:
+		return &rangeJoinExec{e: e, lower: c.IntervalLowerMs, upper: c.IntervalUpperMs}, nil
 	default:
 		return nil, fmt.Errorf("flinksim: unknown operator %q", c.Operator)
 	}
@@ -465,3 +469,130 @@ func (cj *continuousJoinExec) onEvent(e eventgen.Event) error {
 }
 
 func (cj *continuousJoinExec) onTimer(*stateMeta) error { return nil }
+
+// topKRootSub mirrors core's per-window root machine namespace.
+const topKRootSub = ^uint64(0)
+
+// topKExec materializes the windowed top-K drain: real per-(window,
+// event-key) counters maintained with read-modify-write, drained with
+// one range scan on trigger and cross-checked against the engine's own
+// per-window counts — the scan path's end-to-end test.
+type topKExec struct {
+	e       *Engine
+	length  int64
+	windows map[uint64]map[uint64]uint64 // window start -> event key -> count
+}
+
+func (t *topKExec) onEvent(e eventgen.Event) error {
+	start := e.Time - e.Time%t.length
+	fireAt := start + t.length + t.e.cfg.AllowedLatenessMs
+	if fireAt <= t.e.wm {
+		t.e.summary.LateDropped++
+		return nil
+	}
+	root := kv.StateKey{Group: uint64(start), Sub: topKRootSub}
+	if _, created := t.e.getMeta(root, fireAt); created {
+		t.windows[uint64(start)] = make(map[uint64]uint64)
+	}
+	t.windows[uint64(start)][e.Key]++
+	sk := kv.StateKey{Group: uint64(start), Sub: e.Key}
+	key := sk.Bytes()
+	var count uint64
+	v, err := t.e.store.Get(key)
+	switch err {
+	case nil:
+		count, err = decodeAgg(v)
+		if err != nil {
+			return err
+		}
+	case kv.ErrNotFound:
+	default:
+		return err
+	}
+	return t.e.store.Put(key, t.e.encodeAgg(count+1))
+}
+
+func (t *topKExec) onTimer(m *stateMeta) error {
+	lo := kv.StateKey{Group: m.key.Group}
+	entries, err := t.e.store.Scan(lo, lo.GroupEnd())
+	if err != nil {
+		return err
+	}
+	tracked := t.windows[m.key.Group]
+	if len(entries) != len(tracked) {
+		return fmt.Errorf("flinksim: topk window %d scan returned %d counters, expected %d",
+			m.key.Group, len(entries), len(tracked))
+	}
+	for _, ent := range entries {
+		count, cerr := decodeAgg(ent.Value)
+		if cerr != nil {
+			return cerr
+		}
+		if want, ok := tracked[ent.Key.Sub]; !ok || count != want {
+			return fmt.Errorf("flinksim: topk counter %v is %d, expected %d", ent.Key, count, want)
+		}
+	}
+	// Clear the window in scan (ascending key) order.
+	for _, ent := range entries {
+		if err := t.e.store.Delete(ent.Key.Bytes()); err != nil {
+			return err
+		}
+	}
+	delete(t.windows, m.key.Group)
+	t.e.summary.Outputs++
+	t.e.dropMeta(m)
+	return nil
+}
+
+// rangeJoinExec materializes the range-join probe: stream 0 buffers
+// build records under their timestamps, stream 1 scans the build
+// buffer's matching time range. Scan results are cross-checked against
+// the engine's live build bookkeeping.
+type rangeJoinExec struct {
+	e            *Engine
+	lower, upper int64
+}
+
+func (rj *rangeJoinExec) onEvent(e eventgen.Event) error {
+	if e.Time+rj.upper+rj.e.cfg.AllowedLatenessMs <= rj.e.wm {
+		rj.e.summary.LateDropped++
+		return nil
+	}
+	if e.Stream&1 == 0 {
+		own := kv.StateKey{Group: streamGroup(e.Key, 0), Sub: uint64(e.Time)}
+		m, _ := rj.e.getMeta(own, e.Time+rj.upper+rj.e.cfg.AllowedLatenessMs)
+		m.elements++
+		return rj.e.store.Put(own.Bytes(), operandFor(e.Size))
+	}
+	loTime := e.Time - rj.upper
+	if loTime < 0 {
+		loTime = 0
+	}
+	lo := kv.StateKey{Group: streamGroup(e.Key, 0), Sub: uint64(loTime)}
+	entries, err := rj.e.store.Scan(lo, lo.GroupEnd())
+	if err != nil {
+		return err
+	}
+	// Every scanned build record must still be live in the engine's own
+	// bookkeeping and arrive in ascending key order.
+	for i, ent := range entries {
+		if _, ok := rj.e.meta[ent.Key]; !ok {
+			return fmt.Errorf("flinksim: range join scanned stale build record %v", ent.Key)
+		}
+		if i > 0 && !entries[i-1].Key.Less(ent.Key) {
+			return fmt.Errorf("flinksim: range join scan out of order at %v", ent.Key)
+		}
+	}
+	if len(entries) > 0 {
+		rj.e.summary.Outputs++ // at least one match
+	}
+	return nil
+}
+
+func (rj *rangeJoinExec) onTimer(m *stateMeta) error {
+	if err := rj.e.store.Delete(m.key.Bytes()); err != nil {
+		return err
+	}
+	rj.e.dropMeta(m)
+	return nil
+}

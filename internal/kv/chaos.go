@@ -194,5 +194,80 @@ func (s *ChaosStore) Delete(key []byte) error {
 	return s.inner.Delete(key)
 }
 
+// ScanRange implements RangeScanner when the wrapped store supports
+// scans: the admission lottery charges the scan as one operation, then
+// delegates.
+func (s *ChaosStore) ScanRange(lo, hi StateKey) ([]Entry, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	return ScanRange(s.inner, lo, hi)
+}
+
+// Snapshot implements Snapshotter when the wrapped store does. Acquiring
+// the snapshot runs the fault lottery once; afterwards every iterator
+// step runs it again, so a long drain through a chaotic store can fail
+// mid-scan with ErrInjectedFault — exactly the partial-failure mode a
+// resilience layer above has to absorb.
+func (s *ChaosStore) Snapshot() (Snapshot, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	snap, err := SnapshotOf(s.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosSnapshot{s: s, inner: snap}, nil
+}
+
+type chaosSnapshot struct {
+	s     *ChaosStore
+	inner Snapshot
+}
+
+func (cs *chaosSnapshot) Get(key []byte) ([]byte, error) {
+	if err := cs.s.admit(); err != nil {
+		return nil, err
+	}
+	return cs.inner.Get(key)
+}
+
+func (cs *chaosSnapshot) Iter(lo, hi StateKey) Iterator {
+	return &chaosIterator{s: cs.s, inner: cs.inner.Iter(lo, hi)}
+}
+
+func (cs *chaosSnapshot) Close() error { return cs.inner.Close() }
+
+// chaosIterator charges each step to the fault lottery. An injected
+// fault surfaces through Err() and terminates the iteration; the
+// underlying iterator is left where it was (fail-before-apply: the next
+// entry was not consumed).
+type chaosIterator struct {
+	s     *ChaosStore
+	inner Iterator
+	err   error
+}
+
+func (it *chaosIterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if err := it.s.admit(); err != nil {
+		it.err = err
+		return false
+	}
+	return it.inner.Next()
+}
+
+func (it *chaosIterator) Key() StateKey { return it.inner.Key() }
+func (it *chaosIterator) Value() []byte { return it.inner.Value() }
+func (it *chaosIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.inner.Err()
+}
+func (it *chaosIterator) Close() error { return it.inner.Close() }
+
 // Close closes the wrapped store (never injected).
 func (s *ChaosStore) Close() error { return s.inner.Close() }

@@ -1,0 +1,103 @@
+package kv_test
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+
+	"gadget/internal/kv"
+	"gadget/internal/memstore"
+)
+
+// FuzzIterBounds checks snapshot iteration against a model for
+// arbitrary bounds — inverted ranges (lo > hi), empty ranges, and
+// StateKey extremes (zero and ^0 in both fields) — over a fuzzed key
+// population. The invariants: a scan never errors, yields exactly the
+// live keys in [lo, hi] in ascending order, and an inverted range is
+// empty, not an error.
+func FuzzIterBounds(f *testing.F) {
+	max := ^uint64(0)
+	f.Add(uint64(0), uint64(0), max, max, []byte{1, 2, 3, 4})
+	f.Add(uint64(5), uint64(9), uint64(5), uint64(3), []byte{})       // lo > hi within a group
+	f.Add(uint64(7), uint64(0), uint64(2), uint64(0), []byte{0xff})   // inverted groups
+	f.Add(max, max, max, max, []byte{0x80, 0xff, 0x81, 0xff, 0, 0})   // extremes
+	f.Add(uint64(3), uint64(0), uint64(3), uint64(255), []byte{3, 7}) // one group
+	f.Fuzz(func(t *testing.T, loG, loS, hiG, hiS uint64, data []byte) {
+		lo := kv.StateKey{Group: loG, Sub: loS}
+		hi := kv.StateKey{Group: hiG, Sub: hiS}
+		store := memstore.New()
+		defer store.Close()
+
+		live := map[kv.StateKey][]byte{}
+		for i := 0; i+1 < len(data) && i < 128; i += 2 {
+			sk := kv.StateKey{Group: uint64(data[i] & 0x7f), Sub: uint64(data[i+1])}
+			if data[i]&0x80 != 0 {
+				sk.Group = max // force the top of the keyspace into play
+			}
+			if data[i+1] == 0xff {
+				sk.Sub = max
+			}
+			if data[i]%5 == 4 {
+				if err := store.Delete(sk.Bytes()); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, sk)
+				continue
+			}
+			val := []byte{data[i], data[i+1], byte(i)}
+			if err := store.Put(sk.Bytes(), val); err != nil {
+				t.Fatal(err)
+			}
+			live[sk] = val
+		}
+
+		var want []kv.Entry
+		for sk, v := range live {
+			if sk.Less(lo) || hi.Less(sk) {
+				continue
+			}
+			want = append(want, kv.Entry{Key: sk, Value: v})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Key.Less(want[j].Key) })
+
+		got, err := kv.ScanRange(store, lo, hi)
+		if err != nil {
+			t.Fatalf("ScanRange([%v, %v]): %v", lo, hi, err)
+		}
+		if hi.Less(lo) && len(got) != 0 {
+			t.Fatalf("inverted range [%v, %v] returned %d entries", lo, hi, len(got))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scan [%v, %v] returned %d entries, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || !bytes.Equal(got[i].Value, want[i].Value) {
+				t.Fatalf("entry %d: got %v=%q, want %v=%q", i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+			}
+		}
+
+		// Abandoning an iterator mid-drain and closing it must be safe,
+		// and a closed snapshot's iterator must report ErrClosed.
+		it, err := kv.IterOf(store, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.Next()
+		if err := it.Close(); err != nil {
+			t.Fatalf("close mid-drain: %v", err)
+		}
+		snap, err := kv.SnapshotOf(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Close()
+		dead := snap.Iter(lo, hi)
+		if dead.Next() {
+			t.Fatal("iterator over closed snapshot yielded an entry")
+		}
+		if len(want) > 0 && !errors.Is(dead.Err(), kv.ErrClosed) {
+			t.Fatalf("iterator over closed snapshot: err = %v, want ErrClosed", dead.Err())
+		}
+	})
+}

@@ -26,6 +26,14 @@ const (
 	// is tracked separately so analyses can distinguish per-event reads
 	// from trigger-time reads.
 	OpFGet
+	// OpScan is a consistent range scan over the tail of a key group: it
+	// reads every live entry in [Key, {Key.Group, MaxUint64}] from a
+	// point-in-time view of the store. Scan-aware operators use it for
+	// trigger-time window drains (Key.Sub = 0 scans the whole group) and
+	// range-join probes (Key.Sub = the lower time bound). Engines without
+	// native snapshots serve it through the stop-the-world
+	// FallbackSnapshot path.
+	OpScan
 
 	numOps
 )
@@ -46,13 +54,15 @@ func (o Op) String() string {
 		return "delete"
 	case OpFGet:
 		return "fget"
+	case OpScan:
+		return "scan"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
 
 // IsRead reports whether the operation only reads state.
-func (o Op) IsRead() bool { return o == OpGet || o == OpFGet }
+func (o Op) IsRead() bool { return o == OpGet || o == OpFGet || o == OpScan }
 
 // StateKey is the 128-bit composite key under which operator state is
 // stored. Group holds the event key (or a stream/operator discriminator)
@@ -159,19 +169,36 @@ type Capabilities struct {
 	// InPlaceUpdate is true for engines that can update a record without
 	// rewriting it elsewhere (hash stores, B+Trees).
 	InPlaceUpdate bool
+	// Snapshots is true when Snapshot() produces a cheap native
+	// point-in-time view (a pinned LSM version, copy-on-write pages, an
+	// in-memory copy of the oracle). Engines that only satisfy
+	// Snapshotter through the shared stop-the-world FallbackSnapshot
+	// report false, so evaluators can budget for the full-copy cost.
+	Snapshots bool
+	// RangeScans is true when the engine serves ordered range iteration
+	// natively (sorted structure or a server-side scan), rather than by
+	// materializing and sorting a full copy.
+	RangeScans bool
 }
 
 // Capabler is implemented by stores to advertise their Capabilities.
-// Stores that do not implement it are assumed to support native merge.
+//
+// Contract: every engine and every store wrapper MUST implement Capabler.
+// Wrappers delegate with CapsOf(inner) so capabilities survive
+// middleware composition. A store without a Caps method advertises the
+// zero Capabilities value — no native merge, no in-place updates, no
+// snapshots, no range scans — so a missing implementation degrades to
+// the most conservative translation instead of silently claiming
+// features (a plain store used to be assumed to support native merge).
 type Capabler interface {
 	Caps() Capabilities
 }
 
-// CapsOf returns the capabilities of s, defaulting to NativeMerge for
-// stores that do not implement Capabler.
+// CapsOf returns the capabilities of s. Stores that do not implement
+// Capabler report the explicit zero value: no optional features.
 func CapsOf(s Store) Capabilities {
 	if c, ok := s.(Capabler); ok {
 		return c.Caps()
 	}
-	return Capabilities{NativeMerge: true}
+	return Capabilities{}
 }

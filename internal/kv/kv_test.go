@@ -88,9 +88,9 @@ type capStore struct{ Store }
 func (capStore) Caps() Capabilities { return Capabilities{InPlaceUpdate: true} }
 
 func TestCapsOf(t *testing.T) {
-	var plain Store // nil store without Capabler still defaults
-	if c := CapsOf(plain); !c.NativeMerge {
-		t.Error("default caps should advertise native merge")
+	var plain Store // nil store without Capabler advertises nothing
+	if c := CapsOf(plain); c != (Capabilities{}) {
+		t.Errorf("default caps should be the zero value, got %+v", c)
 	}
 	if c := CapsOf(capStore{}); c.NativeMerge || !c.InPlaceUpdate {
 		t.Errorf("capStore caps = %+v", c)

@@ -400,5 +400,82 @@ func (r *ResilientStore) Delete(key []byte) error {
 	return err
 }
 
+// ScanRange implements RangeScanner with the full pipeline: scans are
+// reads, so transient failures retry safely under the OpScan budget.
+// The result is published under a mutex because a timed-out attempt is
+// abandoned, not cancelled — it may still complete and write late.
+func (r *ResilientStore) ScanRange(lo, hi StateKey) ([]Entry, error) {
+	var mu sync.Mutex
+	var out []Entry
+	f := func() ([]byte, error) {
+		ents, err := ScanRange(r.inner, lo, hi)
+		if err == nil {
+			mu.Lock()
+			if out == nil {
+				out = ents
+			}
+			mu.Unlock()
+		}
+		return nil, err
+	}
+	var err error
+	if r.fastOK() {
+		if _, err = f(); err == nil {
+			return out, nil
+		}
+		_, err = r.doRetry(OpScan, err, f)
+	} else {
+		_, err = r.do(OpScan, f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return out, nil
+}
+
+// Snapshot implements Snapshotter, bounding acquisition with the per-op
+// deadline and retrying transient failures under the OpScan budget. The
+// returned snapshot itself is the inner store's: iteration over it is
+// not deadline-bounded (a drain's pacing belongs to the caller). A
+// snapshot acquired by an abandoned late attempt is closed, never
+// leaked; the first successful acquisition wins.
+func (r *ResilientStore) Snapshot() (snap Snapshot, retErr error) {
+	var mu sync.Mutex
+	var won Snapshot
+	failed := false
+	f := func() ([]byte, error) {
+		sn, err := SnapshotOf(r.inner)
+		if err == nil {
+			mu.Lock()
+			if failed || won != nil {
+				mu.Unlock()
+				sn.Close()
+				return nil, nil
+			}
+			won = sn
+			mu.Unlock()
+		}
+		return nil, err
+	}
+	var err error
+	if r.fastOK() {
+		if _, err = f(); err != nil {
+			_, err = r.doRetry(OpScan, err, f)
+		}
+	} else {
+		_, err = r.do(OpScan, f)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if err != nil && won == nil {
+		// Tell any still-running abandoned attempt to close what it gets.
+		failed = true
+		return nil, err
+	}
+	return won, nil
+}
+
 // Close closes the wrapped store directly (no retries, no deadline).
 func (r *ResilientStore) Close() error { return r.inner.Close() }

@@ -1,0 +1,178 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Scan support for scriptStore (resilient_test.go), so the middleware
+// scan paths can be driven by scripted failures.
+
+func (s *scriptStore) ScanRange(lo, hi StateKey) ([]Entry, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for k, v := range s.m {
+		sk, err := DecodeStateKey([]byte(k))
+		if err != nil || sk.Less(lo) || hi.Less(sk) {
+			continue
+		}
+		out = append(out, Entry{Key: sk, Value: append([]byte(nil), v...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out, nil
+}
+
+func (s *scriptStore) Snapshot() (Snapshot, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b FallbackBuilder
+	for k, v := range s.m {
+		b.Add([]byte(k), v)
+	}
+	return b.Snapshot(), nil
+}
+
+func seedStateKeys(t *testing.T, s Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		sk := StateKey{Group: 1, Sub: uint64(i)}
+		if err := s.Put(sk.Bytes(), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChaosInjectsIteratorFaults schedules an outage mid-drain: the
+// snapshot acquisition and the first two iterator steps are admitted,
+// then every step fails, surfacing ErrInjectedFault through Err().
+func TestChaosInjectsIteratorFaults(t *testing.T) {
+	inner := newScriptStore()
+	seedStateKeys(t, inner, 10)
+	cs := NewChaosStore(inner, ChaosPlan{OutageAfterOps: 3, OutageOps: 1 << 20})
+
+	snap, err := cs.Snapshot() // op 1
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	defer snap.Close()
+	it := snap.Iter(StateKey{}, MaxStateKey)
+	var got int
+	for it.Next() { // ops 2, 3 admitted; op 4 enters the outage
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("iterator yielded %d entries before the fault, want 2", got)
+	}
+	if !errors.Is(it.Err(), ErrInjectedFault) {
+		t.Fatalf("iterator err = %v, want ErrInjectedFault", it.Err())
+	}
+	if c := cs.Counters(); c.InjectedErrors == 0 {
+		t.Fatal("no injected errors counted")
+	}
+}
+
+// TestChaosScanAdmission: with a certain-failure plan, both ScanRange
+// and Snapshot fail before reaching the store.
+func TestChaosScanAdmission(t *testing.T) {
+	inner := newScriptStore()
+	seedStateKeys(t, inner, 4)
+	cs := NewChaosStore(inner, ChaosPlan{ErrorRate: 1})
+	if _, err := cs.ScanRange(StateKey{}, MaxStateKey); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("ScanRange err = %v, want ErrInjectedFault", err)
+	}
+	if _, err := cs.Snapshot(); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("Snapshot err = %v, want ErrInjectedFault", err)
+	}
+	if inner.callCount() != 4 { // only the seed puts reached the store
+		t.Fatalf("%d calls reached the store, want 4", inner.callCount())
+	}
+}
+
+// TestResilientScanRetries: transient scan failures are retried under
+// the OpScan budget and the result of the successful attempt returned.
+func TestResilientScanRetries(t *testing.T) {
+	inner := newScriptStore()
+	seedStateKeys(t, inner, 5)
+	start := inner.callCount()
+	inner.fail = func(call int) error {
+		if call <= start+2 {
+			return TransientError(errors.New("blip"))
+		}
+		return nil
+	}
+	r, err := NewResilientStore(inner, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ScanRange(StateKey{}, MaxStateKey)
+	if err != nil {
+		t.Fatalf("ScanRange: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("scan returned %d entries, want 5", len(got))
+	}
+	if c := r.ResilienceCounters(); c.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", c.Retries)
+	}
+}
+
+// TestResilientSnapshotRetries: snapshot acquisition is retried like a
+// read, and the snapshot of the successful attempt is returned intact.
+func TestResilientSnapshotRetries(t *testing.T) {
+	inner := newScriptStore()
+	seedStateKeys(t, inner, 5)
+	start := inner.callCount()
+	inner.fail = func(call int) error {
+		if call == start+1 {
+			return TransientError(errors.New("blip"))
+		}
+		return nil
+	}
+	r, err := NewResilientStore(inner, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotOf(r)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	defer snap.Close()
+	entries, err := CollectIter(snap.Iter(StateKey{}, MaxStateKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("snapshot holds %d entries, want 5", len(entries))
+	}
+	if c := r.ResilienceCounters(); c.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", c.Retries)
+	}
+}
+
+// TestResilientSnapshotDeadline: a stalled snapshot acquisition is cut
+// off by the per-op deadline.
+func TestResilientSnapshotDeadline(t *testing.T) {
+	inner := newScriptStore()
+	seedStateKeys(t, inner, 3)
+	inner.delay = 50 * time.Millisecond
+	opts := fastOpts()
+	opts.OpTimeout = 2 * time.Millisecond
+	opts.MaxRetries = 1
+	r, err := NewResilientStore(inner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Snapshot(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Snapshot err = %v, want ErrDeadlineExceeded", err)
+	}
+}

@@ -179,10 +179,11 @@ func (db *DB) compactLocked(req *CompactionRequest) error {
 	if err := db.writeManifestLocked(); err != nil {
 		return err
 	}
+	// Inputs leave the version; snapshots may still pin them. The last
+	// owner's unref closes, uncaches, and deletes each file.
 	for _, fm := range inputs {
-		fm.close()
-		db.cache.InvalidateFile(fm.num)
-		db.opts.FS.Remove(fm.path)
+		fm.markObsolete()
+		fm.unref()
 	}
 	db.stats.Compactions++
 	db.stats.BytesCompacted += inBytes
@@ -237,8 +238,8 @@ func (db *DB) mergeTables(inputs []*fileMeta, outLevel int, bottommost bool) (ou
 		// never committed to the manifest; remove them eagerly (a crashed
 		// process would instead leave them for loadTables' orphan sweep).
 		for _, fm := range outputs {
-			fm.close()
-			db.opts.FS.Remove(fm.path)
+			fm.markObsolete()
+			fm.unref()
 		}
 		return nil, 0, e
 	}

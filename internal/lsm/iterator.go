@@ -3,6 +3,7 @@ package lsm
 import (
 	"bytes"
 	"container/heap"
+	"encoding/binary"
 
 	"gadget/internal/kv"
 )
@@ -31,6 +32,158 @@ func (h *scanHeap) Pop() interface{} {
 	return x
 }
 
+// rangeIter is a pull-style merge iterator over a set of memtables and
+// tables: it resolves one live user key per nextLocked call (merges
+// applied newest-last, tombstones and shadowed entries skipped),
+// restricted to raw user keys in [lo, hi] (hi inclusive; nil hiFence =
+// unbounded) and to entries with sequence <= maxSeq. The seq filter is
+// what makes a pinned memtable set read as of snapshot time: skiplists
+// are insert-only, so entries written after the snapshot merely carry
+// higher sequences.
+//
+// The caller owns locking: every nextLocked call must run under the
+// DB's lock (memtable skiplists may be receiving inserts concurrently).
+type rangeIter struct {
+	h       scanHeap
+	hiFence []byte // escaped prefix of hi; nil = unbounded
+	maxSeq  uint64
+
+	// Per-user-key resolution state.
+	curPrefix []byte
+	operands  [][]byte // newest first
+	base      []byte
+	resolved  bool
+	haveKey   bool
+
+	outKey []byte
+	outVal []byte
+	done   bool
+}
+
+// newRangeIter seeks every source to lo (nil = first key) and builds the
+// merge heap. hi bounds the scan by raw user key, inclusive; nil means
+// unbounded.
+func newRangeIter(mems []*memtable, files []*fileMeta, lo, hi []byte, maxSeq uint64) *rangeIter {
+	it := &rangeIter{maxSeq: maxSeq}
+	if hi != nil {
+		it.hiFence = appendEscaped(nil, hi)
+	}
+	var seek []byte
+	if lo != nil {
+		seek = lookupKey(lo)
+	}
+	add := func(s internalIter) {
+		if s.Valid() {
+			it.h = append(it.h, s)
+		}
+	}
+	for _, m := range mems {
+		si := m.sl.Iter()
+		if seek != nil {
+			si.SeekGE(seek)
+		} else {
+			si.First()
+		}
+		add(si)
+	}
+	for _, fm := range files {
+		ti := fm.reader.Iter()
+		if seek != nil {
+			ti.SeekGE(seek)
+		} else {
+			ti.First()
+		}
+		add(ti)
+	}
+	heap.Init(&it.h)
+	return it
+}
+
+// emitPending resolves the buffered user-key group into outKey/outVal,
+// reporting whether the key is live. State is reset either way.
+func (it *rangeIter) emitPending() bool {
+	defer func() {
+		it.operands = it.operands[:0]
+		it.base = nil
+		it.resolved = false
+		it.haveKey = false
+	}()
+	if !it.haveKey {
+		return false
+	}
+	if !it.resolved && len(it.operands) == 0 {
+		return false // only too-new or shadowed entries: nothing live
+	}
+	if it.resolved && it.base == nil && len(it.operands) == 0 {
+		return false // newest visible entry was a tombstone
+	}
+	userKey, _, err := decodeEscaped(it.curPrefix)
+	if err != nil {
+		return false
+	}
+	it.outKey = userKey
+	it.outVal = combineMerge(it.base, it.operands)
+	return true
+}
+
+// nextLocked advances to the next live user key in range. The caller
+// must hold the DB lock (read or write) across the call.
+func (it *rangeIter) nextLocked() bool {
+	if it.done {
+		return false
+	}
+	for len(it.h) > 0 {
+		top := it.h[0]
+		ikey := top.Key()
+		prefix := ikeyUserPrefix(ikey)
+		if it.hiFence != nil && bytes.Compare(prefix, it.hiFence) > 0 {
+			// The heap yields ascending prefixes: nothing further is in
+			// range. Escaped-prefix order equals raw-key order, so the
+			// fence comparison is exact.
+			it.done = true
+			return it.emitPending()
+		}
+		if it.haveKey && !bytes.Equal(prefix, it.curPrefix) {
+			if it.emitPending() {
+				// top is the first entry of the NEXT group and stays in
+				// the heap; the next call resumes with it.
+				return true
+			}
+			// Dead group discarded; fall through to start a new one.
+		}
+		it.haveKey = true
+		it.curPrefix = append(it.curPrefix[:0], prefix...)
+		trailer := ikey[len(ikey)-trailerLen:]
+		seq := ^binary.BigEndian.Uint64(trailer[:8])
+		if seq <= it.maxSeq && !it.resolved {
+			switch trailer[8] {
+			case kindPut:
+				it.base = append([]byte(nil), top.Value()...)
+				it.resolved = true
+			case kindDelete:
+				it.resolved = true
+				if len(it.operands) > 0 {
+					// Merges above a tombstone resolve against an empty
+					// base; mark it as a live (possibly empty) value.
+					it.base = []byte{}
+				} else {
+					it.base = nil
+				}
+			case kindMerge:
+				it.operands = append(it.operands, append([]byte(nil), top.Value()...))
+			}
+		}
+		top.Next()
+		if top.Valid() {
+			heap.Fix(&it.h, 0)
+		} else {
+			heap.Pop(&it.h)
+		}
+	}
+	it.done = true
+	return it.emitPending()
+}
+
 // Scan calls fn for every live user key in ascending order with its
 // fully resolved value (merges applied, tombstones skipped) until fn
 // returns false. The iteration observes a consistent point-in-time view:
@@ -41,93 +194,16 @@ func (db *DB) Scan(fn func(key, value []byte) bool) error {
 	if db.closed {
 		return kv.ErrClosed
 	}
-	var h scanHeap
-	add := func(it internalIter) {
-		if it.Valid() {
-			h = append(h, it)
-		}
-	}
-	mit := db.mem.sl.Iter()
-	mit.First()
-	add(mit)
-	for _, m := range db.imm {
-		it := m.sl.Iter()
-		it.First()
-		add(it)
-	}
+	mems := append([]*memtable{db.mem}, db.imm...)
+	var files []*fileMeta
 	for _, lvl := range db.version.levels {
-		for _, fm := range lvl {
-			it := fm.reader.Iter()
-			it.First()
-			add(it)
+		files = append(files, lvl...)
+	}
+	it := newRangeIter(mems, files, nil, nil, ^uint64(0))
+	for it.nextLocked() {
+		if !fn(it.outKey, it.outVal) {
+			return nil
 		}
 	}
-	heap.Init(&h)
-
-	var curPrefix []byte
-	var operands [][]byte
-	var base []byte
-	resolved := false
-	haveKey := false
-
-	flush := func() bool {
-		if !haveKey {
-			return true
-		}
-		defer func() {
-			operands = operands[:0]
-			base = nil
-			resolved = false
-			haveKey = false
-		}()
-		if !resolved && len(operands) == 0 {
-			return true // only shadowed entries: nothing live
-		}
-		if resolved && base == nil && len(operands) == 0 {
-			return true // newest entry was a tombstone
-		}
-		userKey, _, err := decodeEscaped(curPrefix)
-		if err != nil {
-			return true
-		}
-		return fn(userKey, combineMerge(base, operands))
-	}
-
-	for len(h) > 0 {
-		top := h[0]
-		ikey := top.Key()
-		prefix := ikeyUserPrefix(ikey)
-		if !bytes.Equal(prefix, curPrefix) {
-			if !flush() {
-				return nil
-			}
-			curPrefix = append(curPrefix[:0], prefix...)
-		}
-		haveKey = true
-		if !resolved {
-			switch ikey[len(ikey)-1] {
-			case kindPut:
-				base = append([]byte(nil), top.Value()...)
-				resolved = true
-			case kindDelete:
-				base = nil
-				resolved = true
-				if len(operands) > 0 {
-					// Merges above a tombstone resolve against an empty
-					// base; mark it as a live (possibly empty) value.
-					base = []byte{}
-				}
-			case kindMerge:
-				operands = append(operands, append([]byte(nil), top.Value()...))
-			}
-		}
-		top.Next()
-		if top.Valid() {
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
-	}
-	flush()
 	return nil
 }

@@ -123,6 +123,11 @@ type DB struct {
 	closed  bool
 	stats   Stats
 	bloom   bloomCounters
+
+	// Snapshot accounting (atomics: iterators bump iterOps under the
+	// read lock).
+	snapshots atomic.Uint64
+	iterOps   atomic.Int64
 }
 
 var _ kv.Store = (*DB)(nil)
@@ -237,9 +242,11 @@ func (db *DB) loadTables() error {
 	return nil
 }
 
-// Caps advertises the engine's native merge support.
+// Caps advertises native merge plus cheap MVCC snapshots (a pinned
+// memtable + version set with sequence filtering) and native ordered
+// range scans (merge iterators over sorted runs).
 func (db *DB) Caps() kv.Capabilities {
-	return kv.Capabilities{NativeMerge: true}
+	return kv.Capabilities{NativeMerge: true, Snapshots: true, RangeScans: true}
 }
 
 // Put stores value under key.
@@ -466,6 +473,8 @@ func (db *DB) Metrics() map[string]int64 {
 		"lsm.cache_misses":          int64(misses),
 		"lsm.cache_used_bytes":      db.cache.Used(),
 		"lsm.size_bytes":            db.ApproximateSize(),
+		"lsm.snapshots":             int64(db.snapshots.Load()),
+		"lsm.iter_ops":              db.iterOps.Load(),
 	}
 	db.mu.RLock()
 	for lvl, files := range db.version.levels {
@@ -531,7 +540,9 @@ func (db *DB) Close() error {
 	var firstErr error
 	for _, lvl := range db.version.levels {
 		for _, fm := range lvl {
-			if err := fm.close(); err != nil && firstErr == nil {
+			// Live snapshots keep their pinned tables (but not the WAL or
+			// cache) usable past Close; the handle closes on last unref.
+			if err := fm.unref(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -325,8 +325,8 @@ func TestVariableLengthKeysWithPrefixes(t *testing.T) {
 
 func TestCaps(t *testing.T) {
 	db := testDB(t, Options{})
-	if caps := kv.CapsOf(db); !caps.NativeMerge {
-		t.Fatal("lsm must advertise native merge")
+	if caps := kv.CapsOf(db); !caps.NativeMerge || !caps.Snapshots || !caps.RangeScans {
+		t.Fatalf("lsm caps = %+v", caps)
 	}
 }
 

@@ -36,10 +36,20 @@ type fileMeta struct {
 	reader      *sstable.Reader
 	file        vfs.File
 	path        string
+	fs          vfs.FS
+	cache       *cache.Cache
 	// bloom aggregates Bloom filter outcomes across the DB's tables
 	// (points at the owning DB's counters; nil only in unit tests that
 	// build a fileMeta directly).
 	bloom *bloomCounters
+
+	// refs counts owners of the open table: the version that installed it
+	// plus any live snapshots pinning it. The last unref closes the file;
+	// if the table was marked obsolete (compacted away) it is also
+	// removed from cache and disk at that point. Deferring the removal is
+	// safe because file numbers are never reused within a process.
+	refs     atomic.Int32
+	obsolete atomic.Bool
 }
 
 // bloomCounters tracks filter effectiveness DB-wide. Probes run under
@@ -50,9 +60,28 @@ type bloomCounters struct {
 	falsePos  atomic.Uint64 // filter said maybe, table had nothing
 }
 
-func (fm *fileMeta) close() error {
-	return fm.file.Close()
+func (fm *fileMeta) ref() { fm.refs.Add(1) }
+
+// unref drops one owner. The final unref closes the file handle and, for
+// obsolete tables, invalidates cached blocks and deletes the file.
+func (fm *fileMeta) unref() error {
+	if fm.refs.Add(-1) != 0 {
+		return nil
+	}
+	err := fm.file.Close()
+	if fm.obsolete.Load() {
+		if fm.cache != nil {
+			fm.cache.InvalidateFile(fm.num)
+		}
+		if fm.fs != nil {
+			fm.fs.Remove(fm.path)
+		}
+	}
+	return err
 }
+
+// markObsolete flags the table for deletion once every owner lets go.
+func (fm *fileMeta) markObsolete() { fm.obsolete.Store(true) }
 
 // get probes the table for userKey with the same contract as memtable.get.
 func (fm *fileMeta) get(userKey []byte, operands *[][]byte) ([]byte, lookupResult, error) {
@@ -140,7 +169,10 @@ func openTable(fs vfs.FS, path string, num uint64, c *cache.Cache) (*fileMeta, e
 		reader:   r,
 		file:     f,
 		path:     path,
+		fs:       fs,
+		cache:    c,
 	}
+	fm.refs.Store(1)
 	if d, ok := r.Property(propDeletes); ok {
 		fm.deletes = d
 	}

@@ -18,6 +18,8 @@ type Store struct {
 
 	// Operation counters (atomics: Get runs under the read lock).
 	gets, puts, merges, deletes atomic.Uint64
+	snapshots                   atomic.Uint64
+	iterOps                     atomic.Int64
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -25,9 +27,30 @@ var _ kv.Store = (*Store)(nil)
 // New returns an empty store.
 func New() *Store { return &Store{m: make(map[string][]byte)} }
 
-// Caps reports native merge and in-place updates (a map does both).
+// Caps reports native merge and in-place updates (a map does both), and
+// snapshot/scan support: a full in-memory copy of the oracle is the
+// cheapest consistent view available, so it counts as native.
 func (s *Store) Caps() kv.Capabilities {
-	return kv.Capabilities{NativeMerge: true, InPlaceUpdate: true}
+	return kv.Capabilities{NativeMerge: true, InPlaceUpdate: true, Snapshots: true, RangeScans: true}
+}
+
+// Snapshot implements kv.Snapshotter with a sorted copy of the live map
+// taken under the read lock. The copy is the sorted view differential
+// tests compare every other engine against.
+func (s *Store) Snapshot() (kv.Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, kv.ErrClosed
+	}
+	var b kv.FallbackBuilder
+	for k, v := range s.m {
+		b.Add([]byte(k), v)
+	}
+	s.snapshots.Add(1)
+	snap := b.Snapshot()
+	snap.CountIterOps(&s.iterOps)
+	return snap, nil
 }
 
 // Get returns the value stored under key.
@@ -95,12 +118,14 @@ func (s *Store) Metrics() map[string]int64 {
 	}
 	s.mu.RUnlock()
 	return map[string]int64{
-		"memstore.gets":    int64(s.gets.Load()),
-		"memstore.puts":    int64(s.puts.Load()),
-		"memstore.merges":  int64(s.merges.Load()),
-		"memstore.deletes": int64(s.deletes.Load()),
-		"memstore.keys":    keys,
-		"memstore.bytes":   bytes,
+		"memstore.gets":      int64(s.gets.Load()),
+		"memstore.puts":      int64(s.puts.Load()),
+		"memstore.merges":    int64(s.merges.Load()),
+		"memstore.deletes":   int64(s.deletes.Load()),
+		"memstore.keys":      keys,
+		"memstore.bytes":     bytes,
+		"memstore.snapshots": int64(s.snapshots.Load()),
+		"memstore.iter_ops":  s.iterOps.Load(),
 	}
 }
 

@@ -68,7 +68,7 @@ func TestApproximateSizeAndClose(t *testing.T) {
 
 func TestCaps(t *testing.T) {
 	c := kv.CapsOf(New())
-	if !c.NativeMerge || !c.InPlaceUpdate {
+	if !c.NativeMerge || !c.InPlaceUpdate || !c.Snapshots || !c.RangeScans {
 		t.Fatalf("caps = %+v", c)
 	}
 }

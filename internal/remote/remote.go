@@ -43,6 +43,11 @@ const (
 	opPut
 	opMerge
 	opDelete
+	// opScan requests a consistent bounded range scan. The request key
+	// field carries both bounds (lo || hi, 2 x kv.KeyLen bytes); the
+	// response value is the serialized entry list:
+	// repeated [key 16B | valLen u32 | val].
+	opScan
 
 	statusOK        byte = 0
 	statusNotFound  byte = 1
@@ -101,6 +106,7 @@ type Server struct {
 	replays   atomic.Uint64 // reconnect replays answered from cache
 	staleSeqs atomic.Uint64 // requests refused for stale sequence numbers
 	oversized atomic.Uint64 // requests refused for exceeding maxFrame
+	scans     atomic.Uint64 // range scans served
 }
 
 // Serve starts serving store on addr (e.g. "127.0.0.1:0") and returns
@@ -203,10 +209,75 @@ func (s *Server) apply(op byte, key, val []byte) (status byte, out []byte) {
 		if err := s.store.Delete(key); err != nil {
 			return errStatus(err), []byte(err.Error())
 		}
+	case opScan:
+		if len(key) != 2*kv.KeyLen {
+			return statusError, []byte("remote: scan bounds must be 2 state keys")
+		}
+		lo, err := kv.DecodeStateKey(key[:kv.KeyLen])
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		hi, err := kv.DecodeStateKey(key[kv.KeyLen:])
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		entries, err := kv.ScanRange(s.store, lo, hi)
+		if err != nil {
+			return errStatus(err), []byte(err.Error())
+		}
+		out, err := encodeEntries(entries)
+		if err != nil {
+			return errStatus(err), []byte(err.Error())
+		}
+		s.scans.Add(1)
+		return statusOK, out
 	default:
 		return statusError, []byte("unknown op")
 	}
 	return statusOK, nil
+}
+
+// encodeEntries serializes a scan result as repeated
+// [key 16B | valLen u32 | val], enforcing the frame limit.
+func encodeEntries(entries []kv.Entry) ([]byte, error) {
+	size := 0
+	for _, e := range entries {
+		size += kv.KeyLen + 4 + len(e.Value)
+	}
+	if size > maxFrame {
+		return nil, fmt.Errorf("%w: %d-byte scan result", ErrFrameTooLarge, size)
+	}
+	out := make([]byte, 0, size)
+	var vlen [4]byte
+	for _, e := range entries {
+		out = e.Key.Encode(out)
+		binary.LittleEndian.PutUint32(vlen[:], uint32(len(e.Value)))
+		out = append(out, vlen[:]...)
+		out = append(out, e.Value...)
+	}
+	return out, nil
+}
+
+// decodeEntries parses an opScan response payload.
+func decodeEntries(b []byte) ([]kv.Entry, error) {
+	var out []kv.Entry
+	for len(b) > 0 {
+		if len(b) < kv.KeyLen+4 {
+			return nil, fmt.Errorf("%w: truncated scan entry", ErrProtocol)
+		}
+		sk, err := kv.DecodeStateKey(b[:kv.KeyLen])
+		if err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(b[kv.KeyLen : kv.KeyLen+4])
+		b = b[kv.KeyLen+4:]
+		if uint64(n) > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: scan entry value overruns frame", ErrProtocol)
+		}
+		out = append(out, kv.Entry{Key: sk, Value: append([]byte(nil), b[:n]...)})
+		b = b[n:]
+	}
+	return out, nil
 }
 
 // errStatus maps a backend error to a wire status, preserving the
@@ -327,6 +398,7 @@ func (s *Server) Metrics() map[string]int64 {
 		"remote_server.replays":        int64(s.replays.Load()),
 		"remote_server.stale_seqs":     int64(s.staleSeqs.Load()),
 		"remote_server.oversized":      int64(s.oversized.Load()),
+		"remote_server.scans":          int64(s.scans.Load()),
 	}
 	for k, v := range kv.MetricsOf(s.store) {
 		m[k] = v
@@ -381,10 +453,13 @@ type Client struct {
 
 	// Transport counters (atomics so Metrics doesn't contend with the
 	// serialized request path).
-	requests atomic.Uint64 // operations issued (one per roundTrip)
-	dials    atomic.Uint64 // successful connects, initial included
-	redials  atomic.Uint64 // replay attempts after a transport failure
-	failures atomic.Uint64 // operations that exhausted the redial budget
+	requests  atomic.Uint64 // operations issued (one per roundTrip)
+	dials     atomic.Uint64 // successful connects, initial included
+	redials   atomic.Uint64 // replay attempts after a transport failure
+	failures  atomic.Uint64 // operations that exhausted the redial budget
+	scans     atomic.Uint64 // range scans issued
+	snapshots atomic.Uint64 // fallback snapshots materialized
+	iterOps   atomic.Int64  // entries stepped through snapshot iterators
 }
 
 var _ kv.Store = (*Client)(nil)
@@ -427,8 +502,13 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	return nil, err
 }
 
-// Caps mirrors a store with native merge (the server translates).
-func (c *Client) Caps() kv.Capabilities { return kv.Capabilities{NativeMerge: true} }
+// Caps mirrors a store with native merge (the server translates) and
+// server-side range scans. Snapshots stays false: Snapshot() works, but
+// it materializes the full keyspace over the wire into a stop-the-world
+// kv.FallbackSnapshot rather than a cheap pinned view.
+func (c *Client) Caps() kv.Capabilities {
+	return kv.Capabilities{NativeMerge: true, RangeScans: true}
+}
 
 func (c *Client) dial() (net.Conn, error) {
 	if c.opts.Dialer != nil {
@@ -565,10 +645,13 @@ func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
 // under "remote.*".
 func (c *Client) Metrics() map[string]int64 {
 	return map[string]int64{
-		"remote.requests": int64(c.requests.Load()),
-		"remote.dials":    int64(c.dials.Load()),
-		"remote.redials":  int64(c.redials.Load()),
-		"remote.failures": int64(c.failures.Load()),
+		"remote.requests":  int64(c.requests.Load()),
+		"remote.dials":     int64(c.dials.Load()),
+		"remote.redials":   int64(c.redials.Load()),
+		"remote.failures":  int64(c.failures.Load()),
+		"remote.scans":     int64(c.scans.Load()),
+		"remote.snapshots": int64(c.snapshots.Load()),
+		"remote.iter_ops":  c.iterOps.Load(),
 	}
 }
 
@@ -606,6 +689,38 @@ func (c *Client) Merge(key, operand []byte) error { return c.write(opMerge, key,
 
 // Delete implements kv.Store.
 func (c *Client) Delete(key []byte) error { return c.write(opDelete, key, nil) }
+
+// ScanRange implements kv.RangeScanner with a single server-side scan
+// frame: the server walks [lo, hi] against its engine's snapshot and
+// returns the serialized entry list, so consistency is the server
+// engine's, not dial-order's.
+func (c *Client) ScanRange(lo, hi kv.StateKey) ([]kv.Entry, error) {
+	bounds := hi.Encode(lo.Encode(make([]byte, 0, 2*kv.KeyLen)))
+	out, status, err := c.roundTrip(opScan, bounds, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, remoteError(status, out)
+	}
+	c.scans.Add(1)
+	return decodeEntries(out)
+}
+
+// Snapshot implements kv.Snapshotter via the stop-the-world fallback: a
+// full-range ScanRange materialized into a kv.FallbackSnapshot. The
+// snapshot is consistent as of the server-side scan but costs one full
+// keyspace transfer; Caps().Snapshots is false accordingly.
+func (c *Client) Snapshot() (kv.Snapshot, error) {
+	entries, err := c.ScanRange(kv.StateKey{}, kv.MaxStateKey)
+	if err != nil {
+		return nil, err
+	}
+	snap := kv.NewFallbackSnapshot(entries)
+	snap.CountIterOps(&c.iterOps)
+	c.snapshots.Add(1)
+	return snap, nil
+}
 
 func (c *Client) write(op byte, key, val []byte) error {
 	out, status, err := c.roundTrip(op, key, val)

@@ -261,6 +261,11 @@ func Apply(store kv.Store, a kv.Access, keyBuf []byte) (bool, error) {
 		return false, store.Merge(key, valueOf(a.Size))
 	case kv.OpDelete:
 		return false, store.Delete(key)
+	case kv.OpScan:
+		// A scan access covers the tail of its key group: the consistent
+		// range [Key, {Key.Group, MaxSub}]. An empty result is not a miss.
+		_, err := kv.ScanRange(store, a.Key, a.Key.GroupEnd())
+		return false, err
 	default:
 		return false, fmt.Errorf("replay: unknown op %d", a.Op)
 	}

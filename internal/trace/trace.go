@@ -230,7 +230,10 @@ func ReadText(r io.Reader) ([]kv.Access, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var out []kv.Access
 	lineNo := 0
-	ops := map[string]kv.Op{"get": kv.OpGet, "put": kv.OpPut, "merge": kv.OpMerge, "delete": kv.OpDelete, "fget": kv.OpFGet}
+	ops := make(map[string]kv.Op, kv.NumOps)
+	for op := kv.Op(0); int(op) < kv.NumOps; op++ {
+		ops[op.String()] = op // inverse of the %s WriteText emits
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
