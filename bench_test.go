@@ -17,6 +17,7 @@ import (
 	"gadget/internal/obs"
 	"gadget/internal/replay"
 	"gadget/internal/stores"
+	"gadget/internal/vfs"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -361,6 +362,97 @@ func BenchmarkOnlineRun(b *testing.B) {
 				store.Close()
 				b.StartTimer()
 				b.ReportMetric(res.Throughput, "store_ops/s")
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpoint measures Checkpointer.Save — one portable
+// checkpoint of a 4096-entry store streamed to a MemFS — for both
+// snapshot cost classes: rocksdb pins its LSM version (native MVCC),
+// memstore pays the stop-the-world fallback copy. Guarded by ci.sh's
+// bench drift check.
+func BenchmarkCheckpoint(b *testing.B) {
+	for _, engine := range []string{"rocksdb", "memstore"} {
+		b.Run(engine, func(b *testing.B) {
+			world := vfs.NewMemFS()
+			s, err := stores.Open(stores.Config{
+				Engine: engine, Dir: "db", FS: world,
+				MemtableBytes: 64 << 10, CacheBytes: 256 << 10,
+				LogMemBytes: 8 << 20, IndexBuckets: 1 << 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			val := make([]byte, 64)
+			for g := uint64(0); g < 16; g++ {
+				for sub := uint64(0); sub < 256; sub++ {
+					sk := kv.StateKey{Group: g, Sub: sub}
+					if err := s.Put(sk.Bytes(), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			ck := &kv.Checkpointer{FS: world, Dir: "checkpoints", Engine: engine}
+			b.ResetTimer()
+			b.ReportAllocs()
+			var size int64
+			for i := 0; i < b.N; i++ {
+				_, n, err := ck.Save(s, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = n
+			}
+			b.ReportMetric(float64(size), "ckpt_bytes")
+		})
+	}
+}
+
+// BenchmarkRecoveryOverhead measures what enabling a checkpoint cadence
+// costs on the happy path (no crashes): the same memstore trace through
+// the recovery loop without a checkpointer versus with one saving every
+// 10k ops to a MemFS. The 256-key working set keeps each save small, so
+// checkpointed must stay within the 5% overhead budget recorded in
+// results/bench-baseline.txt.
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	for _, checkpointed := range []bool{false, true} {
+		name := "plain"
+		if checkpointed {
+			name = "checkpointed"
+		}
+		b.Run(name, func(b *testing.B) {
+			store := memstore.New()
+			defer store.Close()
+			tr := make([]gadget.Access, b.N)
+			for i := range tr {
+				a := kv.Access{Key: kv.StateKey{Group: 1, Sub: uint64(i % 256)}, Size: 64}
+				if i%2 == 0 {
+					a.Op = kv.OpPut
+				} else {
+					a.Op = kv.OpGet
+				}
+				tr[i] = a
+			}
+			opts := gadget.RecoveryOptions{}
+			if checkpointed {
+				opts.CheckpointEvery = 10000
+				opts.Checkpointer = &kv.Checkpointer{
+					FS: vfs.NewMemFS(), Dir: "checkpoints", Engine: "memstore",
+				}
+			}
+			open := func(int) (gadget.Attempt, error) {
+				return gadget.Attempt{Store: store}, nil
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			res, err := gadget.RunWithRecovery(open, tr, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Ops != uint64(b.N) {
+				b.Fatalf("ops = %d, want %d", res.Ops, b.N)
 			}
 		})
 	}

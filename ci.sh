@@ -34,6 +34,13 @@ go test -race -timeout 10m ./internal/kv/ ./internal/stores/ \
     ./internal/lsm/ ./internal/btree/ ./internal/memstore/ \
     ./internal/faster/ ./internal/lethe/ ./internal/remote/
 
+echo "== go test -race (crash recovery, full)"
+# The recovery paths — checkpoint save/restore, the crash-replay loop,
+# and the campaign sweep — run full (non-short) under the race detector:
+# checkpoints are cut from live stores, so snapshot acquisition races
+# against the replay writer by construction.
+go test -race -timeout 10m ./internal/replay/ ./internal/campaign/
+
 echo "== open-loop smoke"
 # End-to-end open-loop run: drifting-hotspot workload replayed under a
 # Poisson arrival schedule with coordinated-omission-free latency and an
@@ -45,12 +52,22 @@ echo "== scan scenario smoke"
 # every window fire, exercising config -> core -> replay -> snapshot API.
 go run ./cmd/gadget run -config configs/scan-topk.json
 
+echo "== crash recovery smoke"
+# Scripted mid-run crashes with a checkpoint cadence: the run must crash
+# twice, restore from the newest checkpoint, replay the delta, and report
+# RTO/RPO counters, exercising config -> replay recovery -> checkpoint
+# codec -> CLI.
+go run ./cmd/gadget run -config configs/crash-recovery.json
+
 echo "== fuzz remote protocol framing (short)"
 go test -run '^$' -fuzz '^FuzzServerFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 go test -run '^$' -fuzz '^FuzzClientFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 
 echo "== fuzz iterator bounds (short)"
 go test -run '^$' -fuzz '^FuzzIterBounds$' -fuzztime 3s -timeout 5m ./internal/kv/
+
+echo "== fuzz checkpoint codec (short)"
+go test -run '^$' -fuzz '^FuzzCheckpointCodec$' -fuzztime 3s -timeout 5m ./internal/kv/
 
 echo "== bench drift guard"
 # Re-run the overhead-sensitive micro-benchmarks and compare ns/op
@@ -59,12 +76,12 @@ echo "== bench drift guard"
 # regressions (an accidental lock on the hot path), not noise.
 bench_out=$(mktemp)
 trap 'rm -f "$bench_out"' EXIT
-go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead|BenchmarkOpenLoopOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
-# Snapshot/scan micro-benchmarks: only the native-snapshot engines are
-# guarded — the fallback engines (memstore, faster) copy the whole store
-# per snapshot, so their run-to-run noise exceeds the 25% signal; their
-# numbers are recorded in the baseline for reference only.
-go test -run '^$' -bench '(BenchmarkSnapshotOverhead|BenchmarkScanRange)/(rocksdb|berkeleydb)' -benchtime 0.5s -timeout 10m . | tee -a "$bench_out"
+go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead|BenchmarkOpenLoopOverhead|BenchmarkRecoveryOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
+# Snapshot/scan/checkpoint micro-benchmarks: only the native-snapshot
+# engines are guarded — the fallback engines (memstore, faster) copy the
+# whole store per snapshot, so their run-to-run noise exceeds the 25%
+# signal; their numbers are recorded in the baseline for reference only.
+go test -run '^$' -bench '(BenchmarkSnapshotOverhead|BenchmarkScanRange|BenchmarkCheckpoint)/(rocksdb|berkeleydb)' -benchtime 0.5s -timeout 10m . | tee -a "$bench_out"
 go test -run '^$' -bench 'BenchmarkStripedHistogramRecordParallel|BenchmarkHistogramRecordParallel' -benchtime 0.5s -timeout 5m ./internal/stats/ | tee -a "$bench_out"
 awk '
     # Collect ns/op per benchmark name (strip the -N GOMAXPROCS suffix),

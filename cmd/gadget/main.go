@@ -39,6 +39,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "findrate":
 		err = cmdFindRate(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "list":
@@ -66,8 +68,15 @@ commands:
             [-open-loop] [-poisson] [-max-in-flight N]   open-loop: -rate is the offered rate
   findrate  -trace t.bin -engine NAME -low N [-high N] [-slo-p99-ms N] [-max-overload-frac F]
             search the max sustainable offered rate under an intended-arrival p99 SLO
+  campaign  -config cfg.json [-engines a,b] [-crash-at n,m] [-ckpt-every n,m] [-out results/campaign.json]
+            sweep engines x crash points x checkpoint intervals; emit the RTO/RPO robustness matrix
   analyze   -trace t.bin                 print workload characterization metrics
-  list                                   list operators, engines, datasets`)
+  list                                   list operators, engines, datasets
+
+crash recovery: a run config with run.checkpoint_every_ops and/or
+store.chaos.crash_at_ops replays through scripted mid-run crashes,
+restoring from the newest checkpoint in run.checkpoint_dir and
+reporting recoveries, RTO, and replayed ops.`)
 }
 
 func loadConfig(path string) (gadget.Config, error) {
@@ -98,6 +107,9 @@ func cmdRun(args []string) error {
 		}
 		defer os.RemoveAll(dir)
 		cfg.Store.Dir = dir
+	}
+	if cfg.Recovery() {
+		return runRecovery(cfg, w, *metricsAddr, *reportPath)
 	}
 	store, err := gadget.OpenStore(cfg.Store)
 	if err != nil {
@@ -412,6 +424,11 @@ func printResult(res gadget.Result) {
 	}
 	if res.Degraded {
 		fmt.Println("DEGRADED   partial result: run aborted before completion")
+	}
+	if res.Recoveries > 0 || res.Checkpoints > 0 {
+		fmt.Printf("recovery   recoveries=%d rto=%v replayed_ops=%d checkpoints=%d ckpt_cost=%v ckpt_bytes=%d\n",
+			res.Recoveries, res.RecoveryTime.Round(time.Microsecond), res.ReplayedOps,
+			res.Checkpoints, res.CheckpointCost.Round(time.Microsecond), res.CheckpointBytes)
 	}
 	fmt.Printf("duration   %v\n", res.Duration.Round(1e6))
 	fmt.Printf("throughput %.0f ops/s\n", res.Throughput)

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"gadget/internal/analysis"
+	"gadget/internal/campaign"
 	"gadget/internal/config"
 	"gadget/internal/core"
 	"gadget/internal/datasets"
@@ -216,6 +217,51 @@ func NewResilientStore(inner Store, opts ResilienceOptions) (*ResilientStore, er
 	return kv.NewResilientStore(inner, opts)
 }
 
+// Crash-recovery layer re-exports: portable checkpoints, the
+// crash/recover replay runner, and scripted fault campaigns (see
+// DESIGN.md §12).
+type (
+	// Checkpointer saves and restores portable checkpoints of a store.
+	Checkpointer = kv.Checkpointer
+	// CheckpointMeta describes one checkpoint (engine, watermark, entries).
+	CheckpointMeta = kv.CheckpointMeta
+	// RestoreInfo reports which checkpoint a restore used and how many
+	// corrupt ones it skipped on the way.
+	RestoreInfo = kv.RestoreInfo
+	// RecoveryOptions extends ReplayOptions with a checkpoint cadence and
+	// a scripted crash schedule.
+	RecoveryOptions = replay.RecoveryOptions
+	// Attempt is one life of a store between crashes.
+	Attempt = replay.Attempt
+	// StoreFactory opens a fresh store for each attempt of a recovery run.
+	StoreFactory = replay.StoreFactory
+	// CampaignOptions configures a fault-campaign sweep.
+	CampaignOptions = campaign.Options
+	// CampaignCell is one cell of a campaign's robustness matrix.
+	CampaignCell = campaign.Cell
+	// CampaignMatrix is a campaign result.
+	CampaignMatrix = campaign.Matrix
+)
+
+// ErrCheckpointCorrupt is returned when a checkpoint fails its
+// integrity checks; Checkpointer.Restore skips such files and falls
+// back to the previous checkpoint.
+var ErrCheckpointCorrupt = kv.ErrCheckpointCorrupt
+
+// RunWithRecovery replays a trace through a scripted crash schedule,
+// recovering each crash from the newest valid checkpoint and measuring
+// RTO/RPO (see replay.RunWithRecovery).
+func RunWithRecovery(open StoreFactory, accesses []Access, opts RecoveryOptions) (Result, error) {
+	return replay.RunWithRecovery(open, accesses, opts)
+}
+
+// RunCampaign sweeps engines x crash points x checkpoint intervals over
+// one trace and returns the robustness matrix. logf (may be nil)
+// receives one progress line per cell.
+func RunCampaign(opts CampaignOptions, logf func(format string, args ...any)) (CampaignMatrix, error) {
+	return campaign.Run(opts, logf)
+}
+
 // OperatorTypes lists the predefined workloads.
 func OperatorTypes() []OperatorType { return core.OperatorTypes() }
 
@@ -315,6 +361,18 @@ func (w *Workload) RunOpenLoop(store Store, opts OpenLoopOptions) (Result, error
 		return Result{}, err
 	}
 	return replay.RunOpenLoop(store, tr, opts)
+}
+
+// RunWithRecovery generates the workload's state access stream, then
+// replays it through the crash schedule in opts, restoring from opts's
+// checkpointer after each crash. The final attempt's store is left open
+// for the caller (capture it in the factory).
+func (w *Workload) RunWithRecovery(open StoreFactory, opts RecoveryOptions) (Result, error) {
+	tr, err := w.Generate()
+	if err != nil {
+		return Result{}, err
+	}
+	return replay.RunWithRecovery(open, tr, opts)
 }
 
 // CollectReferenceTrace executes the workload on the reference engine

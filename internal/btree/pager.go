@@ -147,6 +147,12 @@ func initPager(fs vfs.FS, path string, cacheBytes int64) (*pager, error) {
 		fs.Remove(path + ".init")
 		return nil, err
 	}
+	// Flush the directory entry too: without it a crash can lose the
+	// rename and leave only the .init file, which open ignores.
+	if err := fs.SyncDir(vfs.ParentDir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
 	// The open handle follows the rename (same inode); subsequent I/O
 	// hits the final path's file.
 	return p, nil

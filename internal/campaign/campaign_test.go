@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gadget/internal/kv"
+)
+
+func campaignTrace(n int, seed int64) []kv.Access {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]kv.Access, 0, n)
+	for i := 0; i < n; i++ {
+		a := kv.Access{
+			Key:  kv.StateKey{Group: uint64(rng.Intn(8)), Sub: uint64(rng.Intn(32))},
+			Size: uint32(8 + rng.Intn(24)),
+			Time: int64(i),
+		}
+		switch rng.Intn(10) {
+		case 0:
+			a.Op = kv.OpDelete
+		case 1, 2:
+			a.Op = kv.OpGet
+		case 3:
+			a.Op = kv.OpMerge
+		default:
+			a.Op = kv.OpPut
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestCampaignMatrix(t *testing.T) {
+	trace := campaignTrace(800, 1)
+	m, err := Run(Options{
+		Trace:       trace,
+		Engines:     []string{"memstore", "rocksdb", "berkeleydb"},
+		CrashPoints: []uint64{0, 400},
+		Intervals:   []uint64{0, 200},
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 3*2*2 {
+		t.Fatalf("got %d cells, want 12", len(m.Cells))
+	}
+	if m.TraceOps != len(trace) {
+		t.Fatalf("TraceOps = %d, want %d", m.TraceOps, len(trace))
+	}
+	for _, c := range m.Cells {
+		if !c.StateOK {
+			t.Errorf("cell %+v: state mismatch (%s)", c, c.Err)
+			continue
+		}
+		switch {
+		case c.CrashAt == 0 && c.Recoveries != 0:
+			t.Errorf("clean cell %+v reported recoveries", c)
+		case c.CrashAt > 0 && c.Recoveries != 1:
+			t.Errorf("crash cell %+v: recoveries = %d, want 1", c, c.Recoveries)
+		}
+		if c.CrashAt > 0 {
+			// With checkpoints every 200 the crash at 400 replays at most
+			// 200 ops; without checkpoints it replays all 400.
+			if c.CheckpointEvery > 0 && c.ReplayedOps > c.CheckpointEvery {
+				t.Errorf("cell %+v replayed more than one checkpoint interval", c)
+			}
+			if c.CheckpointEvery == 0 && c.ReplayedOps != c.CrashAt {
+				t.Errorf("cell %+v: full replay should re-run %d ops, got %d", c, c.CrashAt, c.ReplayedOps)
+			}
+			if c.RTOMillis < 0 {
+				t.Errorf("cell %+v: negative RTO", c)
+			}
+		}
+		if c.CheckpointEvery > 0 && c.Checkpoints == 0 {
+			t.Errorf("cell %+v cut no checkpoints", c)
+		}
+	}
+}
+
+func TestCampaignDefaults(t *testing.T) {
+	o := Options{Trace: campaignTrace(100, 2)}
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range o.Engines {
+		if e == "remote" {
+			t.Fatal("default engine set must exclude remote")
+		}
+	}
+	if len(o.Engines) == 0 || len(o.CrashPoints) == 0 || len(o.Intervals) == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestCampaignRejectsBadOptions(t *testing.T) {
+	if _, err := Run(Options{}, nil); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+	if _, err := Run(Options{Trace: campaignTrace(10, 3), CrashPoints: []uint64{10}}, nil); err == nil {
+		t.Fatal("crash point past trace end should fail")
+	}
+}
+
+func TestMatrixRenderers(t *testing.T) {
+	m, err := Run(Options{
+		Trace:       campaignTrace(200, 4),
+		Engines:     []string{"memstore"},
+		CrashPoints: []uint64{100},
+		Intervals:   []uint64{50},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 1 || back.Cells[0].Engine != "memstore" {
+		t.Fatalf("JSON roundtrip = %+v", back)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ENGINE", "memstore", "RTO_MS", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table %q missing %q", out, want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"gadget/internal/datasets"
 	"gadget/internal/dist"
 	"gadget/internal/eventgen"
+	"gadget/internal/kv"
 	"gadget/internal/replay"
 	"gadget/internal/stores"
 )
@@ -131,6 +132,17 @@ type RunConfig struct {
 	// SLOP99Ms, when positive, declares the intended-arrival p99
 	// objective the run is judged against (reported, not enforced).
 	SLOP99Ms float64 `json:"slo_p99_ms"`
+
+	// Crash-recovery settings (paired with store.chaos.crash_at_ops).
+
+	// CheckpointEveryOps cuts a portable checkpoint after every N applied
+	// operations (0 = never; crashes then recover by full replay).
+	CheckpointEveryOps uint64 `json:"checkpoint_every_ops"`
+	// CheckpointDir is where checkpoints are written. Defaults to
+	// "<store.dir>-checkpoints"; must differ from store.dir, since
+	// checkpoints model durable external storage that survives the
+	// crash of the store's local disk.
+	CheckpointDir string `json:"checkpoint_dir"`
 }
 
 // Load reads and validates a configuration file.
@@ -195,6 +207,15 @@ func (c *Config) Validate() error {
 		if err := c.Store.Chaos.Plan().Validate(); err != nil {
 			return fmt.Errorf("config: store.chaos: %w", err)
 		}
+		for i, n := range c.Store.Chaos.CrashAtOps {
+			if n == 0 {
+				return fmt.Errorf("config: store.chaos.crash_at_ops[%d] must be positive", i)
+			}
+			if i > 0 && n <= c.Store.Chaos.CrashAtOps[i-1] {
+				return fmt.Errorf("config: store.chaos.crash_at_ops must be strictly increasing, got %d after %d",
+					n, c.Store.Chaos.CrashAtOps[i-1])
+			}
+		}
 	}
 	if c.Store.Resilience != nil {
 		if err := c.Store.Resilience.Options().Validate(); err != nil {
@@ -243,6 +264,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Run.StallTimeoutMs < 0 {
 		return fmt.Errorf("config: run.stall_timeout_ms must be non-negative, got %d", c.Run.StallTimeoutMs)
+	}
+	if c.Run.CheckpointDir != "" && c.Run.CheckpointDir == c.Store.Dir {
+		return fmt.Errorf("config: run.checkpoint_dir must differ from store.dir (checkpoints must survive store crashes)")
+	}
+	if c.Recovery() && c.Run.Mode != "online" {
+		return fmt.Errorf("config: crash recovery (run.checkpoint_every_ops / store.chaos.crash_at_ops) requires run.mode %q, got %q", "online", c.Run.Mode)
 	}
 	if c.Obs != nil {
 		if err := c.Obs.Validate(); err != nil {
@@ -340,6 +367,39 @@ func (c *Config) burstSchedule() (*dist.BurstSchedule, error) {
 		return nil, fmt.Errorf("config: run.bursts: %w", err)
 	}
 	return sched, nil
+}
+
+// Recovery reports whether the config asks for the crash-recovery run
+// path: a checkpoint cadence, or a scripted crash schedule, or both.
+func (c *Config) Recovery() bool {
+	if c.Run.CheckpointEveryOps > 0 {
+		return true
+	}
+	return c.Store.Chaos != nil && len(c.Store.Chaos.CrashAtOps) > 0
+}
+
+// RecoveryOptions assembles the crash-recovery replay options from the
+// run and store.chaos sections. The caller supplies the checkpointer
+// (its filesystem and directory are placement decisions the config
+// layer cannot make); nil is allowed when run.checkpoint_every_ops is
+// zero, in which case crashes recover by full replay.
+func (c *Config) RecoveryOptions(ck *kv.Checkpointer) (replay.RecoveryOptions, error) {
+	o := replay.RecoveryOptions{
+		Options: replay.Options{
+			ServiceRate:  c.Run.ServiceRate,
+			SampleEvery:  c.Run.SampleEvery,
+			StallTimeout: time.Duration(c.Run.StallTimeoutMs) * time.Millisecond,
+		},
+		CheckpointEvery: c.Run.CheckpointEveryOps,
+		Checkpointer:    ck,
+	}
+	if c.Store.Chaos != nil {
+		o.CrashAtOps = c.Store.Chaos.CrashAtOps
+	}
+	if err := o.Validate(); err != nil {
+		return replay.RecoveryOptions{}, fmt.Errorf("config: %w", err)
+	}
+	return o, nil
 }
 
 // OpenLoopOptions assembles the open-loop replay options the run

@@ -10,6 +10,8 @@ import (
 	"gadget/internal/core"
 	"gadget/internal/dist"
 	"gadget/internal/eventgen"
+	"gadget/internal/kv"
+	"gadget/internal/vfs"
 )
 
 func TestParseDefaults(t *testing.T) {
@@ -60,6 +62,61 @@ func TestValidationErrors(t *testing.T) {
 		if _, err := Parse([]byte(doc)); err == nil {
 			t.Fatalf("doc %q should fail", doc)
 		}
+	}
+}
+
+func TestRecoveryConfig(t *testing.T) {
+	bad := []string{
+		`{"store": {"chaos": {"crash_at_ops": [0]}}}`,
+		`{"store": {"chaos": {"crash_at_ops": [5, 5]}}}`,
+		`{"store": {"chaos": {"crash_at_ops": [9, 3]}}}`,
+		`{"store": {"dir": "/tmp/x"}, "run": {"checkpoint_dir": "/tmp/x"}}`,
+		`{"run": {"mode": "open_loop", "rate": 100, "checkpoint_every_ops": 10}}`,
+		`{"store": {"chaos": {"crash_at_ops": [5]}}, "run": {"mode": "offline", "trace_path": "/tmp/t"}}`,
+	}
+	for _, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("doc %q should fail", doc)
+		}
+	}
+
+	doc := `{
+		"store": {"dir": "/tmp/x", "chaos": {"crash_at_ops": [100, 250]}},
+		"run": {"checkpoint_every_ops": 50, "checkpoint_dir": "/tmp/ck"}
+	}`
+	c, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Recovery() {
+		t.Fatal("Recovery() = false with crash schedule and checkpoint cadence set")
+	}
+	ck := &kv.Checkpointer{FS: vfs.NewMemFS(), Dir: "/tmp/ck", Engine: "memstore"}
+	o, err := c.RecoveryOptions(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CheckpointEvery != 50 || len(o.CrashAtOps) != 2 || o.CrashAtOps[1] != 250 || o.Checkpointer != ck {
+		t.Fatalf("recovery options = %+v", o)
+	}
+
+	// Cadence without a checkpointer is a validation error, but a crash
+	// schedule alone recovers by full replay.
+	if _, err := c.RecoveryOptions(nil); err == nil {
+		t.Fatal("checkpoint_every_ops without a checkpointer should fail")
+	}
+	c2, err := Parse([]byte(`{"store": {"chaos": {"crash_at_ops": [100]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Recovery() {
+		t.Fatal("Recovery() = false with crash schedule set")
+	}
+	if _, err := c2.RecoveryOptions(nil); err != nil {
+		t.Fatalf("crash-only recovery options: %v", err)
+	}
+	if (&Config{}).Recovery() {
+		t.Fatal("Recovery() = true on an empty config")
 	}
 }
 

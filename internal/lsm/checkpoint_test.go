@@ -1,0 +1,158 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gadget/internal/kv"
+	"gadget/internal/vfs"
+)
+
+// applyCheckpointWorkload drives a mixed put/merge/delete workload and
+// returns the model of the expected final state.
+func applyCheckpointWorkload(t *testing.T, db *DB, n int, seed int64) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", rng.Intn(64)))
+		switch rng.Intn(10) {
+		case 0:
+			if err := db.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, string(key))
+		case 1, 2:
+			op := []byte(fmt.Sprintf(",m%d", i))
+			if err := db.Merge(key, op); err != nil {
+				t.Fatal(err)
+			}
+			model[string(key)] = append(model[string(key)], op...)
+		default:
+			val := []byte(fmt.Sprintf("val-%05d", i))
+			if err := db.Put(key, val); err != nil {
+				t.Fatal(err)
+			}
+			model[string(key)] = append([]byte(nil), val...)
+		}
+	}
+	return model
+}
+
+func checkModel(t *testing.T, db *DB, model map[string][]byte) {
+	t.Helper()
+	for key, want := range model {
+		got, err := db.Get([]byte(key))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("key %q: got %q, %v; want %q", key, got, err, want)
+		}
+	}
+}
+
+func TestCheckpointToOpensAsEqualDB(t *testing.T) {
+	for _, mode := range []string{"memfs-link", "osfs", "faultfs-copy"} {
+		t.Run(mode, func(t *testing.T) {
+			var fs vfs.FS
+			dir, ckDir := "db", "ck"
+			switch mode {
+			case "memfs-link":
+				fs = vfs.NewMemFS()
+			case "osfs":
+				fs = nil // default OsFS
+				dir, ckDir = t.TempDir()+"/db", t.TempDir()+"/ck"
+			case "faultfs-copy":
+				// FaultFS is not a Linker: exercises the copy fallback.
+				fs = vfs.NewFaultFS(vfs.NewMemFS(), vfs.FaultPlan{})
+			}
+			opts := smallOpts()
+			opts.Dir, opts.FS = dir, fs
+			db := testDB(t, opts)
+			model := applyCheckpointWorkload(t, db, 3000, 42)
+
+			if err := db.CheckpointTo(ckDir); err != nil {
+				t.Fatal(err)
+			}
+			// Writes after the checkpoint must not leak into it.
+			if err := db.Put([]byte("key-000"), []byte("post-checkpoint")); err != nil {
+				t.Fatal(err)
+			}
+
+			ck, err := Open(Options{Dir: ckDir, FS: fs})
+			if err != nil {
+				t.Fatalf("opening checkpoint: %v", err)
+			}
+			defer ck.Close()
+			checkModel(t, ck, model)
+			if v, _ := ck.Get([]byte("key-000")); string(v) == "post-checkpoint" {
+				t.Fatal("checkpoint saw a write issued after it was taken")
+			}
+		})
+	}
+}
+
+func TestCheckpointToWithLiveWriters(t *testing.T) {
+	opts := smallOpts()
+	opts.Dir, opts.FS = "db", vfs.NewMemFS()
+	db := testDB(t, opts)
+	model := applyCheckpointWorkload(t, db, 1500, 7)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			db.Put([]byte(fmt.Sprintf("key-%03d", i%64)), []byte("concurrent"))
+		}
+	}()
+	if err := db.CheckpointTo("ck"); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// The checkpoint is *some* consistent prefix of the write stream:
+	// it must open cleanly and every key must hold either the
+	// pre-checkpoint model value or the concurrent overwrite.
+	ck, err := Open(Options{Dir: "ck", FS: opts.FS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	for key, want := range model {
+		got, err := ck.Get([]byte(key))
+		if errors.Is(err, kv.ErrNotFound) {
+			t.Fatalf("key %q vanished from checkpoint", key)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) && string(got) != "concurrent" {
+			t.Fatalf("key %q: %q is neither model %q nor the concurrent write", key, got, want)
+		}
+	}
+}
+
+func TestCheckpointToRejectsOwnDir(t *testing.T) {
+	opts := Options{Dir: "db", FS: vfs.NewMemFS()}
+	db := testDB(t, opts)
+	if err := db.CheckpointTo("db"); err == nil {
+		t.Fatal("checkpointing into the live dir must fail")
+	}
+}
+
+func TestCheckpointToEmptyDB(t *testing.T) {
+	opts := Options{Dir: "db", FS: vfs.NewMemFS()}
+	db := testDB(t, opts)
+	if err := db.CheckpointTo("ck"); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(Options{Dir: "ck", FS: opts.FS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if _, err := ck.Get([]byte("anything")); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("empty checkpoint Get = %v", err)
+	}
+}

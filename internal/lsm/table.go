@@ -236,27 +236,15 @@ func (b *tableBuilder) add(ikey, value []byte, tombAt time.Time) error {
 
 // finish seals the table at the given level and reopens it for reads.
 func (b *tableBuilder) finish(db *DB, level int) (*fileMeta, error) {
-	b.w.SetProperty(propLevel, uint64(level))
-	b.w.SetProperty(propMaxSeq, b.maxSeq)
-	b.w.SetProperty(propDeletes, b.deletes)
-	b.w.SetProperty(propEntries, b.w.Count())
-	if !b.tombAt.IsZero() {
-		b.w.SetProperty(propTombstoneNanos, uint64(b.tombAt.UnixNano()))
-	}
-	if err := b.w.Close(); err != nil {
-		b.abandon()
+	if err := b.seal(level); err != nil {
 		return nil, err
 	}
-	if err := b.f.Sync(); err != nil {
-		b.abandon()
-		return nil, err
-	}
-	if err := b.f.Close(); err != nil {
-		b.fs.Remove(b.path + ".tmp")
-		return nil, err
-	}
-	if err := b.fs.Rename(b.path+".tmp", b.path); err != nil {
-		b.fs.Remove(b.path + ".tmp")
+	// The MANIFEST that is about to reference this table commits with a
+	// directory sync of its own, but that only covers the manifest entry:
+	// the table's rename must be flushed too, or a crash can leave a
+	// manifest pointing at a table whose directory entry evaporated.
+	if err := b.fs.SyncDir(db.opts.Dir); err != nil {
+		b.fs.Remove(b.path)
 		return nil, err
 	}
 	fm, err := openTable(b.fs, b.path, b.num, db.cache)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -298,6 +299,38 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if sum != got.Result.Ops {
 		t.Fatalf("series interval ops sum to %d, want %d", sum, got.Result.Ops)
+	}
+}
+
+func TestSummarizeRecoveryFields(t *testing.T) {
+	res := replay.Result{
+		Ops:             1100,
+		Recoveries:      2,
+		RecoveryTime:    30 * time.Millisecond,
+		ReplayedOps:     100,
+		Checkpoints:     5,
+		CheckpointCost:  8 * time.Millisecond,
+		CheckpointBytes: 4096,
+	}
+	s := Summarize(res)
+	if s.Recoveries != 2 || s.ReplayedOps != 100 || s.Checkpoints != 5 || s.CheckpointBytesTotal != 4096 {
+		t.Fatalf("recovery counters not summarized: %+v", s)
+	}
+	if s.RTOMs != 30 || s.CheckpointCostMs != 8 {
+		t.Fatalf("recovery durations not summarized: rto=%v cost=%v", s.RTOMs, s.CheckpointCostMs)
+	}
+	// Clean runs must omit the section entirely (omitempty keeps the
+	// report schema stable for non-recovery runs).
+	clean := Summarize(replay.Result{Ops: 10})
+	if clean.Recoveries != 0 || clean.RTOMs != 0 || clean.Checkpoints != 0 {
+		t.Fatalf("clean run grew recovery fields: %+v", clean)
+	}
+	data, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "recoveries") || strings.Contains(string(data), "rto_ms") {
+		t.Fatalf("clean summary JSON should omit recovery keys: %s", data)
 	}
 }
 

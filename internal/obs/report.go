@@ -50,6 +50,15 @@ type ResultSummary struct {
 	IntendedP50Micros  float64 `json:"intended_p50_us,omitempty"`
 	IntendedP99Micros  float64 `json:"intended_p99_us,omitempty"`
 	IntendedP999Micros float64 `json:"intended_p999_us,omitempty"`
+	// Crash-recovery fields, present only for recovery runs: scripted
+	// crashes survived, total downtime (RTO), ops replayed from the
+	// checkpoint watermark (RPO proxy), and checkpoint accounting.
+	Recoveries           uint64  `json:"recoveries,omitempty"`
+	RTOMs                float64 `json:"rto_ms,omitempty"`
+	ReplayedOps          uint64  `json:"replayed_ops,omitempty"`
+	Checkpoints          uint64  `json:"checkpoints,omitempty"`
+	CheckpointCostMs     float64 `json:"checkpoint_cost_ms,omitempty"`
+	CheckpointBytesTotal uint64  `json:"checkpoint_bytes,omitempty"`
 }
 
 // Summarize projects a replay.Result into its report form.
@@ -86,6 +95,14 @@ func Summarize(res replay.Result) ResultSummary {
 		s.IntendedP50Micros = float64(res.IntendedLatency.Quantile(0.50)) / 1e3
 		s.IntendedP99Micros = res.IntendedP99Micros()
 		s.IntendedP999Micros = float64(res.IntendedLatency.Quantile(0.999)) / 1e3
+	}
+	if res.Recoveries > 0 || res.Checkpoints > 0 {
+		s.Recoveries = res.Recoveries
+		s.RTOMs = float64(res.RecoveryTime.Nanoseconds()) / 1e6
+		s.ReplayedOps = res.ReplayedOps
+		s.Checkpoints = res.Checkpoints
+		s.CheckpointCostMs = float64(res.CheckpointCost.Nanoseconds()) / 1e6
+		s.CheckpointBytesTotal = res.CheckpointBytes
 	}
 	for i, h := range res.PerOp {
 		if h == nil || h.Count() == 0 {

@@ -35,6 +35,10 @@ type Sample struct {
 	Overload          uint64  `json:"overload,omitempty"`
 	MaxLagMs          float64 `json:"max_lag_ms,omitempty"`
 	IntendedP99Micros float64 `json:"intended_p99_us,omitempty"`
+	// Crash-recovery fields, present only for recovery runs: cumulative
+	// crashes survived and checkpoints cut so far.
+	Recoveries  uint64 `json:"recoveries,omitempty"`
+	Checkpoints uint64 `json:"checkpoints,omitempty"`
 	// Engine is the store's introspection delta since run start (nil for
 	// non-introspectable stores).
 	Engine map[string]int64 `json:"engine,omitempty"`
@@ -148,6 +152,8 @@ func (s *Sampler) observe(res replay.Result) Sample {
 			smp.OfferedRate = float64(smp.IntervalOffered) / dt
 		}
 	}
+	smp.Recoveries = res.Recoveries
+	smp.Checkpoints = res.Checkpoints
 	s.lastOps = res.Ops
 	s.lastOffered = res.Offered
 	s.lastTime = now
@@ -165,6 +171,9 @@ func (s *Sampler) observe(res replay.Result) Sample {
 		if smp.Offered > 0 {
 			line += fmt.Sprintf(" offered=%.0f/s ip99=%.1fus lag=%.1fms",
 				smp.OfferedRate, smp.IntendedP99Micros, smp.MaxLagMs)
+		}
+		if smp.Recoveries > 0 || smp.Checkpoints > 0 {
+			line += fmt.Sprintf(" recoveries=%d ckpts=%d", smp.Recoveries, smp.Checkpoints)
 		}
 		if st := breakerState(s.opts.Store); st != "" {
 			line += " breaker=" + st

@@ -153,6 +153,29 @@ type Result struct {
 	// is charged to the operations it really delayed — the
 	// coordinated-omission-free view (nil for closed-loop runs).
 	IntendedLatency *stats.Histogram
+
+	// Crash-recovery measurements, populated by RunWithRecovery (zero
+	// for runs without a crash schedule).
+
+	// Recoveries counts completed crash→reopen→restore cycles.
+	Recoveries uint64
+	// RecoveryTime is the total downtime across recoveries, measured
+	// from each crash to the moment the restored store is ready to
+	// resume — the run's RTO. Divide by Recoveries for the mean.
+	RecoveryTime time.Duration
+	// ReplayedOps counts trace operations re-applied because they
+	// post-dated the checkpoint recovered from — the work a checkpoint
+	// did not save, the harness's RPO proxy. Ops includes replayed
+	// applications, so Ops - ReplayedOps is the trace's logical length
+	// on a clean finish.
+	ReplayedOps uint64
+	// Checkpoints counts checkpoints taken during the run.
+	Checkpoints uint64
+	// CheckpointCost is the total wall time spent writing checkpoints
+	// (charged inline: the run is paused while a checkpoint is cut).
+	CheckpointCost time.Duration
+	// CheckpointBytes is the total bytes written into checkpoints.
+	CheckpointBytes uint64
 }
 
 // P999Micros returns the overall p99.9 latency in microseconds.
@@ -188,6 +211,13 @@ func (r Result) String() string {
 	}
 	if r.Errors > 0 || r.Retries > 0 || r.BreakerTrips > 0 {
 		s += fmt.Sprintf(" errs=%d(transient=%d) retries=%d trips=%d", r.Errors, r.TransientErrors, r.Retries, r.BreakerTrips)
+	}
+	if r.Recoveries > 0 {
+		s += fmt.Sprintf(" recoveries=%d rto=%v replayed=%d",
+			r.Recoveries, (r.RecoveryTime / time.Duration(r.Recoveries)).Round(time.Microsecond), r.ReplayedOps)
+	}
+	if r.Checkpoints > 0 {
+		s += fmt.Sprintf(" ckpts=%d ckpt_cost=%v", r.Checkpoints, r.CheckpointCost.Round(time.Microsecond))
 	}
 	if r.Degraded {
 		s += " DEGRADED"
@@ -357,6 +387,16 @@ type Collector struct {
 	overload atomic.Uint64
 	maxLagNs atomic.Int64
 
+	// Recovery accounting, fed by NoteRecovery/NoteCheckpoint. Each
+	// attempt of a recovery run has its own collector carrying only its
+	// own deltas, so merging attempt results never double counts.
+	recoveries      atomic.Uint64
+	recoveryNs      atomic.Int64
+	replayedOps     atomic.Uint64
+	checkpoints     atomic.Uint64
+	checkpointNs    atomic.Int64
+	checkpointBytes atomic.Uint64
+
 	base    kv.ResilienceCounters
 	rep     kv.ResilienceReporter
 	degrade atomic.Bool
@@ -493,6 +533,21 @@ func (c *Collector) Do(a kv.Access) error {
 	return nil
 }
 
+// NoteRecovery records one completed crash→restore cycle: its downtime
+// and the number of trace ops the resumed run will have to re-apply.
+func (c *Collector) NoteRecovery(downtime time.Duration, replayed uint64) {
+	c.recoveries.Add(1)
+	c.recoveryNs.Add(downtime.Nanoseconds())
+	c.replayedOps.Add(replayed)
+}
+
+// NoteCheckpoint records one checkpoint cut during the run.
+func (c *Collector) NoteCheckpoint(cost time.Duration, bytes uint64) {
+	c.checkpoints.Add(1)
+	c.checkpointNs.Add(cost.Nanoseconds())
+	c.checkpointBytes.Add(bytes)
+}
+
 // fill copies the atomic counters into a Result.
 func (c *Collector) fill(res *Result) {
 	res.Ops = c.i.Load()
@@ -509,6 +564,12 @@ func (c *Collector) fill(res *Result) {
 		res.DegradedOps = d.Degraded
 	}
 	res.Engine = kv.MetricsDelta(kv.MetricsOf(c.store), c.introBase)
+	res.Recoveries = c.recoveries.Load()
+	res.RecoveryTime = time.Duration(c.recoveryNs.Load())
+	res.ReplayedOps = c.replayedOps.Load()
+	res.Checkpoints = c.checkpoints.Load()
+	res.CheckpointCost = time.Duration(c.checkpointNs.Load())
+	res.CheckpointBytes = c.checkpointBytes.Load()
 	res.Duration = time.Since(c.start)
 	if res.Duration > 0 {
 		res.Throughput = float64(res.Ops) / res.Duration.Seconds()
@@ -575,6 +636,12 @@ func MergeResults(results []Result) Result {
 		out.FatalErrors += r.FatalErrors
 		out.Offered += r.Offered
 		out.Overload += r.Overload
+		out.Recoveries += r.Recoveries
+		out.RecoveryTime += r.RecoveryTime
+		out.ReplayedOps += r.ReplayedOps
+		out.Checkpoints += r.Checkpoints
+		out.CheckpointCost += r.CheckpointCost
+		out.CheckpointBytes += r.CheckpointBytes
 		out.Retries = max(out.Retries, r.Retries)
 		out.Timeouts = max(out.Timeouts, r.Timeouts)
 		out.BreakerTrips = max(out.BreakerTrips, r.BreakerTrips)

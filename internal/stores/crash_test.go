@@ -284,6 +284,45 @@ func TestCleanShutdownDurability(t *testing.T) {
 	}
 }
 
+// TestLostRenameDurability sweeps the rename-durability gap: the Nth
+// rename the engine issues is applied, but its directory entry is
+// rolled back at the crash unless the engine synced the new parent
+// directory afterwards — the classic rename-without-dir-fsync hole.
+// The workload itself completes without errors (the rename "succeeds"),
+// so strict engines must recover the full acknowledged state: an SST,
+// manifest, or checkpoint rename that silently relied on the directory
+// entry being durable shows up here as a missing-file reopen failure or
+// a state rollback.
+func TestLostRenameDurability(t *testing.T) {
+	ops := makeCrashOps(1)
+	for _, eng := range crashEngines() {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			calib := vfs.NewFaultFS(vfs.NewMemFS(), vfs.FaultPlan{})
+			done, _, _, openFailed := runToCrash(eng, calib, "db", ops)
+			if openFailed || done != len(ops) {
+				t.Fatalf("calibration run failed: done=%d openFailed=%v", done, openFailed)
+			}
+			renames := calib.Renames()
+			if renames == 0 {
+				t.Skip("engine performs no renames in this workload")
+			}
+			stride := 1
+			if testing.Short() {
+				stride = renames/8 + 1
+			}
+			for n := 1; n <= renames; n += stride {
+				ffs := vfs.NewFaultFS(vfs.NewMemFS(), vfs.FaultPlan{LoseRenameN: n})
+				d, tr, barriers, openFailed := runToCrash(eng, ffs, "db", ops)
+				if openFailed {
+					d, tr, barriers = 0, 0, []int{0}
+				}
+				verifyRecovery(t, eng, ffs.Inner(), "db", ops, d, tr, barriers)
+			}
+		})
+	}
+}
+
 // TestCrashConsistency sweeps fault points across five fault kinds for
 // every durable engine: failed writes, torn writes, failed fsyncs,
 // failed renames, and disk-full. Because the sweep covers every write,

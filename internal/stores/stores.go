@@ -74,6 +74,12 @@ type ChaosConfig struct {
 	OutageAfterOps int `json:"outage_after_ops"`
 	// OutageOps is the outage window length in operations.
 	OutageOps int `json:"outage_ops"`
+	// CrashAtOps lists logical trace positions at which the run driver
+	// crashes the store mid-run and recovers it (strictly increasing).
+	// Unlike the fields above, this is consumed by the replay layer's
+	// recovery runner, not by the per-operation chaos wrapper: a crash
+	// tears down the whole store, which no store-level middleware can do.
+	CrashAtOps []uint64 `json:"crash_at_ops,omitempty"`
 }
 
 // Plan converts the JSON form to a kv.ChaosPlan.

@@ -38,6 +38,14 @@ type FaultPlan struct {
 	FailSyncN int
 	// FailRenameN fails the Nth Rename call.
 	FailRenameN int
+	// LoseRenameN makes the Nth Rename call succeed but stay volatile:
+	// unless a SyncDir of the new path's parent directory happens first,
+	// a simulated crash rolls the rename back — the classic
+	// rename-without-directory-fsync crash-consistency hole. After the
+	// rollback the surviving state (Inner) has the renamed bytes under
+	// the old name and the pre-rename content (if any) under the new one,
+	// exactly the directory state an unjournaled rename leaves behind.
+	LoseRenameN int
 	// DiskFullBytes bounds the cumulative bytes written; the write that
 	// would exceed it persists up to the budget and fails with
 	// ErrDiskFull.
@@ -53,13 +61,24 @@ type FaultFS struct {
 	plan  FaultPlan
 	rng   *rand.Rand
 
-	mu      sync.Mutex
-	writes  int
-	syncs   int
-	renames int
-	bytes   int64
-	faulted bool
-	crashed bool
+	mu       sync.Mutex
+	writes   int
+	syncs    int
+	dirSyncs int
+	renames  int
+	bytes    int64
+	faulted  bool
+	crashed  bool
+	pending  *pendingRename
+}
+
+// pendingRename records the undo state of a rename whose directory
+// entry has not been synced yet.
+type pendingRename struct {
+	oldpath, newpath string
+	dir              string // parent of newpath; SyncDir of it commits the rename
+	prev             []byte // newpath's content before the rename
+	prevExisted      bool
 }
 
 // NewFaultFS wraps inner with the given plan.
@@ -85,8 +104,37 @@ func (f *FaultFS) Faulted() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.fa
 // Crashed reports whether the simulated crash is in effect.
 func (f *FaultFS) Crashed() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.crashed }
 
+// DirSyncs returns the number of SyncDir calls observed so far.
+func (f *FaultFS) DirSyncs() int { f.mu.Lock(); defer f.mu.Unlock(); return f.dirSyncs }
+
 // Crash forces the crashed state directly (crash without a prior fault).
-func (f *FaultFS) Crash() { f.mu.Lock(); f.crashed = true; f.mu.Unlock() }
+func (f *FaultFS) Crash() { f.mu.Lock(); f.crashLocked(); f.mu.Unlock() }
+
+// crashLocked enters the crashed state and applies the lost-rename
+// rollback, if one is armed and still unsynced. Called with mu held;
+// the inner-FS operations below never re-enter f.mu.
+func (f *FaultFS) crashLocked() {
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	p := f.pending
+	f.pending = nil
+	if p == nil {
+		return
+	}
+	// Undo the directory entry swap: the renamed bytes reappear under the
+	// old name, the new name reverts to its pre-rename content.
+	moved, err := ReadFile(f.inner, p.newpath)
+	if err != nil {
+		return // newpath was removed or re-renamed since; nothing to lose
+	}
+	f.inner.Remove(p.newpath)
+	WriteFile(f.inner, p.oldpath, moved, 0o644)
+	if p.prevExisted {
+		WriteFile(f.inner, p.newpath, p.prev, 0o644)
+	}
+}
 
 // Inner returns the wrapped filesystem — the state that "survives" the
 // simulated crash, which recovery tests reopen without fault injection.
@@ -96,7 +144,7 @@ func (f *FaultFS) Inner() FS { return f.inner }
 func (f *FaultFS) fault() {
 	f.faulted = true
 	if f.plan.CrashAfterFault {
-		f.crashed = true
+		f.crashLocked()
 	}
 }
 
@@ -180,8 +228,40 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 		f.mu.Unlock()
 		return ErrInjected
 	}
+	lose := f.plan.LoseRenameN > 0 && f.renames == f.plan.LoseRenameN
 	f.mu.Unlock()
+	if lose {
+		// Snapshot newpath's pre-rename content so a crash before the
+		// directory sync can restore the old entry.
+		p := &pendingRename{oldpath: clean(oldpath), newpath: clean(newpath), dir: clean(ParentDir(newpath))}
+		if prev, err := ReadFile(f.inner, newpath); err == nil {
+			p.prev, p.prevExisted = prev, true
+		}
+		if err := f.inner.Rename(oldpath, newpath); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		if !f.crashed {
+			f.pending = p
+		}
+		f.mu.Unlock()
+		return nil
+	}
 	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.dirSyncs++
+	if f.pending != nil && f.pending.dir == clean(name) {
+		f.pending = nil // the rename's directory entry is now durable
+	}
+	f.mu.Unlock()
+	return f.inner.SyncDir(name)
 }
 
 func (f *FaultFS) Remove(name string) error {

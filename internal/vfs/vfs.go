@@ -40,7 +40,9 @@ type File interface {
 type FS interface {
 	// OpenFile is the general constructor; flag and perm follow os.OpenFile.
 	OpenFile(name string, flag int, perm os.FileMode) (File, error)
-	// Rename atomically replaces newpath with oldpath.
+	// Rename atomically replaces newpath with oldpath. A rename is only
+	// durable once the directory holding the new entry has been synced
+	// (SyncDir); FaultFS can simulate the loss of an unsynced rename.
 	Rename(oldpath, newpath string) error
 	// Remove deletes a file. Removing a missing file returns an error
 	// satisfying errors.Is(err, os.ErrNotExist), as os.Remove does.
@@ -51,6 +53,48 @@ type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
 	// Stat returns metadata for the named file.
 	Stat(name string) (os.FileInfo, error)
+	// SyncDir flushes a directory's entries to stable storage, making
+	// renames and creations inside it crash-durable (the fsync(dirfd)
+	// every POSIX commit protocol needs after rename).
+	SyncDir(name string) error
+}
+
+// Linker is an optional FS extension for hard links. LinkOrCopy prefers
+// it; filesystems without native links fall back to a byte copy.
+type Linker interface {
+	// Link creates newname as a hard link to oldname.
+	Link(oldname, newname string) error
+}
+
+// LinkOrCopy makes newname hold the same bytes as oldname: a hard link
+// when fsys supports one (the cheap native-checkpoint path), otherwise a
+// full copy. The copy is synced before returning.
+func LinkOrCopy(fsys FS, oldname, newname string) error {
+	if l, ok := fsys.(Linker); ok {
+		if err := l.Link(oldname, newname); err == nil {
+			return nil
+		}
+	}
+	src, err := Open(fsys, oldname)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := fsys.OpenFile(newname, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		fsys.Remove(newname)
+		return err
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		fsys.Remove(newname)
+		return err
+	}
+	return dst.Close()
 }
 
 // Open opens the named file for reading, like os.Open.
@@ -114,7 +158,27 @@ func WriteFileAtomic(fsys FS, name string, data []byte, perm os.FileMode) error 
 		fsys.Remove(tmp)
 		return err
 	}
-	return nil
+	// The rename itself is not durable until the directory entry is
+	// flushed; without this, a crash can resurrect the old file (or lose
+	// the new one entirely on filesystems that journal lazily).
+	return fsys.SyncDir(ParentDir(name))
+}
+
+// ParentDir returns the directory holding name — the directory to
+// SyncDir after a rename. It mirrors filepath.Dir for the path styles
+// engines use.
+func ParentDir(name string) string {
+	i := len(name) - 1
+	for i >= 0 && name[i] != '/' && name[i] != os.PathSeparator {
+		i--
+	}
+	if i < 0 {
+		return "."
+	}
+	if i == 0 {
+		return name[:1]
+	}
+	return name[:i]
 }
 
 // OsFS is the passthrough implementation over the real filesystem.
@@ -149,3 +213,18 @@ func (OsFS) MkdirAll(path string, perm os.FileMode) error {
 	return os.MkdirAll(path, perm)
 }
 func (OsFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (OsFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Link implements Linker with a real hard link.
+func (OsFS) Link(oldname, newname string) error { return os.Link(oldname, newname) }
