@@ -1,83 +1,186 @@
-// Command gadget-server exposes any KV engine over TCP for external
-// state management experiments (paper §8): run one server, point any
-// number of `gadget run`/`gadget replay` instances at it with
-// `-engine remote -addr HOST:PORT`, and the compute and state tiers are
-// decoupled.
+// Command gadget-server exposes KV engines over TCP for external state
+// management experiments (paper §8): run one server, point any number of
+// `gadget run`/`gadget replay` instances at it with `-engine remote
+// -addr HOST:PORT`, and the compute and state tiers are decoupled.
+//
+// With -shards N the keyspace is hash-partitioned across N independent
+// engines, each on its own listener (base port, port+1, ...), so request
+// handling parallelizes across cores with no cross-shard locks. Clients
+// configure the matching shard count via store.remote.shards or a
+// comma-separated addr list.
 //
 // Usage:
 //
 //	gadget-server -engine rocksdb -dir /tmp/db -addr 127.0.0.1:7101
+//	gadget-server -shards 4 -engine rocksdb,memstore -addr 127.0.0.1:7301
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"gadget"
+	"gadget/internal/kv"
 	"gadget/internal/obs"
-	"gadget/internal/remote"
+	"gadget/internal/shard"
 )
 
 func main() {
-	engine := flag.String("engine", "rocksdb", "backing store engine")
-	dir := flag.String("dir", "", "store directory (temp dir when empty)")
-	addr := flag.String("addr", "127.0.0.1:7101", "listen address")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "gadget-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, starts the (possibly sharded) server, and blocks
+// until interrupted. Configuration errors come back as errors — with the
+// usage text on stderr — so main exits non-zero instead of serving a
+// half-configured cluster.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gadget-server", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	engines := fs.String("engine", "rocksdb", "backing engine, or a comma-separated list cycled across shards")
+	dir := fs.String("dir", "", "store directory (temp dir when empty); shard i uses <dir>/shard-<i>")
+	addr := fs.String("addr", "127.0.0.1:7101", "base listen address; shard i listens on port+i (port 0: all ephemeral)")
+	shards := fs.Int("shards", 1, "number of independent hash-partitioned shards")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+	readyFile := fs.String("ready-file", "", "write the comma-separated shard addresses here once all listeners are up")
+	if err := fs.Parse(args); err != nil {
+		return err // flag package already printed the usage text
+	}
+	usage := func(format string, a ...any) error {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintf(os.Stderr, "gadget-server: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usage("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *shards < 1 {
+		return usage("-shards must be >= 1, got %d", *shards)
+	}
+	engineList, err := splitEngines(*engines)
+	if err != nil {
+		return usage("%v", err)
+	}
 
 	storeDir := *dir
-	if storeDir == "" && *engine != "memstore" {
+	if storeDir == "" && needsDir(engineList) {
 		tmp, err := os.MkdirTemp("", "gadget-server-*")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer os.RemoveAll(tmp)
 		storeDir = tmp
 	}
-	srv, store, err := serve(*engine, storeDir, *addr)
+	srv, stores, err := serveCluster(engineList, storeDir, *addr, *shards)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	defer store.Close()
-	fmt.Printf("gadget-server: serving %s on %s (dir %s)\n", *engine, srv.Addr(), storeDir)
+	defer func() {
+		srv.Close()
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	addrs := srv.Addrs()
+	for i, a := range addrs {
+		fmt.Fprintf(stdout, "gadget-server: shard %d serving %s on %s (dir %s)\n",
+			i, engineList[i%len(engineList)], a, storeDir)
+	}
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(strings.Join(addrs, ",")+"\n"), 0o644); err != nil {
+			return fmt.Errorf("ready file: %w", err)
+		}
+	}
 	if *metricsAddr != "" {
-		// The collector introspects the remote.Server, which merges its
-		// wire counters with the backing engine's metrics.
+		// The collector introspects the shard server, which exposes every
+		// shard's wire counters (and its engine's metrics) under a
+		// shard<i>. prefix.
 		reg := obs.NewRegistry()
 		obs.RegisterStoreCollector(reg, srv)
 		msrv, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer msrv.Close()
-		fmt.Printf("gadget-server: metrics on http://%s/metrics\n", msrv.Addr())
+		fmt.Fprintf(stdout, "gadget-server: metrics on http://%s/metrics\n", msrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("gadget-server: shutting down")
-	srv.Close()
+	fmt.Fprintln(stdout, "gadget-server: shutting down")
+	return nil
 }
 
-// serve opens the configured engine and exposes it on addr.
-func serve(engine, dir, addr string) (*remote.Server, gadget.Store, error) {
-	store, err := gadget.OpenStore(gadget.StoreConfig{Engine: engine, Dir: dir})
-	if err != nil {
-		return nil, nil, err
+// splitEngines parses the -engine list and rejects engines a server
+// cannot back.
+func splitEngines(s string) ([]string, error) {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if e == "remote" {
+			return nil, fmt.Errorf("engine %q cannot back a server (it is the client side of this protocol)", e)
+		}
+		out = append(out, e)
 	}
-	srv, err := remote.Serve(store, addr)
-	if err != nil {
-		store.Close()
-		return nil, nil, err
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-engine must name at least one engine (one of %v)", gadget.Engines())
 	}
-	return srv, store, nil
+	return out, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gadget-server: %v\n", err)
-	os.Exit(1)
+// needsDir reports whether any engine in the list persists to disk.
+func needsDir(engines []string) bool {
+	for _, e := range engines {
+		if e != "memstore" {
+			return true
+		}
+	}
+	return false
+}
+
+// serveCluster opens one engine per shard — cycling through the engine
+// list — and exposes them as a sharded server on addr. Shard i of a
+// durable engine lives in dir/shard-<i>, so shards never share files.
+func serveCluster(engines []string, dir, addr string, shards int) (*shard.Server, []gadget.Store, error) {
+	stores := make([]gadget.Store, 0, shards)
+	closeAll := func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}
+	for i := 0; i < shards; i++ {
+		engine := engines[i%len(engines)]
+		shardDir := dir
+		if dir != "" && shards > 1 {
+			shardDir = fmt.Sprintf("%s/shard-%d", dir, i)
+		}
+		store, err := gadget.OpenStore(gadget.StoreConfig{Engine: engine, Dir: shardDir})
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("shard %d (%s): %w", i, engine, err)
+		}
+		stores = append(stores, store)
+	}
+	kvStores := make([]kv.Store, len(stores))
+	for i, s := range stores {
+		kvStores[i] = s
+	}
+	srv, err := shard.Serve(kvStores, addr)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return srv, stores, nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"errors"
+	"io"
+	"strings"
 	"testing"
 
 	"gadget"
@@ -11,11 +13,16 @@ import (
 // same replay results and the same final state as the same engine
 // embedded in-process.
 func TestServerRoundTripEquivalence(t *testing.T) {
-	srv, backing, err := serve("rocksdb", t.TempDir(), "127.0.0.1:0")
+	srv, backing, err := serveCluster([]string{"rocksdb"}, t.TempDir(), "127.0.0.1:0", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() { srv.Close(); backing.Close() }()
+	defer func() {
+		srv.Close()
+		for _, s := range backing {
+			s.Close()
+		}
+	}()
 
 	// A small but representative workload: a windowed aggregation whose
 	// accesses mix gets, puts, merges, and deletes.
@@ -35,7 +42,7 @@ func TestServerRoundTripEquivalence(t *testing.T) {
 		t.Fatal("empty trace")
 	}
 
-	remoteStore, err := gadget.OpenStore(gadget.StoreConfig{Engine: "remote", Addr: srv.Addr()})
+	remoteStore, err := gadget.OpenStore(gadget.StoreConfig{Engine: "remote", Addr: srv.Addrs()[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,13 +100,115 @@ func TestServerRoundTripEquivalence(t *testing.T) {
 	}
 }
 
+// A sharded cluster served over TCP must agree with an unsharded
+// embedded oracle, and the sharded client must observe it through the
+// standard store config surface (comma-separated addrs).
+func TestShardedServerEquivalence(t *testing.T) {
+	srv, backing, err := serveCluster([]string{"memstore"}, "", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		for _, s := range backing {
+			s.Close()
+		}
+	}()
+	if srv.Shards() != 4 {
+		t.Fatalf("shards = %d", srv.Shards())
+	}
+	sharded, err := gadget.OpenStore(gadget.StoreConfig{
+		Engine: "remote",
+		Addr:   strings.Join(srv.Addrs(), ","),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	oracle, err := gadget.OpenStore(gadget.StoreConfig{Engine: "memstore"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+
+	cfg := gadget.Config{
+		Source: gadget.SourceConfig{Events: 3000, Keys: 48, Seed: 7},
+		Run:    gadget.RunConfig{Mode: "online"},
+	}
+	w, err := gadget.NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSharded, err := gadget.Replay(sharded, tr, gadget.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOracle, err := gadget.Replay(oracle, tr, gadget.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSharded.Ops != resOracle.Ops || resSharded.Errors != 0 || resSharded.Misses != resOracle.Misses {
+		t.Fatalf("sharded %+v vs oracle %+v", resSharded, resOracle)
+	}
+	var buf [16]byte
+	for _, a := range tr {
+		enc := a.Key.Encode(buf[:0])
+		want, wantErr := oracle.Get(enc)
+		got, err := sharded.Get(enc)
+		if errors.Is(wantErr, gadget.ErrNotFound) {
+			if !errors.Is(err, gadget.ErrNotFound) {
+				t.Fatalf("key %v should be absent, got %q (err %v)", a.Key, got, err)
+			}
+			continue
+		}
+		if err != nil || string(got) != string(want) {
+			t.Fatalf("key %v: sharded %q (err %v), oracle %q", a.Key, got, err, want)
+		}
+	}
+}
+
 // The server helper surfaces engine misconfiguration instead of
 // starting a broken listener.
-func TestServeRejectsBadEngine(t *testing.T) {
-	if _, _, err := serve("no-such-engine", t.TempDir(), "127.0.0.1:0"); err == nil {
+func TestServeClusterRejectsBadEngine(t *testing.T) {
+	if _, _, err := serveCluster([]string{"no-such-engine"}, t.TempDir(), "127.0.0.1:0", 1); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	if _, _, err := serve("remote", "", "127.0.0.1:0"); err == nil {
-		t.Fatal("serving the remote engine over itself accepted")
+	if _, _, err := serveCluster([]string{"rocksdb"}, t.TempDir(), "not-an-address", 2); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+// Bad flags must come back as errors (non-zero exit from main) instead
+// of a half-started server.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-shards", "0"},
+		{"-shards", "-3"},
+		{"-engine", ""},
+		{"-engine", "remote"},
+		{"-engine", "no-such-engine", "-addr", "127.0.0.1:0"},
+		{"-addr", "not-an-address", "-engine", "memstore"},
+		{"-no-such-flag"},
+		{"stray-positional-arg"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// splitEngines cycles and trims.
+func TestSplitEngines(t *testing.T) {
+	got, err := splitEngines(" rocksdb , memstore ")
+	if err != nil || len(got) != 2 || got[0] != "rocksdb" || got[1] != "memstore" {
+		t.Fatalf("splitEngines = %v, %v", got, err)
+	}
+	if _, err := splitEngines(","); err == nil {
+		t.Fatal("empty list accepted")
 	}
 }

@@ -222,6 +222,20 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("config: store.resilience: %w", err)
 		}
 	}
+	if c.Store.Remote != nil {
+		if c.Store.Engine != "remote" {
+			return fmt.Errorf("config: store.remote requires store.engine %q, got %q", "remote", c.Store.Engine)
+		}
+		if c.Store.Remote.Shards < 0 {
+			return fmt.Errorf("config: store.remote.shards must be non-negative, got %d", c.Store.Remote.Shards)
+		}
+		if c.Store.Remote.PipelineDepth < 0 {
+			return fmt.Errorf("config: store.remote.pipeline_depth must be non-negative, got %d", c.Store.Remote.PipelineDepth)
+		}
+		if c.Store.Remote.BatchBytes < 0 {
+			return fmt.Errorf("config: store.remote.batch_bytes must be non-negative, got %d", c.Store.Remote.BatchBytes)
+		}
+	}
 	switch c.Run.Mode {
 	case "", "online":
 		c.Run.Mode = "online"

@@ -65,6 +65,38 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+func TestRemoteStoreConfig(t *testing.T) {
+	doc := `{
+		"store": {
+			"engine": "remote",
+			"addr": "127.0.0.1:7301",
+			"remote": {"shards": 4, "pipeline_depth": 32, "batch_bytes": 65536}
+		}
+	}`
+	c, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Store.Remote
+	if r == nil || r.Shards != 4 || r.PipelineDepth != 32 || r.BatchBytes != 65536 {
+		t.Fatalf("store.remote = %+v", r)
+	}
+
+	bad := []string{
+		// remote section on a non-remote engine
+		`{"store": {"engine": "memstore", "remote": {"shards": 2}}}`,
+		// negative knobs
+		`{"store": {"engine": "remote", "addr": "x:1", "remote": {"shards": -1}}}`,
+		`{"store": {"engine": "remote", "addr": "x:1", "remote": {"pipeline_depth": -1}}}`,
+		`{"store": {"engine": "remote", "addr": "x:1", "remote": {"batch_bytes": -1}}}`,
+	}
+	for _, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("doc %q should fail", doc)
+		}
+	}
+}
+
 func TestRecoveryConfig(t *testing.T) {
 	bad := []string{
 		`{"store": {"chaos": {"crash_at_ops": [0]}}}`,

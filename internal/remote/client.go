@@ -1,0 +1,341 @@
+package remote
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gadget/internal/kv"
+)
+
+// ClientOptions tunes the client's transport resilience.
+type ClientOptions struct {
+	// Timeout bounds each network round trip (connection deadline per
+	// request/response exchange; 0 = none).
+	Timeout time.Duration
+	// Redials is how many reconnect-and-replay attempts each operation
+	// may spend after a transport failure (0 = default 2, -1 = none).
+	Redials int
+	// Dialer overrides the transport dialer (tests inject flaky
+	// connections here); nil uses net.Dial("tcp", addr).
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// withDefaults normalizes the redial budget.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Redials == 0 {
+		o.Redials = 2
+	}
+	if o.Redials < 0 {
+		o.Redials = 0
+	}
+	return o
+}
+
+// newSessionID draws a random 64-bit session identifier.
+func newSessionID() (uint64, error) {
+	var idBuf [8]byte
+	if _, err := rand.Read(idBuf[:]); err != nil {
+		return 0, fmt.Errorf("remote: session id: %w", err)
+	}
+	return binary.LittleEndian.Uint64(idBuf[:]), nil
+}
+
+// Client is a protocol-v2 kv.Store backed by a remote Server. It is safe
+// for concurrent use; requests are serialized over one connection (the
+// dataflow model's single-writer-per-task discipline). Transport
+// failures do not poison the client: the connection is dropped and
+// re-dialed, and the in-flight request is replayed under its original
+// sequence number, which the server deduplicates. For many in-flight
+// requests per connection, use PipelinedClient (protocol v3).
+type Client struct {
+	addr      string
+	opts      ClientOptions
+	sessionID uint64
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	seq    uint64
+	closed bool
+
+	// Transport counters (atomics so Metrics doesn't contend with the
+	// serialized request path).
+	requests  atomic.Uint64 // operations issued (one per roundTrip)
+	dials     atomic.Uint64 // successful connects, initial included
+	redials   atomic.Uint64 // replay attempts after a transport failure
+	failures  atomic.Uint64 // operations that exhausted the redial budget
+	scans     atomic.Uint64 // range scans issued
+	snapshots atomic.Uint64 // fallback snapshots materialized
+	iterOps   atomic.Int64  // entries stepped through snapshot iterators
+}
+
+var _ kv.Store = (*Client)(nil)
+
+// Dial connects to a Server with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
+
+// DialOptions connects to a Server. The initial connection is
+// established eagerly so configuration errors surface immediately.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{addr: addr, opts: opts, sessionID: id}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The initial connect shares the redial budget: a transient blip at
+	// dial time should not fail client construction when redials are on.
+	for attempt := 0; attempt <= opts.Redials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
+		}
+		if err = c.connectLocked(); err == nil {
+			return c, nil
+		}
+		c.dropConnLocked()
+	}
+	return nil, err
+}
+
+// Caps mirrors a store with native merge (the server translates) and
+// server-side range scans. Snapshots stays false: Snapshot() works, but
+// it materializes the full keyspace over the wire into a stop-the-world
+// kv.FallbackSnapshot rather than a cheap pinned view.
+func (c *Client) Caps() kv.Capabilities {
+	return kv.Capabilities{NativeMerge: true, RangeScans: true}
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.opts.Dialer != nil {
+		return c.opts.Dialer(c.addr)
+	}
+	return net.Dial("tcp", c.addr)
+}
+
+// connectLocked dials and sends the session hello. Caller holds c.mu.
+func (c *Client) connectLocked() error {
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	hello := appendHello(make([]byte, 0, helloLen), protoV2, c.sessionID)
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return err
+	}
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	c.dials.Add(1)
+	return nil
+}
+
+// dropConnLocked discards a connection in an unknown state; the next
+// operation re-dials. Caller holds c.mu.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.r, c.w = nil, nil
+	}
+}
+
+// exchangeLocked performs one framed request/response on the current
+// connection. Caller holds c.mu and guarantees c.conn != nil.
+func (c *Client) exchangeLocked(seq uint64, op byte, key, val []byte) ([]byte, byte, error) {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	var hdr [reqHdrLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	hdr[8] = op
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[13:17], uint32(len(val)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if _, err := c.w.Write(key); err != nil {
+		return nil, 0, err
+	}
+	if _, err := c.w.Write(val); err != nil {
+		return nil, 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, 0, err
+	}
+	var rhdr [rspHdrLen]byte
+	if _, err := io.ReadFull(c.r, rhdr[:]); err != nil {
+		return nil, 0, err
+	}
+	status := rhdr[0]
+	n := binary.LittleEndian.Uint32(rhdr[1:])
+	if n > maxFrame {
+		// A peer violating the frame limit cannot be resynchronized.
+		return nil, 0, fmt.Errorf("%w: %d-byte response", ErrFrameTooLarge, n)
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(c.r, out); err != nil {
+		return nil, 0, err
+	}
+	return out, status, nil
+}
+
+// roundTrip sends one request, reconnecting and replaying it under the
+// same sequence number on transport failure. Errors it returns after
+// exhausting the redial budget are transient and outcome-unknown: the
+// request may or may not have been applied.
+func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, statusError, kv.ErrClosed
+	}
+	if len(key) > maxFrame || len(val) > maxFrame {
+		return nil, statusError, ErrFrameTooLarge
+	}
+	c.seq++
+	seq := c.seq
+	c.requests.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Redials; attempt++ {
+		if attempt > 0 {
+			// Brief pause so redials don't spin against a down server;
+			// longer backoff belongs to the kv resilience layer above.
+			c.redials.Add(1)
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
+		}
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		out, status, err := c.exchangeLocked(seq, op, key, val)
+		if err == nil {
+			return out, status, nil
+		}
+		lastErr = err
+		c.dropConnLocked()
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Protocol violation, not a transport blip: don't replay.
+			return nil, statusError, err
+		}
+	}
+	c.failures.Add(1)
+	return nil, statusError, kv.UnknownOutcomeError(kv.TransientError(
+		fmt.Errorf("remote: request %d failed after %d attempts: %w", seq, c.opts.Redials+1, lastErr)))
+}
+
+// Metrics implements kv.Introspector: client-side transport counters
+// under "remote.*".
+func (c *Client) Metrics() map[string]int64 {
+	return map[string]int64{
+		"remote.requests":  int64(c.requests.Load()),
+		"remote.dials":     int64(c.dials.Load()),
+		"remote.redials":   int64(c.redials.Load()),
+		"remote.failures":  int64(c.failures.Load()),
+		"remote.scans":     int64(c.scans.Load()),
+		"remote.snapshots": int64(c.snapshots.Load()),
+		"remote.iter_ops":  c.iterOps.Load(),
+	}
+}
+
+// Get implements kv.Store.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	out, status, err := c.roundTrip(opGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		return out, nil
+	case statusNotFound:
+		return nil, kv.ErrNotFound
+	default:
+		return nil, remoteError(status, out)
+	}
+}
+
+// Put implements kv.Store.
+func (c *Client) Put(key, value []byte) error { return c.write(opPut, key, value) }
+
+// Merge implements kv.Store.
+func (c *Client) Merge(key, operand []byte) error { return c.write(opMerge, key, operand) }
+
+// Delete implements kv.Store.
+func (c *Client) Delete(key []byte) error { return c.write(opDelete, key, nil) }
+
+// ScanRange implements kv.RangeScanner with a single server-side scan
+// frame: the server walks [lo, hi] against its engine's snapshot and
+// returns the serialized entry list, so consistency is the server
+// engine's, not dial-order's.
+func (c *Client) ScanRange(lo, hi kv.StateKey) ([]kv.Entry, error) {
+	bounds := hi.Encode(lo.Encode(make([]byte, 0, 2*kv.KeyLen)))
+	out, status, err := c.roundTrip(opScan, bounds, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, remoteError(status, out)
+	}
+	c.scans.Add(1)
+	return decodeEntries(out)
+}
+
+// Snapshot implements kv.Snapshotter via the stop-the-world fallback: a
+// full-range ScanRange materialized into a kv.FallbackSnapshot. The
+// snapshot is consistent as of the server-side scan but costs one full
+// keyspace transfer; Caps().Snapshots is false accordingly.
+func (c *Client) Snapshot() (kv.Snapshot, error) {
+	entries, err := c.ScanRange(kv.StateKey{}, kv.MaxStateKey)
+	if err != nil {
+		return nil, err
+	}
+	snap := kv.NewFallbackSnapshot(entries)
+	snap.CountIterOps(&c.iterOps)
+	c.snapshots.Add(1)
+	return snap, nil
+}
+
+func (c *Client) write(op byte, key, val []byte) error {
+	out, status, err := c.roundTrip(op, key, val)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return remoteError(status, out)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}

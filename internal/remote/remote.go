@@ -1,748 +1,46 @@
 // Package remote implements the paper's §8 extension: external state
-// management. A Server exposes any kv.Store over TCP with a compact
-// length-prefixed binary protocol, and Client implements kv.Store over
-// that protocol — so the same harness that drives embedded stores can
-// evaluate a decoupled compute/state deployment (multiple workload
-// generator instances against one shared remote store).
+// management. A Server exposes any kv.Store over TCP, and two client
+// flavours implement kv.Store over that wire — so the same harness that
+// drives embedded stores can evaluate a decoupled compute/state
+// deployment (multiple workload generator instances against one shared
+// remote store, or a sharded fleet of them; see package shard).
+//
+// The package is split into three layers:
+//
+//   - protocol.go — the wire codec: frame layouts, size limits, and the
+//     encode/decode helpers shared by both ends and both versions.
+//   - server.go — Server, which speaks both protocol versions and keeps
+//     the per-session replay state that makes reconnects exactly-once.
+//   - client.go — Client, the protocol-v2 synchronous client (one
+//     request in flight per connection).
+//   - pipeline.go — PipelinedClient, the protocol-v3 client: many
+//     in-flight requests per connection, coalesced into batch frames,
+//     with responses matched by sequence number in any order.
 //
 // Protocol v2 (all integers little-endian):
 //
-//	hello:    magic u32 | version u8 | sessionID u64
+//	hello:    magic u32 | version u8 (=2) | sessionID u64
 //	request:  seq u64 | op u8 | keyLen u32 | valLen u32 | key | val
 //	response: status u8 | valLen u32 | val
+//
+// Protocol v3 reuses the hello and request record layouts but wraps
+// requests in batch frames and tags every response with the sequence
+// number it answers, so responses may complete out of order:
+//
+//	hello:    magic u32 | version u8 (=3) | sessionID u64
+//	batch:    count u32 | payloadLen u32 | count × request
+//	response: seq u64 | status u8 | valLen u32 | val
 //
 // status: 0 = ok, 1 = not found, 2 = error (val holds the message),
 // 3 = transient error (retry-safe: the store did not apply the op).
 //
-// The session/sequence layer makes reconnect replay exactly-once: the
-// client re-dials a broken connection, re-sends its hello with the same
-// session ID, and replays the in-flight request with the same sequence
-// number; the server deduplicates by sequence and answers replays from a
-// cached response instead of re-applying them. A request the client
-// ultimately cannot confirm surfaces as a transient, outcome-unknown
-// error, which the kv resilience layer retries only for idempotent ops.
+// The session/sequence layer makes reconnect replay exactly-once under
+// both versions: a client re-dials a broken connection, re-sends its
+// hello with the same session ID, and retransmits every request it has
+// not seen answered, in sequence order; the server deduplicates by
+// sequence against a bounded window of cached responses and answers
+// replays from the cache instead of re-applying them. A request the
+// client ultimately cannot confirm surfaces as a transient,
+// outcome-unknown error, which the kv resilience layer retries only for
+// idempotent ops.
 package remote
-
-import (
-	"bufio"
-	"crypto/rand"
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
-	"net"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"gadget/internal/kv"
-)
-
-const (
-	opGet byte = iota
-	opPut
-	opMerge
-	opDelete
-	// opScan requests a consistent bounded range scan. The request key
-	// field carries both bounds (lo || hi, 2 x kv.KeyLen bytes); the
-	// response value is the serialized entry list:
-	// repeated [key 16B | valLen u32 | val].
-	opScan
-
-	statusOK        byte = 0
-	statusNotFound  byte = 1
-	statusError     byte = 2
-	statusTransient byte = 3
-
-	protoMagic   uint32 = 0x74676467 // "gdgt"
-	protoVersion byte   = 2
-
-	helloLen  = 13
-	reqHdrLen = 17
-	rspHdrLen = 5
-
-	// maxFrame bounds key, value, and response payload length; both ends
-	// enforce it symmetrically with ErrFrameTooLarge.
-	maxFrame = 64 << 20
-
-	// maxSessions bounds the server's reconnect-replay session table.
-	maxSessions = 4096
-)
-
-// Typed protocol errors.
-var (
-	// ErrFrameTooLarge reports a key, value, or response exceeding
-	// maxFrame. On the client it fails the operation before anything is
-	// sent; on the server the oversized payload is drained and refused.
-	ErrFrameTooLarge = fmt.Errorf("remote: frame exceeds %d-byte protocol limit", maxFrame)
-	// ErrProtocol reports a malformed or version-mismatched peer.
-	ErrProtocol = errors.New("remote: protocol error")
-)
-
-// session is the server-side replay state of one client session: the
-// last applied sequence number and its cached response.
-type session struct {
-	mu       sync.Mutex
-	lastSeq  uint64
-	lastRsp  []byte // status byte + payload
-	lastUsed time.Time
-}
-
-// Server serves a kv.Store over TCP.
-type Server struct {
-	store kv.Store
-	ln    net.Listener
-	wg    sync.WaitGroup
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  bool
-
-	smu      sync.Mutex
-	sessions map[uint64]*session
-
-	// Wire-level counters (atomics: handlers run one goroutine per conn).
-	accepted  atomic.Uint64 // connections accepted
-	requests  atomic.Uint64 // requests decoded and answered
-	replays   atomic.Uint64 // reconnect replays answered from cache
-	staleSeqs atomic.Uint64 // requests refused for stale sequence numbers
-	oversized atomic.Uint64 // requests refused for exceeding maxFrame
-	scans     atomic.Uint64 // range scans served
-}
-
-// Serve starts serving store on addr (e.g. "127.0.0.1:0") and returns
-// once the listener is ready. Close shuts it down.
-func Serve(store kv.Store, addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{
-		store:    store,
-		ln:       ln,
-		conns:    make(map[net.Conn]struct{}),
-		sessions: make(map[uint64]*session),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the listener address (useful with port 0).
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.done {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.accepted.Add(1)
-		s.wg.Add(1)
-		go s.handle(conn)
-	}
-}
-
-// getSession returns (creating if needed) the session for id, evicting
-// the least-recently-used session when the table is full.
-func (s *Server) getSession(id uint64) *session {
-	s.smu.Lock()
-	defer s.smu.Unlock()
-	if sess, ok := s.sessions[id]; ok {
-		sess.lastUsed = time.Now()
-		return sess
-	}
-	if len(s.sessions) >= maxSessions {
-		var oldestID uint64
-		var oldest time.Time
-		first := true
-		for id, sess := range s.sessions {
-			if first || sess.lastUsed.Before(oldest) {
-				first = false
-				oldestID, oldest = id, sess.lastUsed
-			}
-		}
-		delete(s.sessions, oldestID)
-	}
-	sess := &session{lastUsed: time.Now()}
-	s.sessions[id] = sess
-	return sess
-}
-
-// apply executes one decoded request against the backing store with
-// per-request panic recovery: a panicking engine fails the request, not
-// the connection.
-func (s *Server) apply(op byte, key, val []byte) (status byte, out []byte) {
-	defer func() {
-		if p := recover(); p != nil {
-			status, out = statusError, []byte(fmt.Sprintf("store panic: %v", p))
-		}
-	}()
-	switch op {
-	case opGet:
-		v, err := s.store.Get(key)
-		switch {
-		case err == nil:
-			return statusOK, v
-		case errors.Is(err, kv.ErrNotFound):
-			return statusNotFound, nil
-		default:
-			return errStatus(err), []byte(err.Error())
-		}
-	case opPut:
-		if err := s.store.Put(key, val); err != nil {
-			return errStatus(err), []byte(err.Error())
-		}
-	case opMerge:
-		if err := s.store.Merge(key, val); err != nil {
-			return errStatus(err), []byte(err.Error())
-		}
-	case opDelete:
-		if err := s.store.Delete(key); err != nil {
-			return errStatus(err), []byte(err.Error())
-		}
-	case opScan:
-		if len(key) != 2*kv.KeyLen {
-			return statusError, []byte("remote: scan bounds must be 2 state keys")
-		}
-		lo, err := kv.DecodeStateKey(key[:kv.KeyLen])
-		if err != nil {
-			return statusError, []byte(err.Error())
-		}
-		hi, err := kv.DecodeStateKey(key[kv.KeyLen:])
-		if err != nil {
-			return statusError, []byte(err.Error())
-		}
-		entries, err := kv.ScanRange(s.store, lo, hi)
-		if err != nil {
-			return errStatus(err), []byte(err.Error())
-		}
-		out, err := encodeEntries(entries)
-		if err != nil {
-			return errStatus(err), []byte(err.Error())
-		}
-		s.scans.Add(1)
-		return statusOK, out
-	default:
-		return statusError, []byte("unknown op")
-	}
-	return statusOK, nil
-}
-
-// encodeEntries serializes a scan result as repeated
-// [key 16B | valLen u32 | val], enforcing the frame limit.
-func encodeEntries(entries []kv.Entry) ([]byte, error) {
-	size := 0
-	for _, e := range entries {
-		size += kv.KeyLen + 4 + len(e.Value)
-	}
-	if size > maxFrame {
-		return nil, fmt.Errorf("%w: %d-byte scan result", ErrFrameTooLarge, size)
-	}
-	out := make([]byte, 0, size)
-	var vlen [4]byte
-	for _, e := range entries {
-		out = e.Key.Encode(out)
-		binary.LittleEndian.PutUint32(vlen[:], uint32(len(e.Value)))
-		out = append(out, vlen[:]...)
-		out = append(out, e.Value...)
-	}
-	return out, nil
-}
-
-// decodeEntries parses an opScan response payload.
-func decodeEntries(b []byte) ([]kv.Entry, error) {
-	var out []kv.Entry
-	for len(b) > 0 {
-		if len(b) < kv.KeyLen+4 {
-			return nil, fmt.Errorf("%w: truncated scan entry", ErrProtocol)
-		}
-		sk, err := kv.DecodeStateKey(b[:kv.KeyLen])
-		if err != nil {
-			return nil, err
-		}
-		n := binary.LittleEndian.Uint32(b[kv.KeyLen : kv.KeyLen+4])
-		b = b[kv.KeyLen+4:]
-		if uint64(n) > uint64(len(b)) {
-			return nil, fmt.Errorf("%w: scan entry value overruns frame", ErrProtocol)
-		}
-		out = append(out, kv.Entry{Key: sk, Value: append([]byte(nil), b[:n]...)})
-		b = b[n:]
-	}
-	return out, nil
-}
-
-// errStatus maps a backend error to a wire status, preserving the
-// transient classification so the client's resilience layer can retry.
-// Transient backend failures follow the fail-before-apply contract
-// (kv.ErrInjectedFault and friends), so replaying them is safe.
-func errStatus(err error) byte {
-	if kv.Transient(err) {
-		return statusTransient
-	}
-	return statusError
-}
-
-func (s *Server) handle(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	r := bufio.NewReaderSize(conn, 64<<10)
-	w := bufio.NewWriterSize(conn, 64<<10)
-
-	var hello [helloLen]byte
-	if _, err := io.ReadFull(r, hello[:]); err != nil {
-		return
-	}
-	if binary.LittleEndian.Uint32(hello[0:4]) != protoMagic || hello[4] != protoVersion {
-		return // wrong magic or version: not a v2 client
-	}
-	sess := s.getSession(binary.LittleEndian.Uint64(hello[5:13]))
-
-	var hdr [reqHdrLen]byte
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return
-		}
-		seq := binary.LittleEndian.Uint64(hdr[0:8])
-		op := hdr[8]
-		keyLen := binary.LittleEndian.Uint32(hdr[9:13])
-		valLen := binary.LittleEndian.Uint32(hdr[13:17])
-		if keyLen > maxFrame || valLen > maxFrame {
-			// Symmetric maxFrame enforcement: drain the declared payload
-			// and refuse the request, keeping the connection usable.
-			s.oversized.Add(1)
-			if _, err := io.CopyN(io.Discard, r, int64(keyLen)+int64(valLen)); err != nil {
-				return
-			}
-			if !writeResponse(w, statusError, []byte(ErrFrameTooLarge.Error())) {
-				return
-			}
-			continue
-		}
-		buf := make([]byte, keyLen+valLen)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return
-		}
-		key, val := buf[:keyLen], buf[keyLen:]
-
-		s.requests.Add(1)
-		sess.mu.Lock()
-		var status byte
-		var out []byte
-		switch {
-		case seq == sess.lastSeq && seq != 0:
-			// Reconnect replay of the in-flight request: answer from the
-			// cache without re-applying (exactly-once).
-			s.replays.Add(1)
-			status, out = sess.lastRsp[0], sess.lastRsp[1:]
-		case seq < sess.lastSeq:
-			s.staleSeqs.Add(1)
-			status, out = statusError, []byte("remote: stale sequence number")
-		default:
-			status, out = s.apply(op, key, val)
-			sess.lastSeq = seq
-			rsp := make([]byte, 1+len(out))
-			rsp[0] = status
-			copy(rsp[1:], out)
-			sess.lastRsp = rsp
-		}
-		sess.mu.Unlock()
-
-		if !writeResponse(w, status, out) {
-			return
-		}
-	}
-}
-
-func writeResponse(w *bufio.Writer, status byte, out []byte) bool {
-	var rhdr [rspHdrLen]byte
-	rhdr[0] = status
-	binary.LittleEndian.PutUint32(rhdr[1:], uint32(len(out)))
-	if _, err := w.Write(rhdr[:]); err != nil {
-		return false
-	}
-	if _, err := w.Write(out); err != nil {
-		return false
-	}
-	return w.Flush() == nil
-}
-
-// Metrics implements kv.Introspector: wire-level counters under
-// "remote_server.*", merged with the backing store's metrics when it is
-// introspectable.
-func (s *Server) Metrics() map[string]int64 {
-	s.mu.Lock()
-	conns := int64(len(s.conns))
-	s.mu.Unlock()
-	s.smu.Lock()
-	sessions := int64(len(s.sessions))
-	s.smu.Unlock()
-	m := map[string]int64{
-		"remote_server.conns_accepted": int64(s.accepted.Load()),
-		"remote_server.conns_live":     conns,
-		"remote_server.sessions":       sessions,
-		"remote_server.requests":       int64(s.requests.Load()),
-		"remote_server.replays":        int64(s.replays.Load()),
-		"remote_server.stale_seqs":     int64(s.staleSeqs.Load()),
-		"remote_server.oversized":      int64(s.oversized.Load()),
-		"remote_server.scans":          int64(s.scans.Load()),
-	}
-	for k, v := range kv.MetricsOf(s.store) {
-		m[k] = v
-	}
-	return m
-}
-
-// Close stops the listener, closes live connections, and waits for
-// handlers to drain. The wrapped store is not closed.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.done = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-// ClientOptions tunes the client's transport resilience.
-type ClientOptions struct {
-	// Timeout bounds each network round trip (connection deadline per
-	// request/response exchange; 0 = none).
-	Timeout time.Duration
-	// Redials is how many reconnect-and-replay attempts each operation
-	// may spend after a transport failure (0 = default 2, -1 = none).
-	Redials int
-	// Dialer overrides the transport dialer (tests inject flaky
-	// connections here); nil uses net.Dial("tcp", addr).
-	Dialer func(addr string) (net.Conn, error)
-}
-
-// Client is a kv.Store backed by a remote Server. It is safe for
-// concurrent use; requests are serialized over one connection (the
-// dataflow model's single-writer-per-task discipline). Transport
-// failures do not poison the client: the connection is dropped and
-// re-dialed, and the in-flight request is replayed under its original
-// sequence number, which the server deduplicates.
-type Client struct {
-	addr      string
-	opts      ClientOptions
-	sessionID uint64
-
-	mu     sync.Mutex
-	conn   net.Conn
-	r      *bufio.Reader
-	w      *bufio.Writer
-	seq    uint64
-	closed bool
-
-	// Transport counters (atomics so Metrics doesn't contend with the
-	// serialized request path).
-	requests  atomic.Uint64 // operations issued (one per roundTrip)
-	dials     atomic.Uint64 // successful connects, initial included
-	redials   atomic.Uint64 // replay attempts after a transport failure
-	failures  atomic.Uint64 // operations that exhausted the redial budget
-	scans     atomic.Uint64 // range scans issued
-	snapshots atomic.Uint64 // fallback snapshots materialized
-	iterOps   atomic.Int64  // entries stepped through snapshot iterators
-}
-
-var _ kv.Store = (*Client)(nil)
-
-// Dial connects to a Server with default options.
-func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
-
-// DialOptions connects to a Server. The initial connection is
-// established eagerly so configuration errors surface immediately.
-func DialOptions(addr string, opts ClientOptions) (*Client, error) {
-	if opts.Redials == 0 {
-		opts.Redials = 2
-	}
-	if opts.Redials < 0 {
-		opts.Redials = 0
-	}
-	var idBuf [8]byte
-	if _, err := rand.Read(idBuf[:]); err != nil {
-		return nil, fmt.Errorf("remote: session id: %w", err)
-	}
-	c := &Client{
-		addr:      addr,
-		opts:      opts,
-		sessionID: binary.LittleEndian.Uint64(idBuf[:]),
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// The initial connect shares the redial budget: a transient blip at
-	// dial time should not fail client construction when redials are on.
-	var err error
-	for attempt := 0; attempt <= opts.Redials; attempt++ {
-		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * time.Millisecond)
-		}
-		if err = c.connectLocked(); err == nil {
-			return c, nil
-		}
-		c.dropConnLocked()
-	}
-	return nil, err
-}
-
-// Caps mirrors a store with native merge (the server translates) and
-// server-side range scans. Snapshots stays false: Snapshot() works, but
-// it materializes the full keyspace over the wire into a stop-the-world
-// kv.FallbackSnapshot rather than a cheap pinned view.
-func (c *Client) Caps() kv.Capabilities {
-	return kv.Capabilities{NativeMerge: true, RangeScans: true}
-}
-
-func (c *Client) dial() (net.Conn, error) {
-	if c.opts.Dialer != nil {
-		return c.opts.Dialer(c.addr)
-	}
-	return net.Dial("tcp", c.addr)
-}
-
-// connectLocked dials and sends the session hello. Caller holds c.mu.
-func (c *Client) connectLocked() error {
-	conn, err := c.dial()
-	if err != nil {
-		return err
-	}
-	var hello [helloLen]byte
-	binary.LittleEndian.PutUint32(hello[0:4], protoMagic)
-	hello[4] = protoVersion
-	binary.LittleEndian.PutUint64(hello[5:13], c.sessionID)
-	if c.opts.Timeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-	}
-	if _, err := conn.Write(hello[:]); err != nil {
-		conn.Close()
-		return err
-	}
-	if c.opts.Timeout > 0 {
-		conn.SetDeadline(time.Time{})
-	}
-	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 64<<10)
-	c.w = bufio.NewWriterSize(conn, 64<<10)
-	c.dials.Add(1)
-	return nil
-}
-
-// dropConnLocked discards a connection in an unknown state; the next
-// operation re-dials. Caller holds c.mu.
-func (c *Client) dropConnLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.r, c.w = nil, nil
-	}
-}
-
-// exchangeLocked performs one framed request/response on the current
-// connection. Caller holds c.mu and guarantees c.conn != nil.
-func (c *Client) exchangeLocked(seq uint64, op byte, key, val []byte) ([]byte, byte, error) {
-	if c.opts.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	var hdr [reqHdrLen]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], seq)
-	hdr[8] = op
-	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(key)))
-	binary.LittleEndian.PutUint32(hdr[13:17], uint32(len(val)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return nil, 0, err
-	}
-	if _, err := c.w.Write(key); err != nil {
-		return nil, 0, err
-	}
-	if _, err := c.w.Write(val); err != nil {
-		return nil, 0, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, 0, err
-	}
-	var rhdr [rspHdrLen]byte
-	if _, err := io.ReadFull(c.r, rhdr[:]); err != nil {
-		return nil, 0, err
-	}
-	status := rhdr[0]
-	n := binary.LittleEndian.Uint32(rhdr[1:])
-	if n > maxFrame {
-		// A peer violating the frame limit cannot be resynchronized.
-		return nil, 0, fmt.Errorf("%w: %d-byte response", ErrFrameTooLarge, n)
-	}
-	out := make([]byte, n)
-	if _, err := io.ReadFull(c.r, out); err != nil {
-		return nil, 0, err
-	}
-	return out, status, nil
-}
-
-// roundTrip sends one request, reconnecting and replaying it under the
-// same sequence number on transport failure. Errors it returns after
-// exhausting the redial budget are transient and outcome-unknown: the
-// request may or may not have been applied.
-func (c *Client) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, statusError, kv.ErrClosed
-	}
-	if len(key) > maxFrame || len(val) > maxFrame {
-		return nil, statusError, ErrFrameTooLarge
-	}
-	c.seq++
-	seq := c.seq
-	c.requests.Add(1)
-	var lastErr error
-	for attempt := 0; attempt <= c.opts.Redials; attempt++ {
-		if attempt > 0 {
-			// Brief pause so redials don't spin against a down server;
-			// longer backoff belongs to the kv resilience layer above.
-			c.redials.Add(1)
-			time.Sleep(time.Duration(attempt) * time.Millisecond)
-		}
-		if c.conn == nil {
-			if err := c.connectLocked(); err != nil {
-				lastErr = err
-				continue
-			}
-		}
-		out, status, err := c.exchangeLocked(seq, op, key, val)
-		if err == nil {
-			return out, status, nil
-		}
-		lastErr = err
-		c.dropConnLocked()
-		if errors.Is(err, ErrFrameTooLarge) {
-			// Protocol violation, not a transport blip: don't replay.
-			return nil, statusError, err
-		}
-	}
-	c.failures.Add(1)
-	return nil, statusError, kv.UnknownOutcomeError(kv.TransientError(
-		fmt.Errorf("remote: request %d failed after %d attempts: %w", seq, c.opts.Redials+1, lastErr)))
-}
-
-// Metrics implements kv.Introspector: client-side transport counters
-// under "remote.*".
-func (c *Client) Metrics() map[string]int64 {
-	return map[string]int64{
-		"remote.requests":  int64(c.requests.Load()),
-		"remote.dials":     int64(c.dials.Load()),
-		"remote.redials":   int64(c.redials.Load()),
-		"remote.failures":  int64(c.failures.Load()),
-		"remote.scans":     int64(c.scans.Load()),
-		"remote.snapshots": int64(c.snapshots.Load()),
-		"remote.iter_ops":  c.iterOps.Load(),
-	}
-}
-
-// remoteError converts a non-OK wire status into a typed error.
-func remoteError(status byte, out []byte) error {
-	if status == statusTransient {
-		// The server's store refused the op before applying it; safe to
-		// retry, including merges.
-		return kv.TransientError(fmt.Errorf("remote: %s", out))
-	}
-	return fmt.Errorf("remote: %s", out)
-}
-
-// Get implements kv.Store.
-func (c *Client) Get(key []byte) ([]byte, error) {
-	out, status, err := c.roundTrip(opGet, key, nil)
-	if err != nil {
-		return nil, err
-	}
-	switch status {
-	case statusOK:
-		return out, nil
-	case statusNotFound:
-		return nil, kv.ErrNotFound
-	default:
-		return nil, remoteError(status, out)
-	}
-}
-
-// Put implements kv.Store.
-func (c *Client) Put(key, value []byte) error { return c.write(opPut, key, value) }
-
-// Merge implements kv.Store.
-func (c *Client) Merge(key, operand []byte) error { return c.write(opMerge, key, operand) }
-
-// Delete implements kv.Store.
-func (c *Client) Delete(key []byte) error { return c.write(opDelete, key, nil) }
-
-// ScanRange implements kv.RangeScanner with a single server-side scan
-// frame: the server walks [lo, hi] against its engine's snapshot and
-// returns the serialized entry list, so consistency is the server
-// engine's, not dial-order's.
-func (c *Client) ScanRange(lo, hi kv.StateKey) ([]kv.Entry, error) {
-	bounds := hi.Encode(lo.Encode(make([]byte, 0, 2*kv.KeyLen)))
-	out, status, err := c.roundTrip(opScan, bounds, nil)
-	if err != nil {
-		return nil, err
-	}
-	if status != statusOK {
-		return nil, remoteError(status, out)
-	}
-	c.scans.Add(1)
-	return decodeEntries(out)
-}
-
-// Snapshot implements kv.Snapshotter via the stop-the-world fallback: a
-// full-range ScanRange materialized into a kv.FallbackSnapshot. The
-// snapshot is consistent as of the server-side scan but costs one full
-// keyspace transfer; Caps().Snapshots is false accordingly.
-func (c *Client) Snapshot() (kv.Snapshot, error) {
-	entries, err := c.ScanRange(kv.StateKey{}, kv.MaxStateKey)
-	if err != nil {
-		return nil, err
-	}
-	snap := kv.NewFallbackSnapshot(entries)
-	snap.CountIterOps(&c.iterOps)
-	c.snapshots.Add(1)
-	return snap, nil
-}
-
-func (c *Client) write(op byte, key, val []byte) error {
-	out, status, err := c.roundTrip(op, key, val)
-	if err != nil {
-		return err
-	}
-	if status != statusOK {
-		return remoteError(status, out)
-	}
-	return nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	if c.conn != nil {
-		return c.conn.Close()
-	}
-	return nil
-}

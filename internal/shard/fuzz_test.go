@@ -1,0 +1,39 @@
+package shard
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// FuzzShardRouting checks the routing invariants for arbitrary keys:
+// the shard index is always in range, deterministic, independent of the
+// caller, and exactly FNV-1a mod n (the stdlib reference), so every
+// client and server build agrees on key placement for a fixed shard
+// count.
+func FuzzShardRouting(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(""))
+	f.Add([]byte("k"))
+	f.Add([]byte("key-1234567890"))
+	f.Add(make([]byte, 1024))
+
+	f.Fuzz(func(t *testing.T, key []byte) {
+		for n := 1; n <= 16; n++ {
+			got := Route(key, n)
+			if got < 0 || got >= n {
+				t.Fatalf("Route(%x, %d) = %d out of range", key, n, got)
+			}
+			if again := Route(key, n); again != got {
+				t.Fatalf("Route(%x, %d) unstable: %d then %d", key, n, got, again)
+			}
+			h := fnv.New64a()
+			h.Write(key)
+			if want := int(h.Sum64() % uint64(n)); got != want {
+				t.Fatalf("Route(%x, %d) = %d, reference FNV-1a says %d", key, n, got, want)
+			}
+		}
+		if Route(key, 1) != 0 {
+			t.Fatalf("single shard must own everything")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+
+	"gadget/internal/kv"
+	"gadget/internal/remote"
+)
+
+// Server is a sharded store server: one remote.Server per shard, each
+// wrapping its own kv.Store, each on its own listener. Shards share
+// nothing — no cross-shard locks — so request handling parallelizes
+// across cores with the shard count.
+type Server struct {
+	servers []*remote.Server
+}
+
+// Serve starts len(stores) shard servers. addr is the base address: with
+// a non-zero port, shard i listens on port+i (one predictable endpoint
+// per shard); with port 0, every shard gets its own ephemeral port —
+// read the actual endpoints from Addrs. The stores are the caller's:
+// engine kind may differ per shard, and Close does not close them.
+func Serve(stores []kv.Store, addr string) (*Server, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("shard: no stores")
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bad address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 || port > 65535 {
+		return nil, fmt.Errorf("shard: bad port in %q", addr)
+	}
+	if port != 0 && port+len(stores)-1 > 65535 {
+		return nil, fmt.Errorf("shard: %d shards from port %d exceed the port range", len(stores), port)
+	}
+	s := &Server{servers: make([]*remote.Server, 0, len(stores))}
+	for i, store := range stores {
+		shardAddr := addr
+		if port != 0 {
+			shardAddr = net.JoinHostPort(host, strconv.Itoa(port+i))
+		}
+		srv, err := remote.Serve(store, shardAddr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.servers = append(s.servers, srv)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.servers) }
+
+// Addrs returns the per-shard listener addresses, in shard order.
+func (s *Server) Addrs() []string {
+	addrs := make([]string, len(s.servers))
+	for i, srv := range s.servers {
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// Requests returns the total number of requests served across shards;
+// tests cross-check it against client-side routing counters.
+func (s *Server) Requests() uint64 {
+	var total uint64
+	for _, srv := range s.servers {
+		total += srv.Requests()
+	}
+	return total
+}
+
+// PerShardRequests returns each shard's served-request count, in shard
+// order.
+func (s *Server) PerShardRequests() []uint64 {
+	out := make([]uint64, len(s.servers))
+	for i, srv := range s.servers {
+		out[i] = srv.Requests()
+	}
+	return out
+}
+
+// Metrics implements kv.Introspector: every shard's server metrics under
+// a "shard<i>." prefix, plus the shard count.
+func (s *Server) Metrics() map[string]int64 {
+	m := map[string]int64{"shard.count": int64(len(s.servers))}
+	for i, srv := range s.servers {
+		prefix := fmt.Sprintf("shard%d.", i)
+		for k, v := range srv.Metrics() {
+			m[prefix+k] = v
+		}
+	}
+	return m
+}
+
+// Close stops every shard server. The backing stores stay open.
+func (s *Server) Close() error {
+	var first error
+	for _, srv := range s.servers {
+		if err := srv.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}

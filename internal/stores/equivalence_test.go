@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -12,6 +14,7 @@ import (
 	"gadget/internal/kv"
 	"gadget/internal/memstore"
 	"gadget/internal/remote"
+	"gadget/internal/shard"
 )
 
 // Every engine must implement identical get/put/merge/delete semantics.
@@ -425,6 +428,321 @@ func TestSnapshotIsolation(t *testing.T) {
 			if err != nil || !bytes.Equal(v, e.Value) {
 				t.Fatalf("%s: snapshot Get(%v) = %q, %v; want %q", name, e.Key, v, err, e.Value)
 			}
+		}
+	}
+}
+
+// openShardedStore builds an n-shard cluster with engine kinds cycling
+// through mix, served in-process, and opens it through the standard
+// stores.Open surface (comma-separated addrs + store.remote section) so
+// the whole config path is exercised. Returns the client store and the
+// per-shard backing stores.
+func openShardedStore(t *testing.T, n int, mix []string) (kv.Store, []kv.Store) {
+	t.Helper()
+	backs := make([]kv.Store, n)
+	for i := range backs {
+		name := mix[i%len(mix)]
+		s, err := Open(Config{
+			Engine: name, Dir: t.TempDir(),
+			MemtableBytes: 16 << 10, CacheBytes: 32 << 10,
+			LogMemBytes: 8 << 20, IndexBuckets: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		backs[i] = s
+	}
+	srv, err := shard.Serve(backs, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Open(Config{
+		Engine: "remote",
+		Addr:   strings.Join(srv.Addrs(), ","),
+		Remote: &RemoteConfig{PipelineDepth: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, backs
+}
+
+// TestShardedEquivalentToOracle drives random point-op sequences plus
+// range scans through 2-, 4-, and 8-shard mixed-engine clusters and
+// compares every outcome against the unsharded memstore oracle.
+func TestShardedEquivalentToOracle(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cli, _ := openShardedStore(t, shards, []string{"memstore", "rocksdb"})
+			oracle := memstore.New()
+			defer oracle.Close()
+
+			rng := rand.New(rand.NewSource(int64(shards)))
+			apply := func(s kv.Store, kind int, sk kv.StateKey, val []byte) error {
+				switch kind {
+				case 0:
+					return s.Delete(sk.Bytes())
+				case 1:
+					return s.Merge(sk.Bytes(), val)
+				default:
+					return s.Put(sk.Bytes(), val)
+				}
+			}
+			for i := 0; i < 1200; i++ {
+				kind := rng.Intn(5)
+				sk := kv.StateKey{Group: uint64(rng.Intn(scanGroups)), Sub: uint64(rng.Intn(scanSubs))}
+				val := []byte(fmt.Sprintf("n%d-%d-%04x", shards, i, rng.Intn(1<<16)))
+				if err := apply(oracle, kind, sk, val); err != nil {
+					t.Fatal(err)
+				}
+				if err := apply(cli, kind, sk, val); err != nil {
+					t.Fatalf("sharded op %d: %v", i, err)
+				}
+			}
+			// Point equivalence over the whole key universe.
+			for g := uint64(0); g < scanGroups; g++ {
+				for s := uint64(0); s < scanSubs; s++ {
+					sk := kv.StateKey{Group: g, Sub: s}
+					want, wantErr := oracle.Get(sk.Bytes())
+					got, err := cli.Get(sk.Bytes())
+					if errors.Is(wantErr, kv.ErrNotFound) {
+						if !errors.Is(err, kv.ErrNotFound) {
+							t.Fatalf("key %v should be absent, got %q (err %v)", sk, got, err)
+						}
+						continue
+					}
+					if err != nil || !bytes.Equal(got, want) {
+						t.Fatalf("Get(%v) = %q, %v; want %q", sk, got, err, want)
+					}
+				}
+			}
+			// Fan-out scan merge equivalence, bounded and full.
+			for _, r := range []struct{ lo, hi kv.StateKey }{
+				{kv.StateKey{}, kv.MaxStateKey},
+				{kv.StateKey{Group: 2}, kv.StateKey{Group: 2}.GroupEnd()},
+				{kv.StateKey{Group: 1, Sub: 7}, kv.StateKey{Group: 5, Sub: 3}},
+			} {
+				got, err := kv.ScanRange(cli, r.lo, r.hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := diffEntries("sharded", got, oracleView(t, oracle, r.lo, r.hi)); err != nil {
+					t.Fatalf("range [%v, %v]: %v", r.lo, r.hi, err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSnapshotIsolation checks that the composite fan-out
+// snapshot stays frozen while writes land on every shard behind it, and
+// that its merged iterator agrees with the oracle's pre-write view.
+func TestShardedSnapshotIsolation(t *testing.T) {
+	cli, _ := openShardedStore(t, 4, []string{"memstore"})
+	oracle := memstore.New()
+	defer oracle.Close()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 600; i++ {
+		sk := kv.StateKey{Group: uint64(rng.Intn(scanGroups)), Sub: uint64(rng.Intn(scanSubs))}
+		val := []byte(fmt.Sprintf("before-%d", i))
+		if err := oracle.Put(sk.Bytes(), val); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Put(sk.Bytes(), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := oracleView(t, oracle, kv.StateKey{}, kv.MaxStateKey)
+	snap, err := kv.SnapshotOf(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for i := 0; i < 600; i++ {
+		sk := kv.StateKey{Group: uint64(rng.Intn(scanGroups)), Sub: uint64(rng.Intn(scanSubs))}
+		var werr error
+		if i%3 == 0 {
+			werr = cli.Delete(sk.Bytes())
+		} else {
+			werr = cli.Put(sk.Bytes(), []byte(fmt.Sprintf("after-%d", i)))
+		}
+		if werr != nil {
+			t.Fatal(werr)
+		}
+	}
+	got, err := kv.CollectIter(snap.Iter(kv.StateKey{}, kv.MaxStateKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffEntries("sharded-snapshot", got, want); err != nil {
+		t.Fatalf("fan-out snapshot view changed under writes: %v", err)
+	}
+	for _, e := range []kv.Entry{want[0], want[len(want)/2], want[len(want)-1]} {
+		v, err := snap.Get(e.Key.Bytes())
+		if err != nil || !bytes.Equal(v, e.Value) {
+			t.Fatalf("snapshot Get(%v) = %q, %v; want %q", e.Key, v, err, e.Value)
+		}
+	}
+}
+
+// shardFlakyConn kills the connection after a byte budget spent across
+// reads and writes, so failures land mid-batch and mid-response.
+type shardFlakyConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (f *shardFlakyConn) spend(n int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.budget < 0 {
+		return false
+	}
+	f.budget -= n
+	return f.budget <= 0
+}
+
+func (f *shardFlakyConn) Write(p []byte) (int, error) {
+	if f.spend(len(p)) {
+		f.Conn.Close()
+		return 0, errors.New("injected conn failure")
+	}
+	return f.Conn.Write(p)
+}
+
+func (f *shardFlakyConn) Read(p []byte) (int, error) {
+	n, err := f.Conn.Read(p)
+	if err == nil && f.spend(n) {
+		f.Conn.Close()
+		return n, nil
+	}
+	return n, err
+}
+
+// TestShardedReconnectExactlyOnce drives concurrent merges through a
+// sharded client whose connections keep dying mid-batch: the v3
+// retransmission path must replay unanswered requests without
+// re-applying any of them, on every shard.
+func TestShardedReconnectExactlyOnce(t *testing.T) {
+	const shards = 2
+	backs := make([]kv.Store, shards)
+	for i := range backs {
+		backs[i] = memstore.New()
+		defer backs[i].Close()
+	}
+	srv, err := shard.Serve(backs, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var dialMu sync.Mutex
+	dials := 0
+	cli, err := shard.Dial(srv.Addrs(), remote.PipelineOptions{
+		Depth:   8,
+		Redials: 60,
+		Dialer: func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			dialMu.Lock()
+			dials++
+			budget := -1
+			if dials%2 == 1 { // every other connection dies mid-stream
+				budget = 200 + 53*dials%900
+			}
+			dialMu.Unlock()
+			return &shardFlakyConn{Conn: conn, budget: budget}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const workers, perWorker = 4, 80
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("xo-%d", w))
+			for i := 0; i < perWorker; i++ {
+				if err := cli.Merge(key, []byte(fmt.Sprintf("<%d:%d>", w, i))); err != nil {
+					t.Errorf("merge %d/%d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < workers; w++ {
+		key := []byte(fmt.Sprintf("xo-%d", w))
+		var got []byte
+		var err error
+		for _, b := range backs {
+			if v, gerr := b.Get(key); gerr == nil {
+				got, err = v, nil
+				break
+			} else {
+				err = gerr
+			}
+		}
+		if err != nil {
+			t.Fatalf("key xo-%d: %v", w, err)
+		}
+		for i := 0; i < perWorker; i++ {
+			token := fmt.Sprintf("<%d:%d>", w, i)
+			if n := strings.Count(string(got), token); n != 1 {
+				t.Fatalf("operand %s applied %d times (duplicate or dropped merge under reconnect)", token, n)
+			}
+		}
+	}
+}
+
+// TestShardedComposesWithMiddleware wraps the sharded client in chaos
+// and resilience middleware through the registry, like any embedded
+// engine: injected faults must be retried to success.
+func TestShardedComposesWithMiddleware(t *testing.T) {
+	backs := []kv.Store{memstore.New(), memstore.New()}
+	for _, b := range backs {
+		defer b.Close()
+	}
+	srv, err := shard.Serve(backs, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s, err := Open(Config{
+		Engine:     "remote",
+		Addr:       strings.Join(srv.Addrs(), ","),
+		Remote:     &RemoteConfig{PipelineDepth: 8},
+		Chaos:      &ChaosConfig{Seed: 5, ErrorRate: 0.2},
+		Resilience: &ResilienceConfig{MaxRetries: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("mw-%d", i))
+		if err := s.Put(k, []byte("v")); err != nil {
+			t.Fatalf("Put %d through middleware: %v", i, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("mw-%d", i))
+		if v, err := s.Get(k); err != nil || string(v) != "v" {
+			t.Fatalf("Get %d = %q, %v", i, v, err)
 		}
 	}
 }

@@ -6,6 +6,9 @@ package stores
 
 import (
 	"fmt"
+	"net"
+	"strconv"
+	"strings"
 	"time"
 
 	"gadget/internal/btree"
@@ -15,6 +18,7 @@ import (
 	"gadget/internal/lsm"
 	"gadget/internal/memstore"
 	"gadget/internal/remote"
+	"gadget/internal/shard"
 	"gadget/internal/vfs"
 )
 
@@ -40,8 +44,13 @@ type Config struct {
 	// SyncWrites fsyncs the LSM WAL on every write.
 	SyncWrites bool `json:"sync_writes"`
 	// Addr is the server address for the "remote" engine (external
-	// state management, paper §8).
+	// state management, paper §8). A comma-separated list names one
+	// endpoint per shard of a sharded server.
 	Addr string `json:"addr"`
+	// Remote, when set, selects the sharded, pipelined protocol-v3
+	// client for the "remote" engine; nil keeps the single-connection
+	// protocol-v2 client.
+	Remote *RemoteConfig `json:"remote,omitempty"`
 	// FS injects a filesystem for the durable engines (tests use
 	// vfs.MemFS/vfs.FaultFS); nil means the real filesystem. Not part of
 	// the JSON configuration surface.
@@ -94,6 +103,22 @@ func (c ChaosConfig) Plan() kv.ChaosPlan {
 		OutageAfterOps: c.OutageAfterOps,
 		OutageOps:      c.OutageOps,
 	}
+}
+
+// RemoteConfig is the JSON surface of the sharded protocol-v3 client
+// (shard.Client over remote.PipelinedClient connections).
+type RemoteConfig struct {
+	// Shards is the shard count. With a single addr and Shards > 1, the
+	// per-shard endpoints are derived as port, port+1, ... (matching a
+	// sharded server started on a fixed base port); with a
+	// comma-separated addr list, Shards must be 0 or match its length.
+	Shards int `json:"shards"`
+	// PipelineDepth bounds in-flight requests per shard connection
+	// (0 = default 64).
+	PipelineDepth int `json:"pipeline_depth"`
+	// BatchBytes is the per-connection request coalescing threshold
+	// (0 = default 256 KiB).
+	BatchBytes int `json:"batch_bytes"`
 }
 
 // ResilienceConfig is the JSON surface of kv.ResilienceOptions:
@@ -201,11 +226,77 @@ func openEngine(cfg Config) (kv.Store, error) {
 	case "memstore":
 		return memstore.New(), nil
 	case "remote":
-		if cfg.Addr == "" {
-			return nil, fmt.Errorf("stores: remote engine requires addr")
-		}
-		return remote.Dial(cfg.Addr)
+		return openRemote(cfg)
 	default:
 		return nil, fmt.Errorf("stores: unknown engine %q (want one of %v)", cfg.Engine, Engines())
 	}
+}
+
+// openRemote dials the external store. A bare single addr keeps the
+// protocol-v2 client (back-compat); a Remote section or a multi-addr
+// list selects the sharded, pipelined protocol-v3 client.
+func openRemote(cfg Config) (kv.Store, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("stores: remote engine requires addr")
+	}
+	addrs := splitAddrs(cfg.Addr)
+	if cfg.Remote == nil && len(addrs) == 1 {
+		return remote.Dial(addrs[0])
+	}
+	var rc RemoteConfig
+	if cfg.Remote != nil {
+		rc = *cfg.Remote
+	}
+	if rc.Shards < 0 {
+		return nil, fmt.Errorf("stores: remote shards must be >= 0, got %d", rc.Shards)
+	}
+	switch {
+	case len(addrs) > 1:
+		if rc.Shards != 0 && rc.Shards != len(addrs) {
+			return nil, fmt.Errorf("stores: remote shards = %d but addr lists %d endpoints", rc.Shards, len(addrs))
+		}
+	case rc.Shards > 1:
+		expanded, err := expandAddrs(addrs[0], rc.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("stores: %w", err)
+		}
+		addrs = expanded
+	}
+	return shard.Dial(addrs, remote.PipelineOptions{
+		Depth:      rc.PipelineDepth,
+		BatchBytes: rc.BatchBytes,
+	})
+}
+
+// splitAddrs splits a comma-separated endpoint list, trimming blanks.
+func splitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// expandAddrs derives n per-shard endpoints from a base address: the
+// same host on port, port+1, ..., matching shard.Serve's fixed-port
+// layout.
+func expandAddrs(addr string, n int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("bad remote addr %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port <= 0 || port > 65535 {
+		return nil, fmt.Errorf("remote addr %q needs a fixed non-zero port to expand across %d shards", addr, n)
+	}
+	if port+n-1 > 65535 {
+		return nil, fmt.Errorf("%d shards from port %d exceed the port range", n, port)
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return out, nil
 }
