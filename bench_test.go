@@ -565,3 +565,59 @@ func BenchmarkPipelineDepth(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTracingOverhead measures the per-op cost of the tracing rig
+// on memstore point ops through the replay collector: "off" runs with
+// no tracer (the disabled path — one nil comparison per op), "sampled"
+// with the default 1-in-64 sampler, and "traced" with every op traced.
+// The disabled path must stay within 2% of off's baseline and the
+// sampled path within 5% (see results/bench-baseline.txt); guarded by
+// ci.sh's bench drift check.
+func BenchmarkTracingOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		sampleN int // 0 = no tracer
+	}{
+		{"off", 0},
+		{"sampled", 64},
+		{"traced", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			store := memstore.New()
+			defer store.Close()
+			var tracer *gadget.Tracer
+			if mode.sampleN > 0 {
+				tracer = gadget.NewTracer(gadget.TracerOptions{SampleN: mode.sampleN})
+			}
+			c, err := replay.NewCollector(store, replay.Options{Tracer: tracer})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-populate so map growth doesn't skew the timed loop.
+			for i := 0; i < 1<<16; i++ {
+				a := kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: 1, Sub: uint64(i)}, Size: 64}
+				if err := c.Do(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := kv.Access{Key: kv.StateKey{Group: 1, Sub: uint64(i % (1 << 16))}, Size: 64}
+				if i%2 == 0 {
+					a.Op = kv.OpPut
+				} else {
+					a.Op = kv.OpGet
+				}
+				if err := c.Do(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			c.Finish()
+			if started, finished := tracer.Stats(); started != finished {
+				b.Fatalf("trace leak: started=%d finished=%d", started, finished)
+			}
+		})
+	}
+}

@@ -33,7 +33,7 @@ echo "== go test -race (store engines, full)"
 go test -race -timeout 10m ./internal/kv/ ./internal/stores/ \
     ./internal/lsm/ ./internal/btree/ ./internal/memstore/ \
     ./internal/faster/ ./internal/lethe/ ./internal/remote/ \
-    ./internal/shard/
+    ./internal/shard/ ./internal/tracing/
 
 echo "== go test -race (crash recovery, full)"
 # The recovery paths — checkpoint save/restore, the crash-replay loop,
@@ -85,10 +85,38 @@ wait "$sharded_pid" 2>/dev/null || true
 trap - EXIT
 rm -rf "$sharded_tmp"
 
+echo "== traced sharded smoke"
+# Same two-shard topology on port 7311 with per-op tracing enabled
+# (obs.trace): the run must produce a report whose slow_ops section has
+# traces with the wire and server stages populated, asserted through the
+# `gadget trace` renderer — exercising trace-flagged hello negotiation,
+# response trailers, flight recorder, report JSON, and the CLI printer.
+traced_tmp=$(mktemp -d)
+go build -o "$traced_tmp/gadget-server" ./cmd/gadget-server
+"$traced_tmp/gadget-server" -shards 2 -engine memstore \
+    -addr 127.0.0.1:7311 -ready-file "$traced_tmp/ready" &
+traced_pid=$!
+trap 'kill "$traced_pid" 2>/dev/null || true; rm -rf "$traced_tmp"' EXIT
+for _ in $(seq 1 100); do
+    [ -f "$traced_tmp/ready" ] && break
+    sleep 0.1
+done
+if [ ! -f "$traced_tmp/ready" ]; then
+    echo "traced sharded smoke: server never wrote its ready file" >&2
+    exit 1
+fi
+go run ./cmd/gadget run -config configs/traced-sharded.json -report "$traced_tmp/report.json"
+go run ./cmd/gadget trace -report "$traced_tmp/report.json" -n 3 -require-stages wire,server
+kill "$traced_pid" 2>/dev/null || true
+wait "$traced_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$traced_tmp"
+
 echo "== fuzz remote protocol framing (short)"
 go test -run '^$' -fuzz '^FuzzServerFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 go test -run '^$' -fuzz '^FuzzClientFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
 go test -run '^$' -fuzz '^FuzzBatchFrame$' -fuzztime 3s -timeout 5m ./internal/remote/
+go test -run '^$' -fuzz '^FuzzTraceTrailer$' -fuzztime 3s -timeout 5m ./internal/remote/
 
 echo "== fuzz shard routing (short)"
 go test -run '^$' -fuzz '^FuzzShardRouting$' -fuzztime 3s -timeout 5m ./internal/shard/
@@ -106,7 +134,7 @@ echo "== bench drift guard"
 # regressions (an accidental lock on the hot path), not noise.
 bench_out=$(mktemp)
 trap 'rm -f "$bench_out"' EXIT
-go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead|BenchmarkOpenLoopOverhead|BenchmarkRecoveryOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
+go test -run '^$' -bench 'BenchmarkResilientOverhead|BenchmarkObsOverhead|BenchmarkOpenLoopOverhead|BenchmarkRecoveryOverhead|BenchmarkTracingOverhead' -benchtime 0.5s -timeout 10m . | tee "$bench_out"
 # Snapshot/scan/checkpoint micro-benchmarks: only the native-snapshot
 # engines are guarded — the fallback engines (memstore, faster) copy the
 # whole store per snapshot, so their run-to-run noise exceeds the 25%

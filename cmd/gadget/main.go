@@ -22,6 +22,7 @@ import (
 
 	"gadget"
 	"gadget/internal/datasets"
+	"gadget/internal/stats"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 		err = cmdCampaign(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -71,6 +74,8 @@ commands:
   campaign  -config cfg.json [-engines a,b] [-crash-at n,m] [-ckpt-every n,m] [-out results/campaign.json]
             sweep engines x crash points x checkpoint intervals; emit the RTO/RPO robustness matrix
   analyze   -trace t.bin                 print workload characterization metrics
+  trace     -report report.json [-n N] [-sample] [-require-stages a,b]
+            pretty-print the report's slow_ops traces as per-stage waterfalls
   list                                   list operators, engines, datasets
 
 crash recovery: a run config with run.checkpoint_every_ops and/or
@@ -111,6 +116,9 @@ func cmdRun(args []string) error {
 	if cfg.Recovery() {
 		return runRecovery(cfg, w, *metricsAddr, *reportPath)
 	}
+	// Traced remote clients negotiate server handle stamps at hello, so
+	// the flag must be set before the store is dialed.
+	cfg.Store.Traced = cfg.Traced()
 	store, err := gadget.OpenStore(cfg.Store)
 	if err != nil {
 		return err
@@ -127,6 +135,7 @@ func cmdRun(args []string) error {
 			return oerr
 		}
 		opts.Observer = tel.observer()
+		opts.Tracer = tel.traceSampler()
 		res, err = w.RunOpenLoop(store, opts)
 	} else {
 		res, err = w.RunOnline(store, gadget.ReplayOptions{
@@ -134,6 +143,7 @@ func cmdRun(args []string) error {
 			SampleEvery:  cfg.Run.SampleEvery,
 			StallTimeout: time.Duration(cfg.Run.StallTimeoutMs) * time.Millisecond,
 			Observer:     tel.observer(),
+			Tracer:       tel.traceSampler(),
 		})
 	}
 	if err != nil && !errors.Is(err, gadget.ErrStalled) {
@@ -432,8 +442,10 @@ func printResult(res gadget.Result) {
 	}
 	fmt.Printf("duration   %v\n", res.Duration.Round(1e6))
 	fmt.Printf("throughput %.0f ops/s\n", res.Throughput)
-	fmt.Printf("latency    mean=%.2fus p99=%.2fus p99.9=%.2fus\n",
-		res.MeanMicros(), res.P99Micros(), res.P999Micros())
+	// Same single Quantiles pass as Result.String() and the exposition.
+	q := res.Latency.Quantiles(stats.SummaryQuantiles)
+	fmt.Printf("latency    mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus p99.9=%.2fus\n",
+		res.MeanMicros(), float64(q[0])/1e3, float64(q[1])/1e3, float64(q[2])/1e3, float64(q[3])/1e3)
 	if res.Offered > 0 {
 		fmt.Printf("open-loop  offered=%.0f/s achieved=%.0f/s overload=%d max_lag=%v\n",
 			res.OfferedRate, res.AchievedRate, res.Overload, res.MaxLag.Round(time.Microsecond))

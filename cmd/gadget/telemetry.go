@@ -25,6 +25,7 @@ type telemetry struct {
 	srv     *obs.MetricsServer
 	sampler *obs.Sampler
 	store   gadget.Store
+	tracer  *gadget.Tracer
 
 	engine      string
 	reportPath  string
@@ -49,8 +50,15 @@ func startTelemetry(metricsAddr, reportPath string, obsCfg *gadget.ObsConfig, st
 			reportPath = obsCfg.ReportPath
 		}
 	}
+	var tracer *gadget.Tracer
+	if obsCfg != nil && obsCfg.Trace {
+		tracer = gadget.NewTracer(gadget.TracerOptions{
+			SampleN: obsCfg.TraceSampleN,
+			SlowK:   obsCfg.TraceSlowK,
+		})
+	}
 	progress := progressWriter()
-	if metricsAddr == "" && reportPath == "" && progress == nil {
+	if metricsAddr == "" && reportPath == "" && progress == nil && tracer == nil {
 		return nil, nil
 	}
 	t := &telemetry{
@@ -58,10 +66,12 @@ func startTelemetry(metricsAddr, reportPath string, obsCfg *gadget.ObsConfig, st
 		engine:      engine,
 		reportPath:  reportPath,
 		engineStart: gadget.StoreMetrics(store),
+		tracer:      tracer,
 	}
 	if metricsAddr != "" {
 		t.reg = obs.NewRegistry()
 		obs.RegisterStoreCollector(t.reg, store)
+		obs.RegisterTracerCollector(t.reg, tracer)
 		srv, err := obs.Serve(metricsAddr, t.reg)
 		if err != nil {
 			return nil, fmt.Errorf("metrics listener: %w", err)
@@ -94,6 +104,15 @@ func progressWriter() io.Writer {
 		return nil
 	}
 	return os.Stderr
+}
+
+// traceSampler returns the run tracer for replay Options.Tracer (nil
+// when tracing is off or no telemetry is active).
+func (t *telemetry) traceSampler() *gadget.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
 }
 
 // observer is the replay.Options.Observer hook: it registers every
@@ -144,6 +163,7 @@ func (t *telemetry) finish(final gadget.Result, configEcho any) error {
 		EngineEnd:   engineEnd,
 		EngineDelta: final.Engine,
 		Series:      series,
+		SlowOps:     gadget.TracerSnapshot(t.tracer),
 	}
 	if err := obs.WriteReport(t.reportPath, rep); err != nil {
 		return err

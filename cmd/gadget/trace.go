@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gadget/internal/obs"
+	"gadget/internal/tracing"
+)
+
+// cmdTrace pretty-prints the slow_ops section of a JSON run report as
+// per-stage waterfall lines, plus the aggregate stage summaries. It
+// exits non-zero when the report carries no traces, so CI smokes can
+// assert that tracing actually attributed latency.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	reportPath := fs.String("report", "", "JSON run report (gadget.report/v1) written by a run with obs.trace enabled")
+	n := fs.Int("n", 0, "print at most the N slowest traces (0 = all retained)")
+	showSample := fs.Bool("sample", false, "also print the uniform trace sample")
+	require := fs.String("require-stages", "", "comma-separated stage names that must appear in the aggregates (exit non-zero otherwise)")
+	fs.Parse(args)
+	if *reportPath == "" {
+		return fmt.Errorf("-report is required")
+	}
+	rep, err := obs.ReadReport(*reportPath)
+	if err != nil {
+		return err
+	}
+	so := rep.SlowOps
+	if so == nil || len(so.Slowest) == 0 {
+		return fmt.Errorf("report %s has no slow_ops traces (run with obs.trace enabled)", *reportPath)
+	}
+
+	fmt.Printf("traced %d ops (1 in %d sampled), %d slowest retained\n\n", so.Traced, so.SampleN, len(so.Slowest))
+	slowest := so.Slowest
+	if *n > 0 && *n < len(slowest) {
+		slowest = slowest[:*n]
+	}
+	for i, op := range slowest {
+		printWaterfall(fmt.Sprintf("#%d", i+1), op)
+	}
+	if *showSample && len(so.Sample) > 0 {
+		fmt.Printf("uniform sample (%d traces):\n\n", len(so.Sample))
+		for _, op := range so.Sample {
+			printWaterfall(" ", op)
+		}
+	}
+	printStageSummaries(so)
+
+	if *require != "" {
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if s, ok := so.Stages[name]; !ok || s.Count == 0 {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("report %s has no data for required stages: %s", *reportPath, strings.Join(missing, ", "))
+		}
+	}
+	return nil
+}
+
+// stageOrder returns the canonical stage names in attribution order
+// (the order a traced op passes through the stack).
+func stageOrder() []string {
+	out := make([]string, tracing.NumStages)
+	for s := 0; s < tracing.NumStages; s++ {
+		out[s] = tracing.Stage(s).String()
+	}
+	return out
+}
+
+// printWaterfall renders one trace as per-stage bars scaled to the
+// trace's end-to-end duration.
+func printWaterfall(tag string, op tracing.SlowOp) {
+	head := fmt.Sprintf("%s id=%d op=%s total=%s", tag, op.ID, op.Op, fmtDur(op.TotalNs))
+	if op.Attempts > 0 {
+		head += fmt.Sprintf(" retries=%d", op.Attempts)
+	}
+	fmt.Println(head)
+	const width = 24
+	for _, name := range stageOrder() {
+		d, ok := op.Stages[name]
+		if !ok || d <= 0 {
+			continue
+		}
+		frac := 0.0
+		if op.TotalNs > 0 {
+			frac = float64(d) / float64(op.TotalNs)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		filled := int(frac*width + 0.5)
+		bar := strings.Repeat("#", filled) + strings.Repeat(".", width-filled)
+		fmt.Printf("   %-10s |%s| %5.1f%%  %s\n", name, bar, 100*frac, fmtDur(d))
+	}
+	fmt.Println()
+}
+
+// printStageSummaries renders the aggregate per-stage table sorted by
+// attribution order (unknown stages last, alphabetically).
+func printStageSummaries(so *tracing.SlowOps) {
+	if len(so.Stages) == 0 {
+		return
+	}
+	order := map[string]int{}
+	for i, name := range stageOrder() {
+		order[name] = i
+	}
+	names := make([]string, 0, len(so.Stages))
+	for name := range so.Stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok != jok {
+			return iok
+		}
+		if iok && jok && oi != oj {
+			return oi < oj
+		}
+		return names[i] < names[j]
+	})
+	fmt.Println("stage aggregates:")
+	fmt.Printf("   %-10s %10s %12s %12s %12s %12s\n", "stage", "count", "p50", "p99", "max", "mean")
+	for _, name := range names {
+		s := so.Stages[name]
+		fmt.Printf("   %-10s %10d %12s %12s %12s %12s\n",
+			name, s.Count, fmtDur(s.P50Ns), fmtDur(s.P99Ns), fmtDur(s.MaxNs), fmtDur(s.MeanNs))
+	}
+}
+
+// fmtDur renders nanoseconds with microsecond resolution.
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
+}

@@ -44,6 +44,7 @@ import (
 	"gadget/internal/stats"
 	"gadget/internal/stores"
 	"gadget/internal/trace"
+	"gadget/internal/tracing"
 )
 
 // Core vocabulary re-exported from the internal packages.
@@ -203,6 +204,31 @@ type (
 // StoreMetrics returns a store's introspection counters, or nil when
 // the store does not implement Introspector.
 func StoreMetrics(s Store) map[string]int64 { return kv.MetricsOf(s) }
+
+// Per-operation tracing re-exports (see DESIGN.md §14): sampled
+// operations carry a pooled trace context through every layer, each of
+// which attributes only the latency it adds, and the flight recorder
+// retains the slowest complete traces for the report's slow_ops section.
+type (
+	// Tracer samples, aggregates, and records per-op traces.
+	Tracer = tracing.Tracer
+	// TracerOptions tunes sampling (1-in-N), flight-recorder retention
+	// (K slowest), and the injectable clock.
+	TracerOptions = tracing.Options
+	// SlowOps is the report-ready flight-recorder section.
+	SlowOps = tracing.SlowOps
+)
+
+// NewTracer constructs a Tracer. Hand it to ReplayOptions.Tracer (and
+// set StoreConfig.Traced for remote stores, so server handle stamps are
+// negotiated at hello).
+func NewTracer(opts TracerOptions) *Tracer { return tracing.New(opts) }
+
+// TracerSnapshot builds the report-ready slow_ops section, naming ops
+// with the kv.Op vocabulary. Nil tracer returns nil.
+func TracerSnapshot(t *Tracer) *SlowOps {
+	return t.Snapshot(func(op uint8) string { return kv.Op(op).String() })
+}
 
 // MergeResults folds per-worker Results into one run-wide view (see
 // replay.MergeResults for the delta-merging rules).

@@ -42,6 +42,16 @@ type ObsConfig struct {
 	MetricsAddr string `json:"metrics_addr"`
 	// ReportPath, when non-empty, writes the JSON run report there.
 	ReportPath string `json:"report_path"`
+	// Trace enables per-operation latency attribution: sampled ops carry
+	// a trace context through every layer, per-stage histograms feed the
+	// metrics exposition, and the report gains a slow_ops section.
+	Trace bool `json:"trace"`
+	// TraceSampleN traces 1 in N operations (0 = default 64, 1 = every
+	// op). Ignored unless Trace is set.
+	TraceSampleN int `json:"trace_sample_n"`
+	// TraceSlowK retains the K slowest complete traces in the flight
+	// recorder (0 = default 16). Ignored unless Trace is set.
+	TraceSlowK int `json:"trace_slow_k"`
 }
 
 // Validate rejects unusable sampler settings.
@@ -49,8 +59,17 @@ func (o *ObsConfig) Validate() error {
 	if o.SampleIntervalMs <= 0 {
 		return fmt.Errorf("obs.sample_interval_ms must be positive, got %d", o.SampleIntervalMs)
 	}
+	if o.TraceSampleN < 0 {
+		return fmt.Errorf("obs.trace_sample_n must be non-negative, got %d", o.TraceSampleN)
+	}
+	if o.TraceSlowK < 0 {
+		return fmt.Errorf("obs.trace_slow_k must be non-negative, got %d", o.TraceSlowK)
+	}
 	return nil
 }
+
+// Traced reports whether the config enables per-op tracing.
+func (c *Config) Traced() bool { return c.Obs != nil && c.Obs.Trace }
 
 // SourceConfig describes the input stream.
 type SourceConfig struct {

@@ -24,6 +24,7 @@ import (
 
 	"gadget/internal/cache"
 	"gadget/internal/kv"
+	"gadget/internal/tracing"
 	"gadget/internal/vfs"
 )
 
@@ -250,15 +251,19 @@ func (db *DB) Caps() kv.Capabilities {
 }
 
 // Put stores value under key.
-func (db *DB) Put(key, value []byte) error { return db.write(key, value, kindPut) }
+func (db *DB) Put(key, value []byte) error { return db.write(key, value, kindPut, nil) }
 
 // Merge appends operand to the value under key (lazy read-modify-write).
-func (db *DB) Merge(key, operand []byte) error { return db.write(key, operand, kindMerge) }
+func (db *DB) Merge(key, operand []byte) error { return db.write(key, operand, kindMerge, nil) }
 
 // Delete removes key by writing a tombstone.
-func (db *DB) Delete(key []byte) error { return db.write(key, nil, kindDelete) }
+func (db *DB) Delete(key []byte) error { return db.write(key, nil, kindDelete, nil) }
 
-func (db *DB) write(key, value []byte, kind byte) error {
+// write applies one mutation. A non-nil trace context receives the
+// engine-internal phase attribution (WAL append/fsync vs memtable
+// insert); the traced DoTraced entry point passes it, the plain Store
+// methods pass nil.
+func (db *DB) write(key, value []byte, kind byte, tc *tracing.Ctx) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -275,14 +280,19 @@ func (db *DB) write(key, value []byte, kind byte) error {
 	db.seq++
 	ikey := makeIKey(key, db.seq, kind)
 	if db.wal != nil {
-		if err := db.wal.append(ikey, value); err != nil {
+		tw := tc.Now()
+		err := db.wal.append(ikey, value)
+		tc.AddSince(tracing.StageEngineWAL, tw)
+		if err != nil {
 			return err
 		}
 	}
 	// The memtable retains the slices; copy the value since callers may
 	// reuse buffers. ikey is freshly allocated already.
 	v := append([]byte(nil), value...)
+	tm := tc.Now()
 	db.mem.add(ikey, v, kind)
+	tc.AddSince(tracing.StageEngineMem, tm)
 	if db.mem.approxBytes() >= db.opts.MemtableSize {
 		// Rotation may flush and compact inline; the wall time it takes
 		// is exactly how long this writer was stalled.
@@ -311,7 +321,12 @@ func (db *DB) rotateMemtableLocked() error {
 
 // Get returns the value under key, resolving merge operands across all
 // layers of the tree.
-func (db *DB) Get(key []byte) ([]byte, error) {
+func (db *DB) Get(key []byte) ([]byte, error) { return db.get(key, nil) }
+
+// get is Get with optional engine-phase attribution: a non-nil trace
+// context receives memtable-probe time (StageEngineMem) separately from
+// SSTable-read time (StageEngineSST).
+func (db *DB) get(key []byte, tc *tracing.Ctx) ([]byte, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
@@ -322,24 +337,54 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	atomic.AddUint64(&db.stats.Gets, 1)
 	var operands [][]byte
 
-	v, res := db.mem.get(key, &operands)
-	if out, err, done := finishLookup(v, res, &operands); done {
+	tm := tc.Now()
+	out, err, done := db.memProbeLocked(key, &operands)
+	tc.AddSince(tracing.StageEngineMem, tm)
+	if done {
 		return out, err
 	}
+
+	ts := tc.Now()
+	out, err, done = db.sstProbeLocked(key, &operands)
+	tc.AddSince(tracing.StageEngineSST, ts)
+	if done {
+		return out, err
+	}
+
+	// Bottomed out: merge operands with an empty base, or miss.
+	if len(operands) > 0 {
+		return combineMerge(nil, operands), nil
+	}
+	return nil, kv.ErrNotFound
+}
+
+// memProbeLocked probes the active and immutable memtables. Called with
+// mu read-held.
+func (db *DB) memProbeLocked(key []byte, operands *[][]byte) ([]byte, error, bool) {
+	v, res := db.mem.get(key, operands)
+	if out, err, done := finishLookup(v, res, operands); done {
+		return out, err, true
+	}
 	for i := len(db.imm) - 1; i >= 0; i-- {
-		v, res = db.imm[i].get(key, &operands)
-		if out, err, done := finishLookup(v, res, &operands); done {
-			return out, err
+		v, res = db.imm[i].get(key, operands)
+		if out, err, done := finishLookup(v, res, operands); done {
+			return out, err, true
 		}
 	}
+	return nil, nil, false
+}
+
+// sstProbeLocked probes the table files, L0 newest-first then one file
+// per deeper level. Called with mu read-held.
+func (db *DB) sstProbeLocked(key []byte, operands *[][]byte) ([]byte, error, bool) {
 	// L0: newest file first.
 	for _, fm := range db.version.levels[0] {
-		v, res, err := fm.get(key, &operands)
+		v, res, err := fm.get(key, operands)
 		if err != nil {
-			return nil, err
+			return nil, err, true
 		}
-		if out, err, done := finishLookup(v, res, &operands); done {
-			return out, err
+		if out, err, done := finishLookup(v, res, operands); done {
+			return out, err, true
 		}
 	}
 	// Deeper levels: at most one file per level contains the key.
@@ -348,19 +393,15 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		if fm == nil {
 			continue
 		}
-		v, res, err := fm.get(key, &operands)
+		v, res, err := fm.get(key, operands)
 		if err != nil {
-			return nil, err
+			return nil, err, true
 		}
-		if out, err, done := finishLookup(v, res, &operands); done {
-			return out, err
+		if out, err, done := finishLookup(v, res, operands); done {
+			return out, err, true
 		}
 	}
-	// Bottomed out: merge operands with an empty base, or miss.
-	if len(operands) > 0 {
-		return combineMerge(nil, operands), nil
-	}
-	return nil, kv.ErrNotFound
+	return nil, nil, false
 }
 
 // finishLookup folds one layer's result into the overall resolution.

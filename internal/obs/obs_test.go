@@ -16,6 +16,7 @@ import (
 	"gadget/internal/kv"
 	"gadget/internal/memstore"
 	"gadget/internal/replay"
+	"gadget/internal/tracing"
 )
 
 func TestLabelEscaping(t *testing.T) {
@@ -365,5 +366,99 @@ func TestServeHTTP(t *testing.T) {
 	code, body = get("/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d:\n%.200s", code, body)
+	}
+}
+
+func TestHistogramQuantileSummaryLines(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat2", "latency", []int64{10, 100, 1000})
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, q := range []string{"0.5", "0.9", "0.99", "0.999"} {
+		if !strings.Contains(out, `lat2_quantile{quantile="`+q+`"}`) {
+			t.Fatalf("missing quantile %s summary line:\n%s", q, out)
+		}
+	}
+	// The p50 of 1..100 must land near 50 (log-bucket upper bound).
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `lat2_quantile{quantile="0.5"}`) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil || v < 50 || v > 55 {
+			t.Fatalf("p50 of 1..100 = %d (err %v), want ~50", v, err)
+		}
+	}
+}
+
+// inflightStore fakes a remote-backed store for the sampler's gauge
+// sampling: MetricsOf must surface remote.inflight.
+type inflightStore struct {
+	kv.Store
+	inflight int64
+}
+
+func (s *inflightStore) Metrics() map[string]int64 {
+	return map[string]int64{"remote.inflight": s.inflight}
+}
+
+func TestSamplerRecordsInflightGauge(t *testing.T) {
+	store := &inflightStore{Store: memstore.New(), inflight: 7}
+	defer store.Close()
+	c, err := replay.NewCollector(store, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := StartSampler(SamplerOptions{
+		Interval: 5 * time.Millisecond,
+		Snapshot: c.Snapshot,
+		Store:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a := kv.Access{Op: kv.OpPut, Key: kv.StateKey{Group: 1, Sub: uint64(i)}, Size: 8}
+		if err := c.Do(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	series := s.Stop(c.Finish())
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	// The inflight gauge is sampled, not delta'd: every sample carries the
+	// instantaneous value.
+	if got := series[len(series)-1].Inflight; got != 7 {
+		t.Fatalf("closing sample inflight = %d, want 7", got)
+	}
+}
+
+func TestRegisterTracerCollector(t *testing.T) {
+	tr := tracing.New(tracing.Options{SampleN: 1, SlowK: 4})
+	tc := tr.Start(0)
+	tc.Add(tracing.StageServer, 1000)
+	tr.Finish(tc)
+
+	reg := NewRegistry()
+	RegisterTracerCollector(reg, tr)
+	RegisterTracerCollector(reg, nil) // nil tracer registers nothing
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "gadget_trace_started 1") || !strings.Contains(out, "gadget_trace_finished 1") {
+		t.Fatalf("missing trace start/finish counters:\n%s", out)
+	}
+	if !strings.Contains(out, `gadget_trace_stage_count{stage="stage.server"} 1`) {
+		t.Fatalf("missing per-stage sample:\n%s", out)
 	}
 }

@@ -356,7 +356,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram renders one histogram series: cumulative buckets, the
-// +Inf bucket, _sum, and _count.
+// +Inf bucket, _sum, _count, and summary-style quantile lines
+// (p50/p90/p99/p99.9 as <name>_quantile{quantile="..."}, derived from
+// the same stats.SummaryQuantiles ladder the textual result summary
+// uses).
 func writeHistogram(w io.Writer, name string, m *metric) {
 	snap := m.h.Snapshot()
 	cum := snap.CumulativeCounts(m.h.bounds)
@@ -368,6 +371,11 @@ func writeHistogram(w io.Writer, name string, m *metric) {
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(m.labels, inf), snap.Count())
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(m.labels), formatValue(snap.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(m.labels), snap.Count())
+	qvals := snap.Quantiles(stats.SummaryQuantiles)
+	for i, q := range stats.SummaryQuantiles {
+		ql := Label{Name: "quantile", Value: formatValue(q)}
+		fmt.Fprintf(w, "%s_quantile%s %d\n", name, renderLabels(m.labels, ql), qvals[i])
+	}
 }
 
 func typeName(k metricKind) string {

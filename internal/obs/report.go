@@ -7,6 +7,7 @@ import (
 
 	"gadget/internal/kv"
 	"gadget/internal/replay"
+	"gadget/internal/tracing"
 )
 
 // ReportSchema versions the JSON run report layout.
@@ -136,6 +137,10 @@ type Report struct {
 	EngineEnd   map[string]int64 `json:"engine_end,omitempty"`
 	EngineDelta map[string]int64 `json:"engine_delta,omitempty"`
 	Series      []Sample         `json:"series,omitempty"`
+	// SlowOps is the tracing flight-recorder section — the K slowest
+	// complete traces, a uniform sample, and per-stage latency
+	// summaries — present only when the run traced (obs.trace).
+	SlowOps *tracing.SlowOps `json:"slow_ops,omitempty"`
 }
 
 // WriteReport marshals rep as indented JSON to path.
@@ -164,6 +169,32 @@ func ReadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("obs: parse report %s: %w", path, err)
 	}
 	return &rep, nil
+}
+
+// RegisterTracerCollector exposes a tracer's always-on per-stage
+// aggregation on reg, refreshed at every exposition: trace lifecycle
+// counters plus one count/mean/p99 gauge triple per stage that has
+// recorded data, keyed "stage.<name>" (stage.queue, stage.wire,
+// stage.server, stage.engine, ...). A nil tracer registers nothing.
+func RegisterTracerCollector(reg *Registry, t *tracing.Tracer) {
+	if t == nil {
+		return
+	}
+	reg.RegisterCollector(func(emit EmitFunc) {
+		started, finished := t.Stats()
+		emit("gadget_trace_started", nil, float64(started))
+		emit("gadget_trace_finished", nil, float64(finished))
+		for s := tracing.Stage(0); int(s) < tracing.NumStages; s++ {
+			h := t.StageHist(s)
+			if h.Count() == 0 {
+				continue
+			}
+			labels := []Label{{Name: "stage", Value: "stage." + s.String()}}
+			emit("gadget_trace_stage_count", labels, float64(h.Count()))
+			emit("gadget_trace_stage_mean_ns", labels, h.Mean())
+			emit("gadget_trace_stage_p99_ns", labels, float64(h.Quantile(0.99)))
+		}
+	})
 }
 
 // RegisterStoreCollector exposes an introspectable value's metrics on

@@ -39,6 +39,11 @@ type Sample struct {
 	// crashes survived and checkpoints cut so far.
 	Recoveries  uint64 `json:"recoveries,omitempty"`
 	Checkpoints uint64 `json:"checkpoints,omitempty"`
+	// Inflight samples the remote pipeline's in-flight window occupancy
+	// at sample time (the raw remote.inflight gauge, NOT a delta — the
+	// counter-style engine delta below would render a gauge meaningless).
+	// Present only for remote stores.
+	Inflight int64 `json:"inflight,omitempty"`
 	// Engine is the store's introspection delta since run start (nil for
 	// non-introspectable stores).
 	Engine map[string]int64 `json:"engine,omitempty"`
@@ -154,6 +159,9 @@ func (s *Sampler) observe(res replay.Result) Sample {
 	}
 	smp.Recoveries = res.Recoveries
 	smp.Checkpoints = res.Checkpoints
+	if v, ok := inflightOf(s.opts.Store); ok {
+		smp.Inflight = v
+	}
 	s.lastOps = res.Ops
 	s.lastOffered = res.Offered
 	s.lastTime = now
@@ -175,12 +183,28 @@ func (s *Sampler) observe(res replay.Result) Sample {
 		if smp.Recoveries > 0 || smp.Checkpoints > 0 {
 			line += fmt.Sprintf(" recoveries=%d ckpts=%d", smp.Recoveries, smp.Checkpoints)
 		}
+		if smp.Inflight > 0 {
+			line += fmt.Sprintf(" inflight=%d", smp.Inflight)
+		}
 		if st := breakerState(s.opts.Store); st != "" {
 			line += " breaker=" + st
 		}
 		fmt.Fprintln(s.opts.Progress, line)
 	}
 	return smp
+}
+
+// inflightOf samples the remote pipeline occupancy gauge of an
+// introspectable store (false when the store exposes none). Unlike the
+// run result's Engine delta, the raw value is the meaningful reading:
+// remote.inflight is a gauge, and a start-to-now delta of a gauge is
+// noise.
+func inflightOf(store kv.Store) (int64, bool) {
+	if store == nil {
+		return 0, false
+	}
+	v, ok := kv.MetricsOf(store)["remote.inflight"]
+	return v, ok
 }
 
 // breakerState renders the resilience breaker state of an

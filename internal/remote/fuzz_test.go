@@ -209,3 +209,39 @@ func FuzzClientFrame(f *testing.F) {
 		<-done
 	})
 }
+
+// FuzzTraceTrailer throws arbitrary bytes at the trace-trailer decoder
+// (it must reject without panicking) and round-trips every in-order
+// stamp pair through append/decode.
+func FuzzTraceTrailer(f *testing.F) {
+	f.Add([]byte{}, int64(0), int64(0))
+	f.Add(make([]byte, traceTrailerLen), int64(1), int64(2))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}, int64(5), int64(5))
+	f.Fuzz(func(t *testing.T, raw []byte, a, b int64) {
+		// Arbitrary input: any outcome but a panic is fine, and success
+		// implies the invariants the client relies on.
+		if start, end, err := decodeTraceTrailer(raw); err == nil {
+			if len(raw) != traceTrailerLen {
+				t.Fatalf("decoded a %d-byte trailer", len(raw))
+			}
+			if start < 0 || end < start {
+				t.Fatalf("accepted out-of-order stamps %d..%d", start, end)
+			}
+		}
+		// Round trip: every valid stamp pair survives append/decode. The
+		// sign-bit mask (not negation, which overflows on MinInt64) maps
+		// arbitrary fuzz inputs onto the valid non-negative stamp domain.
+		lo, hi := a&(1<<63-1), b&(1<<63-1)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		enc := appendTraceTrailer(nil, lo, hi)
+		start, end, err := decodeTraceTrailer(enc)
+		if err != nil {
+			t.Fatalf("round trip %d..%d: %v", lo, hi, err)
+		}
+		if start != lo || end != hi {
+			t.Fatalf("round trip %d..%d = %d..%d", lo, hi, start, end)
+		}
+	})
+}

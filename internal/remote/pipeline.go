@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gadget/internal/kv"
+	"gadget/internal/tracing"
 )
 
 // PipelineOptions tunes a protocol-v3 client.
@@ -34,6 +35,12 @@ type PipelineOptions struct {
 	// into batch frames of at most this payload size (0 = default 256 KiB,
 	// capped at the 64 MiB frame limit).
 	BatchBytes int
+	// Traced negotiates per-op trace trailers at hello: the server
+	// stamps its handling window on every response, and traced
+	// operations attribute queue/wire/server stages to their
+	// tracing.Ctx. Untraced peers are unaffected (the flag rides the
+	// hello version byte's top bit).
+	Traced bool
 }
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
@@ -67,11 +74,20 @@ type presult struct {
 
 // pcall is one in-flight pipelined request. done is buffered so the
 // delivering goroutine never blocks on a caller.
+//
+// tc/enq/flushed carry trace state across the pipeline's goroutines;
+// every hand-off happens under c.mu (takeBatch, takeCall,
+// requeueInflight), which provides the happens-before edges the
+// unsynchronized Ctx requires.
 type pcall struct {
 	seq      uint64
 	op       byte
 	key, val []byte
 	done     chan presult
+
+	tc      *tracing.Ctx // nil for untraced operations
+	enq     int64        // tracer clock at enqueue (queue-stage start)
+	flushed int64        // tracer clock at batch cut (wire-stage start)
 }
 
 // PipelinedClient is a protocol-v3 kv.Store backed by a remote Server.
@@ -175,7 +191,11 @@ func (c *PipelinedClient) connect() (net.Conn, error) {
 	if c.opts.Timeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
 	}
-	if _, err := conn.Write(appendHello(make([]byte, 0, helloLen), protoV3, c.sessionID)); err != nil {
+	ver := protoV3
+	if c.opts.Traced {
+		ver |= helloTraceFlag
+	}
+	if _, err := conn.Write(appendHello(make([]byte, 0, helloLen), ver, c.sessionID)); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -334,8 +354,30 @@ func (c *PipelinedClient) readLoop(conn net.Conn, got *atomic.Bool, connErr chan
 			connErr <- err
 			return
 		}
+		// On a traced connection every response carries the fixed trace
+		// trailer, whether or not the matching call is traced.
+		var tStart, tEnd int64
+		if c.opts.Traced {
+			var tr [traceTrailerLen]byte
+			if _, err := io.ReadFull(r, tr[:]); err != nil {
+				connErr <- err
+				return
+			}
+			var derr error
+			if tStart, tEnd, derr = decodeTraceTrailer(tr[:]); derr != nil {
+				connErr <- derr
+				return
+			}
+		}
 		call := c.takeCall(seq)
 		if call != nil {
+			if call.tc != nil {
+				// The server's handle window is subtracted from the
+				// flush→delivery window so wire and server stay disjoint.
+				serverDur := tEnd - tStart
+				call.tc.Add(tracing.StageServer, serverDur)
+				call.tc.Add(tracing.StageWire, call.tc.Now()-call.flushed-serverDur)
+			}
 			got.Store(true)
 			call.done <- presult{status: status, out: out}
 		}
@@ -452,6 +494,13 @@ func (c *PipelinedClient) takeBatch() []*pcall {
 	copy(batch, c.queue[:n])
 	for _, call := range batch {
 		c.inflight[call.seq] = call
+		if call.tc != nil {
+			// Queue stage ends at the batch cut; everything from here to
+			// response delivery (including the write syscall) is wire.
+			now := call.tc.Now()
+			call.tc.Add(tracing.StageQueue, now-call.enq)
+			call.flushed = now
+		}
 	}
 	if n == len(c.queue) {
 		c.queue = nil
@@ -474,6 +523,13 @@ func (c *PipelinedClient) requeueInflight() {
 	}
 	calls := make([]*pcall, 0, len(c.inflight))
 	for seq, call := range c.inflight {
+		if call.tc != nil {
+			// The dead connection's unanswered window counts as wire
+			// time; queue accounting restarts at the requeue.
+			now := call.tc.Now()
+			call.tc.Add(tracing.StageWire, now-call.flushed)
+			call.enq = now
+		}
 		calls = append(calls, call)
 		delete(c.inflight, seq)
 	}
@@ -514,10 +570,16 @@ func (c *PipelinedClient) drainPending(res presult, countFailures bool) {
 }
 
 // roundTrip submits one operation to the pipeline and waits for its
-// response.
-func (c *PipelinedClient) roundTrip(op byte, key, val []byte) ([]byte, byte, error) {
+// response. A non-nil trace context attributes the op's queue, wire,
+// and server stages; the queue stage starts here, so pipeline
+// backpressure (waiting for an in-flight slot) counts as queue time.
+func (c *PipelinedClient) roundTrip(tc *tracing.Ctx, op byte, key, val []byte) ([]byte, byte, error) {
 	if reqHdrLen+len(key)+len(val) > maxFrame {
 		return nil, statusError, ErrFrameTooLarge
+	}
+	var enq int64
+	if tc != nil {
+		enq = tc.Now()
 	}
 	select {
 	case c.slots <- struct{}{}:
@@ -531,7 +593,7 @@ func (c *PipelinedClient) roundTrip(op byte, key, val []byte) ([]byte, byte, err
 		return nil, statusError, kv.ErrClosed
 	}
 	c.seq++
-	call := &pcall{seq: c.seq, op: op, key: key, val: val, done: make(chan presult, 1)}
+	call := &pcall{seq: c.seq, op: op, key: key, val: val, done: make(chan presult, 1), tc: tc, enq: enq}
 	c.queue = append(c.queue, call)
 	c.mu.Unlock()
 	c.requests.Add(1)
@@ -563,8 +625,10 @@ func (c *PipelinedClient) Metrics() map[string]int64 {
 }
 
 // Get implements kv.Store.
-func (c *PipelinedClient) Get(key []byte) ([]byte, error) {
-	out, status, err := c.roundTrip(opGet, key, nil)
+func (c *PipelinedClient) Get(key []byte) ([]byte, error) { return c.get(nil, key) }
+
+func (c *PipelinedClient) get(tc *tracing.Ctx, key []byte) ([]byte, error) {
+	out, status, err := c.roundTrip(tc, opGet, key, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -579,19 +643,25 @@ func (c *PipelinedClient) Get(key []byte) ([]byte, error) {
 }
 
 // Put implements kv.Store.
-func (c *PipelinedClient) Put(key, value []byte) error { return c.write(opPut, key, value) }
+func (c *PipelinedClient) Put(key, value []byte) error { return c.write(nil, opPut, key, value) }
 
 // Merge implements kv.Store.
-func (c *PipelinedClient) Merge(key, operand []byte) error { return c.write(opMerge, key, operand) }
+func (c *PipelinedClient) Merge(key, operand []byte) error {
+	return c.write(nil, opMerge, key, operand)
+}
 
 // Delete implements kv.Store.
-func (c *PipelinedClient) Delete(key []byte) error { return c.write(opDelete, key, nil) }
+func (c *PipelinedClient) Delete(key []byte) error { return c.write(nil, opDelete, key, nil) }
 
 // ScanRange implements kv.RangeScanner with a single server-side scan
 // frame, like Client.ScanRange.
 func (c *PipelinedClient) ScanRange(lo, hi kv.StateKey) ([]kv.Entry, error) {
+	return c.scanRange(nil, lo, hi)
+}
+
+func (c *PipelinedClient) scanRange(tc *tracing.Ctx, lo, hi kv.StateKey) ([]kv.Entry, error) {
 	bounds := hi.Encode(lo.Encode(make([]byte, 0, 2*kv.KeyLen)))
-	out, status, err := c.roundTrip(opScan, bounds, nil)
+	out, status, err := c.roundTrip(tc, opScan, bounds, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -601,6 +671,30 @@ func (c *PipelinedClient) ScanRange(lo, hi kv.StateKey) ([]kv.Entry, error) {
 	c.scans.Add(1)
 	return decodeEntries(out)
 }
+
+// DoTraced implements kv.Traceable: the op rides the pipeline exactly
+// like its plain twin, with queue/wire/server stages attributed to tc
+// (server stamps require the connection to have negotiated Traced).
+func (c *PipelinedClient) DoTraced(tc *tracing.Ctx, op kv.TracedOp) (kv.TracedResult, error) {
+	switch op.Op {
+	case kv.OpGet, kv.OpFGet:
+		v, err := c.get(tc, op.Key)
+		return kv.TracedResult{Val: v}, err
+	case kv.OpPut:
+		return kv.TracedResult{}, c.write(tc, opPut, op.Key, op.Val)
+	case kv.OpMerge:
+		return kv.TracedResult{}, c.write(tc, opMerge, op.Key, op.Val)
+	case kv.OpDelete:
+		return kv.TracedResult{}, c.write(tc, opDelete, op.Key, nil)
+	case kv.OpScan:
+		ents, err := c.scanRange(tc, op.Lo, op.Hi)
+		return kv.TracedResult{Entries: ents}, err
+	default:
+		return kv.TracedResult{}, fmt.Errorf("remote: traced dispatch: unsupported op %v", op.Op)
+	}
+}
+
+var _ kv.Traceable = (*PipelinedClient)(nil)
 
 // Snapshot implements kv.Snapshotter via the stop-the-world fallback,
 // like Client.Snapshot.
@@ -615,8 +709,8 @@ func (c *PipelinedClient) Snapshot() (kv.Snapshot, error) {
 	return snap, nil
 }
 
-func (c *PipelinedClient) write(op byte, key, val []byte) error {
-	out, status, err := c.roundTrip(op, key, val)
+func (c *PipelinedClient) write(tc *tracing.Ctx, op byte, key, val []byte) error {
+	out, status, err := c.roundTrip(tc, op, key, val)
 	if err != nil {
 		return err
 	}

@@ -31,13 +31,29 @@ const (
 	protoV2    byte   = 2
 	protoV3    byte   = 3
 
-	helloLen     = 13
-	reqHdrLen    = 17
-	rspHdrLen    = 5  // v2: status u8 | valLen u32
-	batchHdrLen  = 8  // v3: count u32 | payloadLen u32
-	rsp3HdrLen   = 13 // v3: seq u64 | status u8 | valLen u32
-	maxBatchOps  = 65536
-	replayWindow = 4096 // cached responses per session; bounds v3 pipeline depth
+	// The hello version byte carries the protocol version in its low
+	// seven bits plus a trace-negotiation flag in the top bit: a client
+	// setting helloTraceFlag asks the server to append a fixed
+	// traceTrailerLen-byte trailer (handle-start, handle-end — both
+	// server-monotonic nanoseconds) after every v3 response payload.
+	// Untagged v3 and v2 clients are served byte-identically to before,
+	// so trace bytes only flow where both ends understand them.
+	helloVersionMask byte = 0x7f
+	helloTraceFlag   byte = 0x80
+
+	helloLen    = 13
+	reqHdrLen   = 17
+	rspHdrLen   = 5  // v2: status u8 | valLen u32
+	batchHdrLen = 8  // v3: count u32 | payloadLen u32
+	rsp3HdrLen  = 13 // v3: seq u64 | status u8 | valLen u32
+
+	// traceTrailerLen is the fixed response-trailer extension on traced
+	// v3 connections: handle-start u64 | handle-end u64 (server
+	// monotonic ns). Only the difference is meaningful to the client, so
+	// client and server clock domains never mix.
+	traceTrailerLen = 16
+	maxBatchOps     = 65536
+	replayWindow    = 4096 // cached responses per session; bounds v3 pipeline depth
 
 	// maxFrame bounds key, value, and response payload length; both ends
 	// enforce it symmetrically with ErrFrameTooLarge. Under v3 it also
@@ -82,6 +98,30 @@ func appendHello(dst []byte, version byte, sessionID uint64) []byte {
 	h[4] = version
 	binary.LittleEndian.PutUint64(h[5:13], sessionID)
 	return append(dst, h[:]...)
+}
+
+// appendTraceTrailer appends the fixed trace trailer (handle-start,
+// handle-end in server-monotonic nanoseconds) to dst.
+func appendTraceTrailer(dst []byte, start, end int64) []byte {
+	var tr [traceTrailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:8], uint64(start))
+	binary.LittleEndian.PutUint64(tr[8:16], uint64(end))
+	return append(dst, tr[:]...)
+}
+
+// decodeTraceTrailer parses a trace trailer. A short buffer or a
+// trailer whose end precedes its start is a protocol error (zero
+// stamps — an untraced or stale server response — are valid).
+func decodeTraceTrailer(b []byte) (start, end int64, err error) {
+	if len(b) != traceTrailerLen {
+		return 0, 0, fmt.Errorf("%w: trace trailer is %d bytes, want %d", ErrProtocol, len(b), traceTrailerLen)
+	}
+	start = int64(binary.LittleEndian.Uint64(b[0:8]))
+	end = int64(binary.LittleEndian.Uint64(b[8:16]))
+	if start < 0 || end < start {
+		return 0, 0, fmt.Errorf("%w: trace trailer stamps out of order", ErrProtocol)
+	}
+	return start, end, nil
 }
 
 // appendRequest appends one request record (the shared v2/v3 layout).

@@ -14,6 +14,16 @@ import (
 	"gadget/internal/kv"
 )
 
+// cachedRsp is one cached response in a session's replay window. The
+// handle stamps ride along so a replayed answer echoes the ORIGINAL
+// handling window — the op was applied exactly once, and the trace must
+// attribute the once it was applied.
+type cachedRsp struct {
+	status     byte
+	start, end int64 // server-monotonic handle stamps (0,0 when untraced)
+	payload    []byte
+}
+
 // session is the server-side replay state of one client session: the
 // highest applied sequence number and a bounded window of cached
 // responses, so a reconnecting client can retransmit every request it
@@ -22,40 +32,40 @@ import (
 type session struct {
 	mu       sync.Mutex
 	maxSeq   uint64
-	window   map[uint64][]byte // seq -> status byte + payload
-	order    []uint64          // seqs in arrival order, for FIFO eviction
+	window   map[uint64]cachedRsp
+	order    []uint64 // seqs in arrival order, for FIFO eviction
 	lastUsed time.Time
 }
 
 // dedupe classifies seq against the session and, for fresh sequence
-// numbers, runs apply exactly once and caches its response. cap bounds
-// the response window (1 for v2's single in-flight request, replayWindow
-// for v3 pipelines). Replays are answered from the cache; a sequence
-// number at or below maxSeq whose response has been evicted is stale.
-func (sess *session) dedupe(seq uint64, cap int, apply func() (byte, []byte)) (status byte, out []byte, replayed, stale bool) {
+// numbers, runs apply exactly once and caches its response (including
+// the handle stamps apply reports). cap bounds the response window (1
+// for v2's single in-flight request, replayWindow for v3 pipelines).
+// Replays are answered from the cache; a sequence number at or below
+// maxSeq whose response has been evicted is stale (zero stamps: nothing
+// was handled on its behalf).
+func (sess *session) dedupe(seq uint64, cap int, apply func() (byte, []byte, int64, int64)) (rsp cachedRsp, replayed, stale bool) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if seq != 0 && seq <= sess.maxSeq {
 		if rsp, ok := sess.window[seq]; ok {
-			return rsp[0], rsp[1:], true, false
+			return rsp, true, false
 		}
-		return statusError, []byte("remote: stale sequence number"), false, true
+		return cachedRsp{status: statusError, payload: []byte("remote: stale sequence number")}, false, true
 	}
-	status, out = apply()
+	status, out, start, end := apply()
 	sess.maxSeq = seq
 	if sess.window == nil {
-		sess.window = make(map[uint64][]byte, cap)
+		sess.window = make(map[uint64]cachedRsp, cap)
 	}
-	rsp := make([]byte, 1+len(out))
-	rsp[0] = status
-	copy(rsp[1:], out)
+	rsp = cachedRsp{status: status, start: start, end: end, payload: out}
 	sess.window[seq] = rsp
 	sess.order = append(sess.order, seq)
 	for len(sess.order) > cap {
 		delete(sess.window, sess.order[0])
 		sess.order = sess.order[1:]
 	}
-	return status, out, false, false
+	return rsp, false, false
 }
 
 // Server serves a kv.Store over TCP, speaking protocol v2 (one request
@@ -69,6 +79,9 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
+
+	// start anchors the server-monotonic clock for trace handle stamps.
+	start time.Time
 
 	smu      sync.Mutex
 	sessions map[uint64]*session
@@ -95,6 +108,7 @@ func Serve(store kv.Store, addr string) (*Server, error) {
 		ln:       ln,
 		conns:    make(map[net.Conn]struct{}),
 		sessions: make(map[uint64]*session),
+		start:    time.Now(),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -211,12 +225,25 @@ func (s *Server) apply(op byte, key, val []byte) (status byte, out []byte) {
 	return statusOK, nil
 }
 
+// nowNanos is the server-monotonic clock for trace handle stamps.
+func (s *Server) nowNanos() int64 { return int64(time.Since(s.start)) }
+
 // serve dispatches one decoded request through the session's exactly-once
-// window and bumps the wire counters.
-func (s *Server) serve(sess *session, q request, window int) (status byte, out []byte) {
+// window and bumps the wire counters. On traced connections the apply
+// window is stamped (and cached, so replays echo the original stamps);
+// untraced connections skip the clock reads entirely.
+func (s *Server) serve(sess *session, q request, window int, traced bool) cachedRsp {
 	s.requests.Add(1)
-	status, out, replayed, stale := sess.dedupe(q.seq, window, func() (byte, []byte) {
-		return s.apply(q.op, q.key, q.val)
+	rsp, replayed, stale := sess.dedupe(q.seq, window, func() (byte, []byte, int64, int64) {
+		var t0, t1 int64
+		if traced {
+			t0 = s.nowNanos()
+		}
+		status, out := s.apply(q.op, q.key, q.val)
+		if traced {
+			t1 = s.nowNanos()
+		}
+		return status, out, t0, t1
 	})
 	if replayed {
 		s.replays.Add(1)
@@ -224,7 +251,7 @@ func (s *Server) serve(sess *session, q request, window int) (status byte, out [
 	if stale {
 		s.staleSeqs.Add(1)
 	}
-	return status, out
+	return rsp
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -246,11 +273,15 @@ func (s *Server) handle(conn net.Conn) {
 		return // wrong magic: not a gadget client
 	}
 	sess := s.getSession(binary.LittleEndian.Uint64(hello[5:13]))
-	switch hello[4] {
+	// The version byte carries the trace-negotiation flag in its top
+	// bit; mask it off before dispatching so tagged and untagged clients
+	// of the same version share a handler.
+	traced := hello[4]&helloTraceFlag != 0
+	switch hello[4] & helloVersionMask {
 	case protoV2:
 		s.handleV2(r, w, sess)
 	case protoV3:
-		s.handleV3(r, w, sess)
+		s.handleV3(r, w, sess, traced)
 	}
 }
 
@@ -286,8 +317,8 @@ func (s *Server) handleV2(r *bufio.Reader, w *bufio.Writer, sess *session) {
 		}
 		q.key, q.val = buf[:keyLen], buf[keyLen:]
 
-		status, out := s.serve(sess, q, 1)
-		if !writeResponseV2(w, status, out) {
+		rsp := s.serve(sess, q, 1, false)
+		if !writeResponseV2(w, rsp.status, rsp.payload) {
 			return
 		}
 	}
@@ -296,8 +327,9 @@ func (s *Server) handleV2(r *bufio.Reader, w *bufio.Writer, sess *session) {
 // handleV3 is the batched, pipelined loop: read a batch frame, answer
 // each request tagged with its sequence number, flush at batch end. The
 // response order is whatever the server produces — v3 clients match by
-// sequence number and must not assume it equals the request order.
-func (s *Server) handleV3(r *bufio.Reader, w *bufio.Writer, sess *session) {
+// sequence number and must not assume it equals the request order. On
+// traced connections every response carries the fixed trace trailer.
+func (s *Server) handleV3(r *bufio.Reader, w *bufio.Writer, sess *session, traced bool) {
 	for {
 		reqs, err := readBatch(r)
 		if err != nil {
@@ -310,8 +342,8 @@ func (s *Server) handleV3(r *bufio.Reader, w *bufio.Writer, sess *session) {
 		}
 		s.batches.Add(1)
 		for _, q := range reqs {
-			status, out := s.serve(sess, q, replayWindow)
-			if !writeResponseV3(w, q.seq, status, out) {
+			rsp := s.serve(sess, q, replayWindow, traced)
+			if !writeResponseV3(w, q.seq, rsp, traced) {
 				return
 			}
 		}
@@ -335,17 +367,29 @@ func writeResponseV2(w *bufio.Writer, status byte, out []byte) bool {
 }
 
 // writeResponseV3 buffers one sequence-tagged response; the caller
-// flushes at batch boundaries.
-func writeResponseV3(w *bufio.Writer, seq uint64, status byte, out []byte) bool {
+// flushes at batch boundaries. The valLen header field counts only the
+// payload — the trace trailer is a fixed-size extension the traced
+// client knows to expect after it.
+func writeResponseV3(w *bufio.Writer, seq uint64, rsp cachedRsp, traced bool) bool {
 	var rhdr [rsp3HdrLen]byte
 	binary.LittleEndian.PutUint64(rhdr[0:8], seq)
-	rhdr[8] = status
-	binary.LittleEndian.PutUint32(rhdr[9:13], uint32(len(out)))
+	rhdr[8] = rsp.status
+	binary.LittleEndian.PutUint32(rhdr[9:13], uint32(len(rsp.payload)))
 	if _, err := w.Write(rhdr[:]); err != nil {
 		return false
 	}
-	_, err := w.Write(out)
-	return err == nil
+	if _, err := w.Write(rsp.payload); err != nil {
+		return false
+	}
+	if traced {
+		var tr [traceTrailerLen]byte
+		binary.LittleEndian.PutUint64(tr[0:8], uint64(rsp.start))
+		binary.LittleEndian.PutUint64(tr[8:16], uint64(rsp.end))
+		if _, err := w.Write(tr[:]); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Metrics implements kv.Introspector: wire-level counters under

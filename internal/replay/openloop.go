@@ -6,6 +6,7 @@ import (
 
 	"gadget/internal/dist"
 	"gadget/internal/kv"
+	"gadget/internal/tracing"
 )
 
 // This file implements the open-loop replay driver. The closed-loop
@@ -63,6 +64,10 @@ type OpenLoopOptions struct {
 	// Observer is handed the run's Collector before the first operation,
 	// as in Options.Observer.
 	Observer func(*Collector)
+	// Tracer samples operations for per-stage latency attribution, as in
+	// Options.Tracer; traced open-loop ops additionally carry their
+	// dispatch delay as the sched stage.
+	Tracer *tracing.Tracer
 	// Clock substitutes a fake time source in tests (nil = wall clock).
 	Clock Clock
 }
@@ -159,7 +164,7 @@ func RunOpenLoopSource(store kv.Store, src Source, opts OpenLoopOptions) (Result
 	}
 	// Build the collector without the Observer: open-loop accounting must
 	// be armed before any telemetry sampler can snapshot the collector.
-	c, err := NewCollector(store, Options{SampleEvery: opts.SampleEvery, StallTimeout: opts.StallTimeout})
+	c, err := NewCollector(store, Options{SampleEvery: opts.SampleEvery, StallTimeout: opts.StallTimeout, Tracer: opts.Tracer})
 	if err != nil {
 		return Result{}, err
 	}

@@ -27,6 +27,7 @@ import (
 
 	"gadget/internal/kv"
 	"gadget/internal/stats"
+	"gadget/internal/tracing"
 )
 
 // Options configures a replay run.
@@ -47,6 +48,11 @@ type Options struct {
 	// to Snapshot live runs regardless of which Run* entry point drives
 	// them. The callback must not retain locks or block.
 	Observer func(*Collector)
+	// Tracer, when set, samples operations for per-stage latency
+	// attribution: sampled ops travel the stack as kv.TracedOp carrying
+	// a tracing.Ctx, and unsampled ops take the plain path untouched.
+	// Latency histograms and counters are identical either way.
+	Tracer *tracing.Tracer
 }
 
 // Validate rejects option values that earlier versions silently
@@ -200,8 +206,12 @@ func (r Result) IntendedP99() time.Duration {
 func (r Result) IntendedP99Micros() float64 { return float64(r.IntendedP99()) / 1e3 }
 
 func (r Result) String() string {
-	s := fmt.Sprintf("ops=%d thr=%.0f/s mean=%.2fus p99=%.2fus p99.9=%.2fus",
-		r.Ops, r.Throughput, r.MeanMicros(), r.P99Micros(), r.P999Micros())
+	// One Quantiles pass over the shared ladder — the same derivation the
+	// Prometheus exposition renders, so the two views cannot drift.
+	q := r.Latency.Quantiles(stats.SummaryQuantiles)
+	s := fmt.Sprintf("ops=%d thr=%.0f/s mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus p99.9=%.2fus",
+		r.Ops, r.Throughput, r.MeanMicros(),
+		float64(q[0])/1e3, float64(q[1])/1e3, float64(q[2])/1e3, float64(q[3])/1e3)
 	if r.Offered > 0 {
 		s += fmt.Sprintf(" offered=%.0f/s achieved=%.0f/s lag=%v overload=%d",
 			r.OfferedRate, r.AchievedRate, r.MaxLag.Round(time.Microsecond), r.Overload)
@@ -299,6 +309,30 @@ func Apply(store kv.Store, a kv.Access, keyBuf []byte) (bool, error) {
 	default:
 		return false, fmt.Errorf("replay: unknown op %d", a.Op)
 	}
+}
+
+// applyTraced mirrors Apply for a sampled operation: the same op
+// semantics (including miss classification and scan bounds), dispatched
+// through kv.DoTraced so every layer that understands the trace context
+// attributes its share of the latency.
+func applyTraced(store kv.Store, a kv.Access, keyBuf []byte, tc *tracing.Ctx) (bool, error) {
+	op := kv.TracedOp{Op: a.Op}
+	switch a.Op {
+	case kv.OpGet, kv.OpFGet, kv.OpDelete:
+		op.Key = a.Key.Encode(keyBuf[:0])
+	case kv.OpPut, kv.OpMerge:
+		op.Key = a.Key.Encode(keyBuf[:0])
+		op.Val = valueOf(a.Size)
+	case kv.OpScan:
+		op.Lo, op.Hi = a.Key, a.Key.GroupEnd()
+	default:
+		return false, fmt.Errorf("replay: unknown op %d", a.Op)
+	}
+	_, err := kv.DoTraced(store, tc, op)
+	if (a.Op == kv.OpGet || a.Op == kv.OpFGet) && errors.Is(err, kv.ErrNotFound) {
+		return true, nil
+	}
+	return false, err
 }
 
 // Source yields accesses to replay.
@@ -454,8 +488,9 @@ func (c *Collector) enableOpenLoop(clock Clock) {
 // pacer: service latency is recorded exactly as Do does, and the
 // operation is additionally charged from its intended arrival time, so
 // queueing delay behind a slow store shows up in IntendedLatency.
+// Traced operations carry that same dispatch delay as StageSched.
 func (c *Collector) DoAt(a kv.Access, intended time.Time) error {
-	err := c.Do(a)
+	err := c.do(a, c.clock.Now().Sub(intended))
 	if !errors.Is(err, ErrAborted) {
 		c.res.IntendedLatency.Record(c.clock.Now().Sub(intended).Nanoseconds())
 	}
@@ -488,7 +523,12 @@ func (c *Collector) Abort() {
 
 // Do applies and measures one access. It returns an error only after the
 // store has failed persistently or the run was aborted.
-func (c *Collector) Do(a kv.Access) error {
+func (c *Collector) Do(a kv.Access) error { return c.do(a, -1) }
+
+// do is the shared Do/DoAt body. sched < 0 means the access has no
+// intended-arrival schedule (closed-loop); otherwise it is the dispatch
+// delay charged to a traced op's StageSched.
+func (c *Collector) do(a kv.Access, sched time.Duration) error {
 	if c.aborted.Load() {
 		return ErrAborted
 	}
@@ -501,11 +541,25 @@ func (c *Collector) Do(a kv.Access) error {
 		}
 	}
 	measure := i%c.sample == 0
+	var tc *tracing.Ctx
+	if c.opts.Tracer != nil {
+		tc = c.opts.Tracer.Start(uint8(a.Op))
+		if sched >= 0 {
+			tc.Add(tracing.StageSched, sched.Nanoseconds())
+		}
+	}
 	var t0 time.Time
 	if measure {
 		t0 = time.Now()
 	}
-	missed, err := Apply(c.store, a, c.keyBuf[:])
+	var missed bool
+	var err error
+	if tc != nil {
+		missed, err = applyTraced(c.store, a, c.keyBuf[:], tc)
+		c.opts.Tracer.Finish(tc)
+	} else {
+		missed, err = Apply(c.store, a, c.keyBuf[:])
+	}
 	if measure {
 		lat := time.Since(t0).Nanoseconds()
 		c.res.Latency.Record(lat)

@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"sync"
+
+	"gadget/internal/kv"
+	"gadget/internal/remote"
+	"gadget/internal/tracing"
+)
+
+var _ kv.Traceable = (*Client)(nil)
+
+// DoTraced implements kv.Traceable. Point operations charge the route
+// decision to StageRoute and then ride the owning shard's traced
+// pipeline. Scans fan out with untraced per-shard calls (a pooled Ctx
+// must not be shared across goroutines), charging the whole concurrent
+// fan-out wait to StageFanout and the k-way merge to StageMerge.
+func (c *Client) DoTraced(tc *tracing.Ctx, op kv.TracedOp) (kv.TracedResult, error) {
+	if op.Op == kv.OpScan {
+		return c.tracedScan(tc, op.Lo, op.Hi)
+	}
+	t0 := tc.Now()
+	conn := c.conn(op.Key)
+	tc.AddSince(tracing.StageRoute, t0)
+	return conn.DoTraced(tc, op)
+}
+
+// tracedScan mirrors ScanRange with fan-out/merge attribution.
+func (c *Client) tracedScan(tc *tracing.Ctx, lo, hi kv.StateKey) (kv.TracedResult, error) {
+	c.scans.Add(1)
+	t0 := tc.Now()
+	parts := make([][]kv.Entry, len(c.conns))
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for i, conn := range c.conns {
+		wg.Add(1)
+		go func(i int, conn *remote.PipelinedClient) {
+			defer wg.Done()
+			parts[i], errs[i] = conn.ScanRange(lo, hi)
+		}(i, conn)
+	}
+	wg.Wait()
+	tc.AddSince(tracing.StageFanout, t0)
+	for _, err := range errs {
+		if err != nil {
+			return kv.TracedResult{}, err
+		}
+	}
+	tm := tc.Now()
+	merged := mergeSorted(parts)
+	tc.AddSince(tracing.StageMerge, tm)
+	return kv.TracedResult{Entries: merged}, nil
+}

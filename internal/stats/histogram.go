@@ -202,6 +202,66 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// SummaryQuantiles is the harness-wide quantile ladder: both the
+// Prometheus exposition's per-histogram summary lines and the textual
+// replay result derive these (via Quantiles) so the two views always
+// agree.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// Quantiles returns an upper bound for each quantile in qs (which must
+// be sorted ascending, each in [0, 1]) in a single pass over the
+// buckets — the shared implementation behind the Prometheus summary
+// lines and the textual result quantile block, so both always agree.
+// Returns all zeros if the histogram is empty.
+func (h *Histogram) Quantiles(qs []float64) []int64 {
+	out := make([]int64, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return out
+	}
+	targets := make([]uint64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		t := uint64(math.Ceil(q * float64(h.total)))
+		if t == 0 {
+			t = 1
+		}
+		targets[i] = t
+	}
+	j := 0
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		for j < len(qs) && cum >= targets[j] {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			out[j] = v
+			j++
+		}
+		if j == len(qs) {
+			return out
+		}
+	}
+	for ; j < len(qs); j++ {
+		out[j] = h.max
+	}
+	return out
+}
+
 // Merge adds all samples of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	other.mu.Lock()

@@ -318,3 +318,36 @@ func TestBucketIndexValueConsistency(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantilesBatch(t *testing.T) {
+	h := NewHistogram()
+	// Empty histogram: all zeros, one slot per requested quantile.
+	if got := h.Quantiles(SummaryQuantiles); len(got) != len(SummaryQuantiles) {
+		t.Fatalf("got %d quantiles, want %d", len(got), len(SummaryQuantiles))
+	} else {
+		for i, v := range got {
+			if v != 0 {
+				t.Fatalf("empty histogram quantile[%d] = %d, want 0", i, v)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Record(int64(rng.Intn(1_000_000)))
+	}
+	batch := h.Quantiles(SummaryQuantiles)
+	prev := int64(-1)
+	for i, q := range SummaryQuantiles {
+		// The single-pass batch must agree with the one-at-a-time path.
+		if want := h.Quantile(q); batch[i] != want {
+			t.Fatalf("Quantiles[%v] = %d, Quantile(%v) = %d", q, batch[i], q, want)
+		}
+		if batch[i] < prev {
+			t.Fatalf("quantiles not monotone: %v", batch)
+		}
+		prev = batch[i]
+	}
+	if max := h.Max(); batch[len(batch)-1] > max {
+		t.Fatalf("p99.9 %d exceeds recorded max %d", batch[len(batch)-1], max)
+	}
+}

@@ -55,6 +55,11 @@ type Config struct {
 	// vfs.MemFS/vfs.FaultFS); nil means the real filesystem. Not part of
 	// the JSON configuration surface.
 	FS vfs.FS `json:"-"`
+	// Traced asks the sharded protocol-v3 client to negotiate trace
+	// trailers at hello, so traced ops receive server-side handle stamps.
+	// Set by the harness from obs.trace, not from the store JSON (the
+	// store section stays tracing-agnostic).
+	Traced bool `json:"-"`
 	// Chaos, when set, wraps the engine in a deterministic fault
 	// injector (kv.ChaosStore).
 	Chaos *ChaosConfig `json:"chaos,omitempty"`
@@ -265,6 +270,7 @@ func openRemote(cfg Config) (kv.Store, error) {
 	return shard.Dial(addrs, remote.PipelineOptions{
 		Depth:      rc.PipelineDepth,
 		BatchBytes: rc.BatchBytes,
+		Traced:     cfg.Traced,
 	})
 }
 

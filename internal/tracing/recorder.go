@@ -1,0 +1,207 @@
+package tracing
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// record is one retained complete trace, stored flat (no maps) so the
+// recorder's hot path never allocates beyond the fixed rings.
+type record struct {
+	id       uint64
+	op       uint8
+	attempts uint32
+	total    int64
+	durs     [NumStages]int64
+}
+
+const recStripes = 8 // power of two; stripes the uniform-sample ring
+
+// recorder is the flight recorder: a min-heap of the K slowest complete
+// traces (atomic-threshold fast path) plus a lock-striped ring buffer
+// holding a uniform 1-in-N sample of traced operations.
+type recorder struct {
+	slowK  int
+	slowMu sync.Mutex
+	slow   slowHeap     // min-heap by total
+	floor  atomic.Int64 // slow[0].total once the heap is full
+
+	every   uint64 // uniform ring keeps 1 in every of traced ops
+	tick    atomic.Uint64
+	stripes [recStripes]ringStripe
+}
+
+type ringStripe struct {
+	mu   sync.Mutex
+	ring []record
+	next int
+	n    uint64 // total offered to this stripe
+}
+
+type slowHeap []record
+
+func (h slowHeap) Len() int           { return len(h) }
+func (h slowHeap) Less(i, j int) bool { return h[i].total < h[j].total }
+func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x any)        { *h = append(*h, x.(record)) }
+func (h *slowHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h slowHeap) slowest() []record  { out := append([]record(nil), h...); return out }
+
+// uniformEvery converts the tracer's SampleN into the ring's own
+// decimation: traced ops are already 1-in-SampleN of all ops, so the
+// ring keeps every 4th traced op to stay a uniform (coarser) sample
+// without the ring churning on every trace.
+const uniformEvery = 4
+
+// ringSlots is the per-stripe uniform-ring capacity.
+func ringSlots(slowK int) int {
+	n := slowK / 2
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func newRecorder(slowK, sampleN int) *recorder {
+	r := &recorder{slowK: slowK, every: uniformEvery}
+	r.floor.Store(-1) // heap not full: every trace must take the lock
+	slots := ringSlots(slowK)
+	for i := range r.stripes {
+		r.stripes[i].ring = make([]record, 0, slots)
+	}
+	return r
+}
+
+// offer considers a completed trace. Called from Tracer.Finish before
+// the Ctx is pooled.
+func (r *recorder) offer(c *Ctx, total int64) {
+	// K-slowest: atomic floor check keeps fast (non-tail) traces from
+	// ever taking the heap lock once the heap is full.
+	if total > r.floor.Load() {
+		r.slowMu.Lock()
+		if len(r.slow) < r.slowK {
+			heap.Push(&r.slow, record{id: c.ID, op: c.Op, attempts: c.Attempts, total: total, durs: c.durs})
+			if len(r.slow) == r.slowK {
+				r.floor.Store(r.slow[0].total)
+			}
+		} else if total > r.slow[0].total {
+			r.slow[0] = record{id: c.ID, op: c.Op, attempts: c.Attempts, total: total, durs: c.durs}
+			heap.Fix(&r.slow, 0)
+			r.floor.Store(r.slow[0].total)
+		}
+		r.slowMu.Unlock()
+	}
+
+	// Uniform sample: every Nth traced op lands in a ring stripe chosen
+	// by trace id, so concurrent finishers rarely contend.
+	if r.tick.Add(1)%r.every != 0 {
+		return
+	}
+	st := &r.stripes[c.ID&(recStripes-1)]
+	st.mu.Lock()
+	rec := record{id: c.ID, op: c.Op, attempts: c.Attempts, total: total, durs: c.durs}
+	if len(st.ring) < cap(st.ring) {
+		st.ring = append(st.ring, rec)
+	} else {
+		st.ring[st.next] = rec
+		st.next = (st.next + 1) % cap(st.ring)
+	}
+	st.n++
+	st.mu.Unlock()
+}
+
+// SlowOp is one retained trace in report form. Durations are
+// nanoseconds; Stages holds only the non-zero stages.
+type SlowOp struct {
+	ID       uint64           `json:"id"`
+	Op       string           `json:"op"`
+	TotalNs  int64            `json:"total_ns"`
+	Stages   map[string]int64 `json:"stages_ns"`
+	Attempts uint32           `json:"attempts,omitempty"`
+}
+
+// StageSummary is the aggregated view of one stage across all traced
+// ops (not just the recorded exemplars).
+type StageSummary struct {
+	Count  uint64 `json:"count"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	MaxNs  int64  `json:"max_ns"`
+	MeanNs int64  `json:"mean_ns"`
+}
+
+// SlowOps is the report's slow_ops section: the K slowest traces, a
+// uniform sample, and per-stage aggregate summaries.
+type SlowOps struct {
+	// Traced is the number of completed traces this run.
+	Traced uint64 `json:"traced"`
+	// SampleN echoes the 1-in-N trace sampling period.
+	SampleN int `json:"sample_n"`
+	// Slowest holds the K slowest complete traces, slowest first.
+	Slowest []SlowOp `json:"slowest"`
+	// Sample is the uniform 1-in-N sample of traced ops, oldest-first
+	// per stripe (interleaved across stripes).
+	Sample []SlowOp `json:"sample,omitempty"`
+	// Stages summarizes each stage with recorded data.
+	Stages map[string]StageSummary `json:"stages"`
+}
+
+func (r *record) toSlowOp(opName func(uint8) string) SlowOp {
+	op := SlowOp{ID: r.id, TotalNs: r.total, Attempts: r.attempts, Stages: make(map[string]int64)}
+	if opName != nil {
+		op.Op = opName(r.op)
+	}
+	for s, d := range r.durs {
+		if d > 0 {
+			op.Stages[Stage(s).String()] = d
+		}
+	}
+	return op
+}
+
+// snapshot builds the report section from the recorder + tracer
+// aggregates. opName maps the op code to a display name (nil leaves Op
+// empty).
+func (r *recorder) snapshot(t *Tracer, opName func(uint8) string) *SlowOps {
+	_, finished := t.Stats()
+	out := &SlowOps{
+		Traced:  finished,
+		SampleN: t.SampleN(),
+		Stages:  make(map[string]StageSummary),
+	}
+
+	r.slowMu.Lock()
+	slow := r.slow.slowest()
+	r.slowMu.Unlock()
+	sort.Slice(slow, func(i, j int) bool { return slow[i].total > slow[j].total })
+	for i := range slow {
+		out.Slowest = append(out.Slowest, slow[i].toSlowOp(opName))
+	}
+
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for j := range st.ring {
+			out.Sample = append(out.Sample, st.ring[j].toSlowOp(opName))
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out.Sample, func(i, j int) bool { return out.Sample[i].ID < out.Sample[j].ID })
+
+	for s := 0; s < NumStages; s++ {
+		h := t.hists[s].Snapshot()
+		if h.Count() == 0 {
+			continue
+		}
+		out.Stages[Stage(s).String()] = StageSummary{
+			Count:  h.Count(),
+			P50Ns:  h.Quantile(0.5),
+			P99Ns:  h.Quantile(0.99),
+			MaxNs:  h.Max(),
+			MeanNs: int64(h.Mean()),
+		}
+	}
+	return out
+}

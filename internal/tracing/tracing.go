@@ -1,0 +1,315 @@
+// Package tracing is an allocation-conscious per-operation span system
+// for cross-layer latency attribution. A traced operation carries a
+// pooled *Ctx (64-bit trace id + per-stage duration slots) down the
+// stack; each layer records only the time it *adds* (disjoint stages),
+// so the per-stage durations of a complete trace sum to approximately
+// the end-to-end service latency.
+//
+// The package is stdlib-only apart from the repo's own internal/stats
+// histograms. All Ctx and Tracer methods are nil-safe: a nil *Tracer
+// never samples and a nil *Ctx records nothing, so untraced call sites
+// pay a single pointer comparison.
+//
+// Concurrency: a Ctx may be handed between goroutines (replay worker →
+// pipeline writer → pipeline reader), but every hand-off must carry a
+// happens-before edge (channel send, mutex) — the Ctx itself is not
+// synchronized. Exactly one goroutine may stamp it at a time.
+package tracing
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gadget/internal/stats"
+)
+
+// Stage identifies one disjoint latency bucket of a traced operation.
+// Stages are attribution buckets, not nesting spans: each layer records
+// only the latency it adds (queue wait, injected delay, backoff sleep,
+// wire time net of server time, ...), never the inner call it wraps.
+type Stage uint8
+
+const (
+	// StageSched is open-loop scheduling delay: intended arrival to
+	// dispatch into the store stack.
+	StageSched Stage = iota
+	// StageWrap is middleware bookkeeping: a wrapper's own time net of
+	// the inner call and of explicitly attributed stages.
+	StageWrap
+	// StageChaos is delay injected by the chaos fault wrapper.
+	StageChaos
+	// StageRetry is time spent sleeping in retry backoff.
+	StageRetry
+	// StageRoute is the shard routing decision.
+	StageRoute
+	// StageQueue is pipeline submission-queue wait: enqueue to batch cut.
+	StageQueue
+	// StageWire is batch cut to response delivery, net of the
+	// server-reported handling time (StageServer).
+	StageWire
+	// StageServer is the server's handle-start to handle-end window,
+	// echoed in the response trailer (server clock; only the difference
+	// crosses the wire, so clock domains never mix).
+	StageServer
+	// StageEngine is engine-internal time. For engines without a traced
+	// path this is the whole inner call; the LSM refines it into the
+	// three stages below and records only the remainder here.
+	StageEngine
+	// StageEngineMem is LSM memtable probe/insert time.
+	StageEngineMem
+	// StageEngineSST is LSM SSTable read time.
+	StageEngineSST
+	// StageEngineWAL is LSM WAL append/fsync time.
+	StageEngineWAL
+	// StageFanout is shard-client scan fan-out wait (parallel RPCs).
+	StageFanout
+	// StageMerge is shard-client k-way merge time.
+	StageMerge
+
+	// NumStages sizes per-stage arrays.
+	NumStages int = iota
+)
+
+var stageNames = [NumStages]string{
+	"sched", "wrap", "chaos", "retry", "route", "queue", "wire",
+	"server", "engine", "engine_mem", "engine_sst", "engine_wal",
+	"fanout", "merge",
+}
+
+// String returns the short stage name used in obs metric keys
+// ("stage.<name>") and report JSON.
+func (s Stage) String() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Ctx is one in-flight trace: a 64-bit id plus per-stage accumulated
+// durations. Ctxs are pooled by their Tracer; after Finish the pointer
+// must not be reused. All methods are nil-safe.
+type Ctx struct {
+	// ID is the per-tracer unique trace id.
+	ID uint64
+	// Op is the operation code (kv.Op numbering), set at Start.
+	Op uint8
+	// Attempts counts retry attempts beyond the first (see Attempt).
+	Attempts uint32
+
+	durs  [NumStages]int64
+	start int64
+	tr    *Tracer
+}
+
+// Now returns the tracer's monotonic clock reading in nanoseconds, or 0
+// on a nil Ctx. Layers use it to bracket the windows they attribute.
+func (c *Ctx) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.tr.now()
+}
+
+// Add accumulates d nanoseconds into stage s. Negative deltas (clock
+// retreat under an injected test clock) are dropped.
+func (c *Ctx) Add(s Stage, d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.durs[s] += d
+}
+
+// AddSince accumulates now-t0 into stage s.
+func (c *Ctx) AddSince(s Stage, t0 int64) {
+	if c == nil {
+		return
+	}
+	c.Add(s, c.tr.now()-t0)
+}
+
+// Dur returns the accumulated duration of stage s, or 0 on a nil Ctx.
+func (c *Ctx) Dur(s Stage) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.durs[s]
+}
+
+// StageSum returns the sum of all per-stage durations.
+func (c *Ctx) StageSum() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for _, d := range c.durs {
+		sum += d
+	}
+	return sum
+}
+
+// Attempt records one retry attempt beyond the first.
+func (c *Ctx) Attempt() {
+	if c != nil {
+		c.Attempts++
+	}
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// SampleN traces 1 in N operations (1 = every op; 0 = default 64).
+	SampleN int
+	// SlowK retains the K slowest complete traces in the flight
+	// recorder (0 = default 16).
+	SlowK int
+	// Now injects the monotonic clock (nanoseconds). Nil uses the real
+	// monotonic clock. Tests inject deterministic clocks here.
+	Now func() int64
+}
+
+const (
+	defaultSampleN = 64
+	defaultSlowK   = 16
+)
+
+// Tracer samples, aggregates, and records traces. Safe for concurrent
+// use. A nil *Tracer is valid and never samples.
+type Tracer struct {
+	now     func() int64
+	sampleN uint64
+	// mask is sampleN-1 when sampleN is a power of two, so the unsampled
+	// fast path can replace the integer division with an AND.
+	mask uint64
+
+	seq      atomic.Uint64
+	tick     atomic.Uint64
+	started  atomic.Uint64
+	finished atomic.Uint64
+
+	hists [NumStages]*stats.StripedHistogram
+	total *stats.StripedHistogram
+	rec   *recorder
+
+	pool sync.Pool
+}
+
+// New constructs a Tracer.
+func New(opts Options) *Tracer {
+	if opts.SampleN <= 0 {
+		opts.SampleN = defaultSampleN
+	}
+	if opts.SlowK <= 0 {
+		opts.SlowK = defaultSlowK
+	}
+	now := opts.Now
+	if now == nil {
+		base := time.Now()
+		now = func() int64 { return int64(time.Since(base)) }
+	}
+	t := &Tracer{
+		now:     now,
+		sampleN: uint64(opts.SampleN),
+		total:   stats.NewStripedHistogram(),
+		rec:     newRecorder(opts.SlowK, opts.SampleN),
+	}
+	if n := t.sampleN; n&(n-1) == 0 {
+		t.mask = n - 1
+	}
+	for i := range t.hists {
+		t.hists[i] = stats.NewStripedHistogram()
+	}
+	t.pool.New = func() any { return new(Ctx) }
+	return t
+}
+
+// SampleN returns the configured 1-in-N sampling period.
+func (t *Tracer) SampleN() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sampleN)
+}
+
+// Start begins a trace for operation op, returning nil when this
+// operation falls outside the 1-in-N sample (the caller then takes its
+// untraced path at zero additional cost). The unsampled path is one
+// atomic increment.
+func (t *Tracer) Start(op uint8) *Ctx {
+	if t == nil {
+		return nil
+	}
+	tick := t.tick.Add(1)
+	if t.mask != 0 {
+		if tick&t.mask != 0 {
+			return nil
+		}
+	} else if tick%t.sampleN != 0 {
+		return nil
+	}
+	c := t.pool.Get().(*Ctx)
+	*c = Ctx{ID: t.seq.Add(1), Op: op, tr: t}
+	c.start = t.now()
+	t.started.Add(1)
+	return c
+}
+
+// Finish completes a trace: the end-to-end duration and every non-zero
+// stage feed the per-stage histograms, the flight recorder considers
+// the trace, and the Ctx returns to the pool. Nil tracer or nil ctx is
+// a no-op. The Ctx must not be used after Finish.
+func (t *Tracer) Finish(c *Ctx) {
+	if t == nil || c == nil {
+		return
+	}
+	total := t.now() - c.start
+	if total < 0 {
+		total = 0
+	}
+	t.total.Record(total)
+	for s, d := range c.durs {
+		if d > 0 {
+			t.hists[s].Record(d)
+		}
+	}
+	t.rec.offer(c, total)
+	t.finished.Add(1)
+	*c = Ctx{}
+	t.pool.Put(c)
+}
+
+// Stats reports how many traces were started and finished. A quiesced
+// system must show started == finished: anything else is a duplicate
+// completion (finished > started is impossible by construction, so a
+// gap means leaked pooled contexts).
+func (t *Tracer) Stats() (started, finished uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.started.Load(), t.finished.Load()
+}
+
+// StageHist returns the aggregated histogram for stage s (nanoseconds).
+func (t *Tracer) StageHist(s Stage) *stats.StripedHistogram {
+	if t == nil {
+		return nil
+	}
+	return t.hists[s]
+}
+
+// TotalHist returns the end-to-end duration histogram of traced ops.
+func (t *Tracer) TotalHist() *stats.StripedHistogram {
+	if t == nil {
+		return nil
+	}
+	return t.total
+}
+
+// Snapshot drains nothing and copies the flight recorder + stage
+// aggregates into the report-ready SlowOps section. Nil tracer returns
+// nil.
+func (t *Tracer) Snapshot(opName func(uint8) string) *SlowOps {
+	if t == nil {
+		return nil
+	}
+	return t.rec.snapshot(t, opName)
+}

@@ -1,0 +1,213 @@
+package tracing
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeClock is a manually advanced monotonic clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  int64
+}
+
+func (f *fakeClock) now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d int64) {
+	f.mu.Lock()
+	f.t += d
+	f.mu.Unlock()
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if c := tr.Start(0); c != nil {
+		t.Fatalf("nil tracer sampled a trace")
+	}
+	tr.Finish(nil)
+	if s, f := tr.Stats(); s != 0 || f != 0 {
+		t.Fatalf("nil tracer stats = %d/%d", s, f)
+	}
+	if tr.Snapshot(nil) != nil {
+		t.Fatalf("nil tracer snapshot non-nil")
+	}
+
+	var c *Ctx
+	c.Add(StageWire, 5)
+	c.AddSince(StageWire, 0)
+	c.Attempt()
+	if c.Now() != 0 || c.Dur(StageWire) != 0 || c.StageSum() != 0 {
+		t.Fatalf("nil ctx leaked state")
+	}
+}
+
+func TestStageAccumulation(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleN: 1, Now: clk.now})
+	c := tr.Start(1)
+	if c == nil {
+		t.Fatalf("SampleN=1 must trace every op")
+	}
+	clk.advance(100)
+	c.Add(StageQueue, 40)
+	c.Add(StageQueue, 10) // accumulates
+	c.Add(StageWire, 30)
+	c.Add(StageServer, 20)
+	c.Add(StageEngine, -5) // negative dropped
+	if got := c.Dur(StageQueue); got != 50 {
+		t.Fatalf("queue = %d, want 50", got)
+	}
+	if got := c.StageSum(); got != 100 {
+		t.Fatalf("stage sum = %d, want 100", got)
+	}
+	tr.Finish(c)
+
+	if got := tr.TotalHist().Count(); got != 1 {
+		t.Fatalf("total count = %d", got)
+	}
+	if got := tr.StageHist(StageQueue).Count(); got != 1 {
+		t.Fatalf("queue hist count = %d", got)
+	}
+	if got := tr.StageHist(StageEngine).Count(); got != 0 {
+		t.Fatalf("engine hist count = %d, want 0", got)
+	}
+}
+
+func TestAddSinceUsesInjectedClock(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleN: 1, Now: clk.now})
+	c := tr.Start(0)
+	t0 := c.Now()
+	clk.advance(77)
+	c.AddSince(StageRetry, t0)
+	if got := c.Dur(StageRetry); got != 77 {
+		t.Fatalf("AddSince recorded %d, want 77", got)
+	}
+	tr.Finish(c)
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Options{SampleN: 4})
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if c := tr.Start(0); c != nil {
+			sampled++
+			tr.Finish(c)
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 400 with SampleN=4", sampled)
+	}
+	if s, f := tr.Stats(); s != 100 || f != 100 {
+		t.Fatalf("stats = %d/%d, want 100/100", s, f)
+	}
+}
+
+func TestSlowestRetention(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleN: 1, SlowK: 4, Now: clk.now})
+	// Totals 1..100: the recorder must retain exactly {97,98,99,100}.
+	for i := 1; i <= 100; i++ {
+		c := tr.Start(0)
+		clk.advance(int64(i))
+		c.Add(StageEngine, int64(i))
+		tr.Finish(c)
+	}
+	snap := tr.Snapshot(nil)
+	if snap.Traced != 100 {
+		t.Fatalf("traced = %d", snap.Traced)
+	}
+	if len(snap.Slowest) != 4 {
+		t.Fatalf("slowest len = %d, want 4", len(snap.Slowest))
+	}
+	want := []int64{100, 99, 98, 97}
+	for i, op := range snap.Slowest {
+		if op.TotalNs != want[i] {
+			t.Fatalf("slowest[%d] = %dns, want %d", i, op.TotalNs, want[i])
+		}
+		if op.Stages["engine"] != want[i] {
+			t.Fatalf("slowest[%d] engine stage = %d", i, op.Stages["engine"])
+		}
+	}
+	if len(snap.Sample) == 0 {
+		t.Fatalf("uniform sample empty after 100 traces")
+	}
+	eng, ok := snap.Stages["engine"]
+	if !ok || eng.Count != 100 {
+		t.Fatalf("engine stage summary = %+v", eng)
+	}
+}
+
+func TestPoolReuseResetsState(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Options{SampleN: 1, Now: clk.now})
+	c := tr.Start(0)
+	c.Add(StageWire, 123)
+	c.Attempt()
+	tr.Finish(c)
+	// The next Start very likely reuses the pooled Ctx; it must come
+	// back zeroed regardless.
+	c2 := tr.Start(0)
+	if c2.Dur(StageWire) != 0 || c2.Attempts != 0 {
+		t.Fatalf("pooled ctx not reset: wire=%d attempts=%d", c2.Dur(StageWire), c2.Attempts)
+	}
+	tr.Finish(c2)
+}
+
+func TestConcurrentTraces(t *testing.T) {
+	tr := New(Options{SampleN: 2, SlowK: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c := tr.Start(uint8(i % 5))
+				if c == nil {
+					continue
+				}
+				c.Add(StageQueue, int64(i%97)+1)
+				c.Add(StageWire, 10)
+				tr.Finish(c)
+			}
+		}()
+	}
+	wg.Wait()
+	s, f := tr.Stats()
+	if s != f {
+		t.Fatalf("started %d != finished %d", s, f)
+	}
+	if s != 8000 {
+		t.Fatalf("started = %d, want 8000 (8 workers x 2000 ops / SampleN 2)", s)
+	}
+	snap := tr.Snapshot(nil)
+	if len(snap.Slowest) != 8 {
+		t.Fatalf("slowest len = %d, want 8", len(snap.Slowest))
+	}
+	for i := 1; i < len(snap.Slowest); i++ {
+		if snap.Slowest[i].TotalNs > snap.Slowest[i-1].TotalNs {
+			t.Fatalf("slowest not sorted descending at %d", i)
+		}
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := 0; s < NumStages; s++ {
+		name := Stage(s).String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if Stage(NumStages).String() != "unknown" {
+		t.Fatalf("out-of-range stage must stringify as unknown")
+	}
+}
